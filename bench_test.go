@@ -1,0 +1,191 @@
+package mutps
+
+// One testing.B benchmark per table and figure of the paper's evaluation,
+// as DESIGN.md's experiment index requires. Each benchmark regenerates its
+// experiment at quick scale on the simulated substrate (go test -bench
+// reports wall time per regeneration; the printed rows appear with -v via
+// cmd/mutps-bench). BenchmarkStore* additionally exercise the real store.
+
+import (
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"mutps/internal/bench"
+)
+
+func benchScale() bench.Scale {
+	s := bench.QuickScale()
+	s.Warm = 2000
+	s.Ops = 8000
+	s.LatOps = 3000
+	return s
+}
+
+func BenchmarkFig2a(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		bench.RunFig2a(s, io.Discard)
+	}
+}
+
+func BenchmarkFig2b(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		bench.RunFig2b(s, io.Discard)
+	}
+}
+
+func BenchmarkFig2c(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		bench.RunFig2c(s, io.Discard)
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		bench.RunTab1(s, io.Discard)
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		cells := bench.RunFig7(s, io.Discard, []int{8, 256})
+		// Report the headline ratio: μTPS over BaseKV on skewed tree reads.
+		for _, c := range cells {
+			if c.Tree && c.Mix == "YCSB-B" && c.ItemSize == 256 {
+				b.ReportMetric(c.MuTPS/c.BaseKV, "speedup-vs-BaseKV")
+			}
+		}
+	}
+}
+
+func BenchmarkFig8a(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		bench.RunFig8a(s, io.Discard)
+	}
+}
+
+func BenchmarkFig8bc(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		bench.RunFig8bc(s, io.Discard)
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		bench.RunFig9(s, io.Discard)
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		bench.RunFig10(s, io.Discard)
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		bench.RunFig11(s, io.Discard)
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		bench.RunFig12(s, io.Discard)
+	}
+}
+
+func BenchmarkFig13a(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		bench.RunFig13a(s, io.Discard)
+	}
+}
+
+func BenchmarkFig13b(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		bench.RunFig13b(s, io.Discard)
+	}
+}
+
+func BenchmarkFig13c(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		bench.RunFig13c(s, io.Discard)
+	}
+}
+
+func BenchmarkFig14(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		bench.RunFig14(s, io.Discard)
+	}
+}
+
+func BenchmarkTunerAblation(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		bench.RunTunerAblation(s, io.Discard)
+	}
+}
+
+// --- real-store microbenchmarks ----------------------------------------
+
+func benchStore(b *testing.B, engine Engine) *Store {
+	b.Helper()
+	s, err := Open(Options{Engine: engine, Workers: 4, RefreshInterval: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	for i := uint64(0); i < 1<<16; i++ {
+		var v [8]byte
+		binary.LittleEndian.PutUint64(v[:], i)
+		s.Preload(i, v[:])
+	}
+	return s
+}
+
+func BenchmarkStoreGetHash(b *testing.B) {
+	s := benchStore(b, Hash)
+	b.ResetTimer()
+	i := uint64(0)
+	for n := 0; n < b.N; n++ {
+		i = i*6364136223846793005 + 1
+		s.Get(i % (1 << 16))
+	}
+}
+
+func BenchmarkStorePutTree(b *testing.B) {
+	s := benchStore(b, Tree)
+	var v [8]byte
+	b.ResetTimer()
+	i := uint64(0)
+	for n := 0; n < b.N; n++ {
+		i = i*6364136223846793005 + 1
+		s.Put(i%(1<<16), v[:])
+	}
+}
+
+func BenchmarkStoreScanTree(b *testing.B) {
+	s := benchStore(b, Tree)
+	b.ResetTimer()
+	i := uint64(0)
+	for n := 0; n < b.N; n++ {
+		i = i*6364136223846793005 + 1
+		if _, err := s.Scan(i%(1<<16), 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

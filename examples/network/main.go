@@ -1,0 +1,87 @@
+// Network: start a μTPS TCP server in-process and hammer it with several
+// concurrent clients — the deployment shape of the paper's system, with
+// the RDMA dataplane replaced by TCP.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"mutps/internal/kvcore"
+	"mutps/internal/netserver"
+)
+
+func main() {
+	store, err := kvcore.Open(kvcore.Config{
+		Engine:    kvcore.Tree,
+		Workers:   4,
+		CRWorkers: 1,
+		HotItems:  1024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := netserver.Serve(store, ln)
+	defer srv.Close()
+	fmt.Printf("μTPS-T server on %s\n", srv.Addr())
+
+	const clients, perClient = 4, 250
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cli, err := netserver.Dial(srv.Addr().String())
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer cli.Close()
+			for i := 0; i < perClient; i++ {
+				k := uint64(c*perClient + i)
+				v := make([]byte, 8)
+				binary.LittleEndian.PutUint64(v, k)
+				if err := cli.Put(k, v); err != nil {
+					log.Fatal(err)
+				}
+				got, found, err := cli.Get(k)
+				if err != nil || !found || binary.LittleEndian.Uint64(got) != k {
+					log.Fatalf("read-your-write failed for key %d", k)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	el := time.Since(start)
+	total := clients * perClient * 2
+	fmt.Printf("%d clients × %d put+get: %d ops in %v (%.0f ops/s over TCP)\n",
+		clients, perClient, total, el.Round(time.Millisecond),
+		float64(total)/el.Seconds())
+
+	// A cross-client range scan.
+	cli, err := netserver.Dial(srv.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+	kvs, err := cli.Scan(0, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first %d keys by scan:", len(kvs))
+	for _, kv := range kvs {
+		fmt.Printf(" %d", kv.Key)
+	}
+	fmt.Println()
+	fmt.Printf("server stats: %+v\n", store.Stats())
+}

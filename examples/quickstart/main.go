@@ -1,0 +1,55 @@
+// Quickstart: open an embedded μTPS store, write and read a few values,
+// and run a range scan on the tree engine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mutps"
+)
+
+func main() {
+	store, err := mutps.Open(mutps.Options{
+		Engine:  mutps.Tree, // μTPS-T: supports Scan
+		Workers: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	// Point operations.
+	store.Put(1, []byte("alpha"))
+	store.Put(2, []byte("beta"))
+	store.Put(3, []byte("gamma"))
+	if v, ok := store.Get(2); ok {
+		fmt.Printf("get(2) = %s\n", v)
+	}
+	store.Delete(2)
+	if _, ok := store.Get(2); !ok {
+		fmt.Println("get(2) after delete = not found")
+	}
+
+	// Range scan (ascending from the start key).
+	for i := uint64(10); i < 20; i++ {
+		store.Put(i, []byte(fmt.Sprintf("value-%d", i)))
+	}
+	kvs, err := store.Scan(12, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, kv := range kvs {
+		fmt.Printf("scan: %d → %s\n", kv.Key, kv.Value)
+	}
+
+	// The two-layer thread architecture is observable and adjustable.
+	nCR, nMR := store.Split()
+	fmt.Printf("workers: %d cache-resident, %d memory-resident\n", nCR, nMR)
+	if err := store.SetSplit(2); err != nil {
+		log.Fatal(err)
+	}
+	st := store.Stats()
+	fmt.Printf("stats: %d ops, %d forwarded to MR, %d items\n",
+		st.Ops, st.Forwarded, st.Items)
+}

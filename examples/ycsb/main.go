@@ -1,0 +1,87 @@
+// YCSB: drive the real μTPS store with the standard YCSB operation mixes
+// and a Zipfian key distribution, printing throughput and how much traffic
+// the cache-resident layer absorbed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"mutps"
+	"mutps/internal/workload"
+)
+
+func main() {
+	keys := flag.Uint64("keys", 100_000, "pre-populated keys")
+	ops := flag.Int("ops", 40_000, "operations per mix")
+	clients := flag.Int("clients", 4, "client goroutines")
+	valueSize := flag.Int("value", 64, "value size in bytes")
+	flag.Parse()
+
+	store, err := mutps.Open(mutps.Options{
+		Engine:          mutps.Hash,
+		Workers:         4,
+		HotItems:        4096,
+		RefreshInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	val := make([]byte, *valueSize)
+	for i := uint64(0); i < *keys; i++ {
+		store.Preload(i, val)
+	}
+	fmt.Printf("populated %d keys × %dB\n", *keys, *valueSize)
+
+	for _, mix := range []struct {
+		name string
+		m    workload.Mix
+	}{
+		{"YCSB-A (50/50)", workload.MixYCSBA},
+		{"YCSB-B (95/5)", workload.MixYCSBB},
+		{"YCSB-C (100 get)", workload.MixYCSBC},
+	} {
+		before := store.Stats()
+		start := time.Now()
+		var wg sync.WaitGroup
+		perClient := *ops / *clients
+		for c := 0; c < *clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				gen := workload.NewGenerator(workload.Config{
+					Keys:      *keys,
+					Theta:     0.99,
+					Mix:       mix.m,
+					ValueSize: workload.FixedSize(*valueSize),
+					Seed:      uint64(c + 1),
+				})
+				buf := make([]byte, *valueSize)
+				for i := 0; i < perClient; i++ {
+					req := gen.Next()
+					switch req.Op {
+					case workload.OpGet:
+						store.Get(req.Key)
+					case workload.OpPut:
+						store.Put(req.Key, buf)
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		el := time.Since(start)
+		after := store.Stats()
+		done := after.Ops - before.Ops
+		hits := after.CRHits - before.CRHits
+		fmt.Printf("%-17s %8.0f ops/s  (CR layer served %.1f%%, hot view %d items)\n",
+			mix.name,
+			float64(done)/el.Seconds(),
+			100*float64(hits)/float64(done),
+			after.HotSize)
+	}
+}

@@ -1,0 +1,3 @@
+module mutps
+
+go 1.22

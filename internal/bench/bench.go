@@ -1,0 +1,135 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§2.2 motivation and §5) on the simulated substrate. Each
+// RunFigN/RunTabN function sweeps the same parameters as the paper,
+// prints the corresponding rows/series, and returns structured results so
+// tests can assert the qualitative shapes (who wins, by roughly what
+// factor, where crossovers fall).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"mutps/internal/simhw"
+	"mutps/internal/simkv"
+	"mutps/internal/workload"
+)
+
+// Scale fixes the experiment geometry. Full reproduces the paper's
+// testbed; Quick shrinks cores, LLC, keyspace, and window so the entire
+// suite runs in minutes on a laptop while preserving every shape (both the
+// store and the LLC shrink, keeping their ratio).
+type Scale struct {
+	Name     string
+	HW       simhw.Params
+	Keys     uint64
+	Warm     int
+	Ops      int
+	LatOps   int
+	Splits   []int // CR-worker counts tried per μTPS point
+	Ways     []int // MR LLC-way grants tried per μTPS point
+	HotItems int
+	Seed     uint64
+}
+
+// FullScale is the paper's geometry: 28 cores on one NUMA node, 42 MB LLC,
+// 10M pre-populated items.
+func FullScale() Scale {
+	return Scale{
+		Name:     "full",
+		HW:       simhw.DefaultParams(),
+		Keys:     10_000_000,
+		Warm:     20_000,
+		Ops:      60_000,
+		LatOps:   20_000,
+		Splits:   []int{4, 8, 12, 16, 20, 24},
+		Ways:     []int{0, 6},
+		HotItems: 10_000,
+		Seed:     42,
+	}
+}
+
+// QuickScale shrinks the machine and store proportionally (8 cores,
+// 1.5 MB LLC, 200k keys).
+func QuickScale() Scale {
+	hw := simhw.DefaultParams()
+	hw.Cores = 8
+	hw.LLCSets = 2048
+	return Scale{
+		Name:     "quick",
+		HW:       hw,
+		Keys:     200_000,
+		Warm:     5_000,
+		Ops:      15_000,
+		LatOps:   5_000,
+		Splits:   []int{1, 2, 3, 4, 5, 6},
+		Ways:     []int{0, 4},
+		HotItems: 2_000,
+		Seed:     42,
+	}
+}
+
+func (s Scale) params(tree bool, itemSize int) simkv.SystemParams {
+	return simkv.SystemParams{
+		HW:        s.HW,
+		Keys:      s.Keys,
+		ItemSize:  itemSize,
+		Workers:   s.HW.Cores,
+		BatchSize: 8,
+		TreeIndex: tree,
+		CRWorkers: maxInt(1, s.HW.Cores/4),
+		HotItems:  s.HotItems,
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (s Scale) workload(theta float64, mix workload.Mix, itemSize int) workload.Config {
+	return workload.Config{
+		Keys:      s.Keys,
+		Theta:     theta,
+		Mix:       mix,
+		ValueSize: workload.FixedSize(itemSize),
+		Seed:      s.Seed,
+	}
+}
+
+// runMuTPSBest sweeps the scale's split/way grids and returns the best
+// μTPS result — the grid-experiment equivalent of the auto-tuner.
+func (s Scale) runMuTPSBest(p simkv.SystemParams, wl workload.Config) simkv.Result {
+	best := simkv.Result{}
+	first := true
+	for _, w := range s.Ways {
+		for _, cr := range s.Splits {
+			if cr < 1 || cr >= p.Workers {
+				continue
+			}
+			cand := p
+			cand.CRWorkers = cr
+			cand.MRWays = w
+			sys := simkv.NewSystem(cand, simkv.ArchMuTPS, workload.NewGenerator(wl))
+			r := sys.Run(s.Warm, s.Ops)
+			if first || r.Mops(s.HW) > best.Mops(s.HW) {
+				best, first = r, false
+			}
+		}
+	}
+	return best
+}
+
+func (s Scale) runArch(p simkv.SystemParams, a simkv.Arch, wl workload.Config) simkv.Result {
+	sys := simkv.NewSystem(p, a, workload.NewGenerator(wl))
+	return sys.Run(s.Warm, s.Ops)
+}
+
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+}
+
+func fmtMops(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"mutps/internal/simkv"
+	"mutps/internal/workload"
+)
+
+// Fig10Point is one client-count sample of a latency-throughput curve.
+type Fig10Point struct {
+	System  string
+	Tree    bool
+	Clients int
+	Mops    float64
+	P50Usec float64
+	P99Usec float64
+}
+
+// RunFig10 reproduces Figure 10: throughput versus P50/P99 latency under
+// YCSB-A with 8 B items as closed-loop clients grow from 2 to 64 in steps
+// of 4 (scaled down proportionally at quick scale), for both engines.
+func RunFig10(s Scale, w io.Writer) []Fig10Point {
+	var out []Fig10Point
+	rtt := 2000.0 // ns round trip, single-digit-µs network
+	maxClients := 64 * s.HW.Cores / 28
+	if maxClients < 8 {
+		maxClients = 8
+	}
+	step := maxInt(2, maxClients/8)
+	for _, tree := range []bool{true, false} {
+		engine := "hash"
+		if tree {
+			engine = "tree"
+		}
+		fmt.Fprintf(w, "Fig 10 [%s index, YCSB-A 8B]\n", engine)
+		tw := newTab(w)
+		fmt.Fprintln(tw, "clients\tsystem\tMops\tP50µs\tP99µs")
+		for clients := 2; clients <= maxClients; clients += step {
+			for _, sysName := range []struct {
+				name string
+				arch simkv.Arch
+			}{
+				{"μTPS", simkv.ArchMuTPS},
+				{"BaseKV", simkv.ArchRTC},
+				{"eRPCKV", simkv.ArchERPC},
+			} {
+				wl := s.workload(0.99, workload.MixYCSBA, 8)
+				p := s.params(tree, 8)
+				sys := simkv.NewSystem(p, sysName.arch, workload.NewGenerator(wl))
+				r := sys.RunLatency(clients, s.LatOps, rtt)
+				pt := Fig10Point{
+					System: sysName.name, Tree: tree, Clients: clients,
+					Mops: r.Mops, P50Usec: r.P50Usec, P99Usec: r.P99Usec,
+				}
+				out = append(out, pt)
+				fmt.Fprintf(tw, "%d\t%s\t%.2f\t%.2f\t%.2f\n",
+					clients, sysName.name, pt.Mops, pt.P50Usec, pt.P99Usec)
+			}
+		}
+		tw.Flush()
+	}
+	return out
+}
+
+// Fig11Point is one worker-count sample of the scalability experiment.
+type Fig11Point struct {
+	Tree     bool
+	ItemSize int
+	Workers  int
+	MuTPS    float64
+	BaseKV   float64
+	ERPCKV   float64
+}
+
+// RunFig11 reproduces Figure 11: YCSB-A throughput as the worker count
+// grows, with 8 B and 256 B items on both engines. μTPS needs at least two
+// workers (one per layer), so its curve starts at 2.
+func RunFig11(s Scale, w io.Writer) []Fig11Point {
+	var out []Fig11Point
+	step := maxInt(1, s.HW.Cores/7)
+	for _, tree := range []bool{true, false} {
+		for _, sz := range []int{8, 256} {
+			engine := "hash"
+			if tree {
+				engine = "tree"
+			}
+			fmt.Fprintf(w, "Fig 11 [%s, %dB, YCSB-A]\n", engine, sz)
+			tw := newTab(w)
+			fmt.Fprintln(tw, "workers\tμTPS\tBaseKV\teRPCKV")
+			wl := s.workload(0.99, workload.MixYCSBA, sz)
+			for n := 2; n <= s.HW.Cores; n += step {
+				p := s.params(tree, sz)
+				p.Workers = n
+				var mu simkv.Result
+				firstRun := true
+				for cr := 1; cr < n; cr++ {
+					cand := p
+					cand.CRWorkers = cr
+					r := s.runArch(cand, simkv.ArchMuTPS, wl)
+					if firstRun || r.Mops(s.HW) > mu.Mops(s.HW) {
+						mu, firstRun = r, false
+					}
+				}
+				base := s.runArch(p, simkv.ArchRTC, wl)
+				erpc := s.runArch(p, simkv.ArchERPC, wl)
+				pt := Fig11Point{
+					Tree: tree, ItemSize: sz, Workers: n,
+					MuTPS:  mu.Mops(s.HW),
+					BaseKV: base.Mops(s.HW),
+					ERPCKV: erpc.Mops(s.HW),
+				}
+				out = append(out, pt)
+				fmt.Fprintf(tw, "%d\t%s\t%s\t%s\n", n,
+					fmtMops(pt.MuTPS), fmtMops(pt.BaseKV), fmtMops(pt.ERPCKV))
+			}
+			tw.Flush()
+		}
+	}
+	return out
+}
+
+// Fig12Point is one batch-size sample.
+type Fig12Point struct {
+	Batch  int
+	MuTPST float64
+	MuTPSH float64
+}
+
+// RunFig12 reproduces Figure 12: μTPS throughput as the CR-MR batch size
+// varies from 1 to 20 under YCSB-A with 8 B items.
+func RunFig12(s Scale, w io.Writer) []Fig12Point {
+	var out []Fig12Point
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Fig 12: batch size (YCSB-A, 8B)\t(Mops)")
+	fmt.Fprintln(tw, "batch\tμTPS-T\tμTPS-H")
+	wl := s.workload(0.99, workload.MixYCSBA, 8)
+	for _, b := range []int{1, 2, 4, 8, 12, 16, 20} {
+		pT := s.params(true, 8)
+		pT.BatchSize = b
+		pH := s.params(false, 8)
+		pH.BatchSize = b
+		rT := s.runMuTPSBest(pT, wl)
+		rH := s.runMuTPSBest(pH, wl)
+		pt := Fig12Point{Batch: b, MuTPST: rT.Mops(s.HW), MuTPSH: rH.Mops(s.HW)}
+		out = append(out, pt)
+		fmt.Fprintf(tw, "%d\t%s\t%s\n", b, fmtMops(pt.MuTPST), fmtMops(pt.MuTPSH))
+	}
+	tw.Flush()
+	return out
+}

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"mutps/internal/simkv"
+	"mutps/internal/tuner"
+	"mutps/internal/workload"
+)
+
+// Fig13aPoint records the auto-tuner's core allocation for one workload.
+type Fig13aPoint struct {
+	Keyspace uint64
+	ItemSize int
+	Skewed   bool
+	MRShare  float64 // fraction of workers given to the MR layer
+}
+
+// RunFig13a reproduces Figure 13a: the worker share the auto-tuner assigns
+// to the memory-resident layer as keyspace, item size, and skew vary
+// (YCSB-A, tree index).
+func RunFig13a(s Scale, w io.Writer) []Fig13aPoint {
+	var out []Fig13aPoint
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Fig 13a: tuner core allocation (MR share)")
+	fmt.Fprintln(tw, "keys\titem\tskew\tMR share")
+	for _, keys := range []uint64{s.Keys / 10, s.Keys} {
+		for _, sz := range []int{8, 256} {
+			for _, theta := range []float64{0, 0.99} {
+				cfg := workload.Config{Keys: keys, Theta: theta,
+					Mix: workload.MixYCSBA, ValueSize: workload.FixedSize(sz), Seed: s.Seed}
+				p := s.params(true, sz)
+				p.Keys = keys
+				sys := simkv.NewSystem(p, simkv.ArchMuTPS, workload.NewGenerator(cfg))
+				tn := &simkv.Tunable{S: sys, MaxCache: s.HotItems, CacheStep: maxInt(1, s.HotItems/2), Window: s.Ops / 4}
+				res := tuner.Optimize(tn)
+				pt := Fig13aPoint{
+					Keyspace: keys, ItemSize: sz, Skewed: theta > 0,
+					MRShare: float64(res.Best.MRThreads) / float64(p.Workers),
+				}
+				out = append(out, pt)
+				fmt.Fprintf(tw, "%d\t%dB\t%v\t%.0f%%\n", keys, sz, pt.Skewed, 100*pt.MRShare)
+			}
+		}
+	}
+	tw.Flush()
+	return out
+}
+
+// Fig13bPoint records the tuner's LLC-way grant to the MR layer.
+type Fig13bPoint struct {
+	ItemSize   int
+	Skewed     bool
+	MRWayShare float64
+}
+
+// RunFig13b reproduces Figure 13b: the fraction of LLC ways the tuner lets
+// the memory-resident layer reuse.
+func RunFig13b(s Scale, w io.Writer) []Fig13bPoint {
+	var out []Fig13bPoint
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Fig 13b: tuner LLC-way allocation (MR share of ways)")
+	fmt.Fprintln(tw, "item\tskew\tMR ways")
+	for _, sz := range []int{8, 256} {
+		for _, theta := range []float64{0, 0.99} {
+			cfg := workload.Config{Keys: s.Keys, Theta: theta,
+				Mix: workload.MixYCSBA, ValueSize: workload.FixedSize(sz), Seed: s.Seed}
+			p := s.params(true, sz)
+			sys := simkv.NewSystem(p, simkv.ArchMuTPS, workload.NewGenerator(cfg))
+			tn := &simkv.Tunable{S: sys, MaxCache: s.HotItems, CacheStep: s.HotItems, Window: s.Ops / 4}
+			res := tuner.Optimize(tn)
+			share := float64(res.Best.MRWays) / float64(s.HW.LLCWays)
+			if res.Best.MRWays == 0 {
+				share = 1 // 0 = unrestricted: all ways available to MR
+			}
+			pt := Fig13bPoint{ItemSize: sz, Skewed: theta > 0, MRWayShare: share}
+			out = append(out, pt)
+			fmt.Fprintf(tw, "%dB\t%v\t%.0f%%\n", sz, pt.Skewed, 100*pt.MRWayShare)
+		}
+	}
+	tw.Flush()
+	return out
+}
+
+// Fig13cPoint records the tuned hot-set cache size.
+type Fig13cPoint struct {
+	Tree       bool
+	Theta      float64
+	CachedFrac float64 // chosen cache size / hot-set tracking budget
+}
+
+// RunFig13c reproduces Figure 13c: the ratio of cached items to the
+// tracked hot set as skew and index type vary.
+func RunFig13c(s Scale, w io.Writer) []Fig13cPoint {
+	var out []Fig13cPoint
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Fig 13c: tuner cache sizing (fraction of hot set cached)")
+	fmt.Fprintln(tw, "index\tzipf\tcached")
+	for _, tree := range []bool{true, false} {
+		for _, theta := range []float64{0.90, 0.99} {
+			cfg := workload.Config{Keys: s.Keys, Theta: theta,
+				Mix: workload.MixYCSBA, ValueSize: workload.FixedSize(64), Seed: s.Seed}
+			p := s.params(tree, 64)
+			sys := simkv.NewSystem(p, simkv.ArchMuTPS, workload.NewGenerator(cfg))
+			tn := &simkv.Tunable{S: sys, MaxCache: s.HotItems, CacheStep: maxInt(1, s.HotItems/4), Window: s.Ops / 4}
+			res := tuner.Optimize(tn)
+			name := "hash"
+			if tree {
+				name = "tree"
+			}
+			pt := Fig13cPoint{Tree: tree, Theta: theta,
+				CachedFrac: float64(res.Best.CacheItems) / float64(s.HotItems)}
+			out = append(out, pt)
+			fmt.Fprintf(tw, "%s\t%.2f\t%.0f%%\n", name, theta, 100*pt.CachedFrac)
+		}
+	}
+	tw.Flush()
+	return out
+}
+
+// Fig14Point is one time sample of the dynamic-workload experiment.
+type Fig14Point struct {
+	Window int
+	Mops   float64
+	Phase  string // "old", "detect", "tuned"
+}
+
+// RunFig14 reproduces Figure 14: the workload's value size drops from
+// 512 B to 8 B mid-run; the auto-tuner detects the throughput shift and
+// reconfigures while the system keeps serving.
+func RunFig14(s Scale, w io.Writer) []Fig14Point {
+	var out []Fig14Point
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Fig 14: dynamic workload (512B → 8B)")
+	fmt.Fprintln(tw, "window\tMops\tphase")
+	cfg := workload.Config{Keys: s.Keys, Theta: 0.99,
+		Mix: workload.MixYCSBA, ValueSize: workload.FixedSize(512), Seed: s.Seed}
+	p := s.params(true, 512)
+	sys := simkv.NewSystem(p, simkv.ArchMuTPS, workload.NewGenerator(cfg))
+	tn := &simkv.Tunable{S: sys, MaxCache: s.HotItems, CacheStep: s.HotItems / 2, Window: s.Ops / 4}
+
+	// Tune for the initial workload, then watch windows through the
+	// feedback monitor — retuning fires when it detects the load shift,
+	// exactly the paper's trigger condition.
+	res := tuner.Optimize(tn)
+	mon := &tuner.Monitor{Warmup: 2}
+	window := 0
+	emit := func(mops float64, phase string) bool {
+		out = append(out, Fig14Point{Window: window, Mops: mops, Phase: phase})
+		fmt.Fprintf(tw, "%d\t%.1f\t%s\n", window, mops, phase)
+		window++
+		return mon.Observe(mops)
+	}
+	for i := 0; i < 3; i++ {
+		emit(tn.Measure(res.Best), "old")
+	}
+	// The workload changes: smaller values arrive. The system keeps
+	// serving under the stale configuration until the monitor fires.
+	sys.SetItemSize(8)
+	var res2 tuner.Result
+	for i := 0; i < 10; i++ {
+		if emit(tn.Measure(res.Best), "detect") {
+			res2 = tuner.Optimize(tn)
+			mon.Reset()
+			break
+		}
+	}
+	for i := 0; i < 3; i++ {
+		emit(tn.Measure(res2.Best), "tuned")
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "  retune probes: %d (reconfiguration without downtime)\n", res2.Probes)
+	return out
+}

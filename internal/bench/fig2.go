@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"mutps/internal/simkv"
+	"mutps/internal/workload"
+)
+
+// Fig2aResult is one item-size column of the motivation experiment.
+type Fig2aResult struct {
+	ItemSize   int
+	TPSMops    float64 // two-stage, deterministic replay (no queues)
+	TPQMops    float64 // run-to-completion
+	TPQCATMops float64 // run-to-completion + CAT fencing off DDIO ways
+	Stage1Miss float64 // LLC miss rate of the network stage under TPS
+	TPQMiss    float64 // LLC miss rate of RTC workers
+}
+
+// RunFig2a reproduces Figure 2a plus the §2.2.1 PCM measurement: GET
+// throughput under a uniform workload with the tree index, comparing the
+// communication-free TPS prototype against NP-TPQ and NP-TPQ with cache
+// partitioning, across item sizes.
+func RunFig2a(s Scale, w io.Writer) []Fig2aResult {
+	sizes := []int{8, 64, 256, 1024}
+	var out []Fig2aResult
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Fig 2a: GET-uniform, tree index\t(Mops)")
+	fmt.Fprintln(tw, "item\tNP-TPS\tNP-TPQ\tTPQ+CAT\tstage1miss\tTPQmiss")
+	for _, sz := range sizes {
+		wl := s.workload(0, workload.MixYCSBC, sz)
+		p := s.params(true, sz)
+		p.HotItems = 0 // the motivation prototype has no hot cache
+
+		// TPS via replay: pick the best stage split (the paper manually
+		// tuned thread counts until stage rates matched).
+		var tps simkv.Result
+		firstRun := true
+		for _, cr := range s.Splits {
+			if cr < 1 || cr >= p.Workers {
+				continue
+			}
+			cand := p
+			cand.CRWorkers = cr
+			r := s.runArch(cand, simkv.ArchReplay, wl)
+			if firstRun || r.Mops(s.HW) > tps.Mops(s.HW) {
+				tps, firstRun = r, false
+			}
+		}
+		tpq := s.runArch(p, simkv.ArchRTC, wl)
+		cat := s.runArch(p, simkv.ArchRTCCAT, wl)
+		res := Fig2aResult{
+			ItemSize:   sz,
+			TPSMops:    tps.Mops(s.HW),
+			TPQMops:    tpq.Mops(s.HW),
+			TPQCATMops: cat.Mops(s.HW),
+			Stage1Miss: tps.CRMissRate,
+			TPQMiss:    tpq.CRMissRate,
+		}
+		out = append(out, res)
+		fmt.Fprintf(tw, "%dB\t%s\t%s\t%s\t%.0f%%\t%.0f%%\n",
+			sz, fmtMops(res.TPSMops), fmtMops(res.TPQMops), fmtMops(res.TPQCATMops),
+			100*res.Stage1Miss, 100*res.TPQMiss)
+	}
+	tw.Flush()
+	return out
+}
+
+// Fig2bResult compares index-lookup throughput with and without hotspot
+// separation.
+type Fig2bResult struct {
+	Theta        float64
+	BaselineMops float64
+	SeparateMops float64
+}
+
+// RunFig2b reproduces Figure 2b: index-lookup throughput under Zipfian
+// keys, redirecting the queries of the 0.1‰ hottest keys to a dedicated
+// thread pool with dedicated LLC ways versus processing everything in one
+// pool of the same total size.
+func RunFig2b(s Scale, w io.Writer) []Fig2bResult {
+	var out []Fig2bResult
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Fig 2b: MassTree lookup, hotspot separation\t(Mops)")
+	fmt.Fprintln(tw, "zipf\tunified\tseparated\tspeedup")
+	for _, theta := range []float64{0.90, 0.99} {
+		wl := s.workload(theta, workload.MixYCSBC, 8)
+		p := s.params(true, 8)
+		p.HotItems = 0
+		base := s.runArch(p, simkv.ArchRTC, wl)
+		sep := p
+		sep.HotItems = int(s.Keys / 10000) // 0.1‰ of the keyspace
+		r := s.runMuTPSBest(sep, wl)
+		res := Fig2bResult{Theta: theta, BaselineMops: base.Mops(s.HW), SeparateMops: r.Mops(s.HW)}
+		out = append(out, res)
+		fmt.Fprintf(tw, "%.2f\t%s\t%s\t%.2fx\n", theta,
+			fmtMops(res.BaselineMops), fmtMops(res.SeparateMops),
+			res.SeparateMops/res.BaselineMops)
+	}
+	tw.Flush()
+	return out
+}
+
+// Fig2cPoint is one thread-count sample of the SE/SN/TPS put comparison.
+type Fig2cPoint struct {
+	Workers int
+	SEMops  float64
+	SNMops  float64
+	TPSMops float64
+}
+
+// RunFig2c reproduces Figure 2c: put throughput on 64 B items under a
+// skewed workload as the worker count grows — share-everything (locks),
+// shared-nothing (key partitioning), and the TPS arrangement that
+// throttles the update stage.
+func RunFig2c(s Scale, w io.Writer) []Fig2cPoint {
+	var out []Fig2cPoint
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Fig 2c: PUT-skewed 64B vs worker count\t(Mops)")
+	fmt.Fprintln(tw, "workers\tSE\tSN\tTPS")
+	wl := s.workload(0.99, workload.MixPutOnly, 64)
+	step := maxInt(1, s.HW.Cores/7)
+	for n := 2; n <= s.HW.Cores; n += step {
+		p := s.params(false, 64)
+		p.Workers = n
+		p.CRWorkers = maxInt(1, n/4)
+		se := s.runArch(p, simkv.ArchRTC, wl)
+		sn := s.runArch(p, simkv.ArchERPC, wl)
+		tps := simkv.Result{}
+		firstRun := true
+		for cr := 1; cr < n; cr++ {
+			cand := p
+			cand.CRWorkers = cr
+			r := s.runArch(cand, simkv.ArchMuTPS, wl)
+			if firstRun || r.Mops(s.HW) > tps.Mops(s.HW) {
+				tps, firstRun = r, false
+			}
+		}
+		pt := Fig2cPoint{Workers: n, SEMops: se.Mops(s.HW), SNMops: sn.Mops(s.HW), TPSMops: tps.Mops(s.HW)}
+		out = append(out, pt)
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\n", n, fmtMops(pt.SEMops), fmtMops(pt.SNMops), fmtMops(pt.TPSMops))
+	}
+	tw.Flush()
+	return out
+}
+
+// Tab1Row verifies one synthesized Twitter trace against Table 1.
+type Tab1Row struct {
+	Name       string
+	WantPut    float64
+	GotPut     float64
+	WantAvgVal int
+	GotAvgVal  float64
+	WantZipf   float64
+}
+
+// RunTab1 regenerates Table 1: the put ratio, average value size, and skew
+// of the three synthesized Twitter traces, measured from the generators.
+func RunTab1(s Scale, w io.Writer) []Tab1Row {
+	var out []Tab1Row
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Table 1: Twitter trace characteristics (measured from synthesis)")
+	fmt.Fprintln(tw, "cluster\tput%\tavg value\tzipf α")
+	for _, c := range workload.TwitterClusters() {
+		g := workload.NewGenerator(c.Config(s.Keys, s.Seed))
+		puts, bytes, n := 0, 0, 50_000
+		for i := 0; i < n; i++ {
+			r := g.Next()
+			if r.Op == workload.OpPut {
+				puts++
+				bytes += r.ValueSize
+			}
+		}
+		row := Tab1Row{
+			Name:       c.Name,
+			WantPut:    c.PutRatio,
+			GotPut:     float64(puts) / float64(n),
+			WantAvgVal: c.AvgValue,
+			WantZipf:   c.ZipfAlpha,
+		}
+		if puts > 0 {
+			row.GotAvgVal = float64(bytes) / float64(puts)
+		}
+		out = append(out, row)
+		fmt.Fprintf(tw, "%s\t%.0f%% (want %.0f%%)\t%.0fB (want %dB)\t%.2f\n",
+			c.Name, 100*row.GotPut, 100*row.WantPut, row.GotAvgVal, row.WantAvgVal, row.WantZipf)
+	}
+	tw.Flush()
+	return out
+}

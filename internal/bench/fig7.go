@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"mutps/internal/simkv"
+	"mutps/internal/workload"
+)
+
+// Fig7Cell is one (engine, mix, item size) cell of the overall-performance
+// grid with every compared system's throughput in Mops.
+type Fig7Cell struct {
+	Tree      bool
+	Mix       string
+	ItemSize  int
+	MuTPS     float64
+	BaseKV    float64
+	ERPCKV    float64
+	Passive   float64 // RaceHash for hash rows, Sherman for tree rows
+	PassiveBW bool
+}
+
+// fig7Mix is one workload column of Figure 7.
+type fig7Mix struct {
+	name  string
+	theta float64
+	mix   workload.Mix
+}
+
+func fig7Mixes() []fig7Mix {
+	return []fig7Mix{
+		{"YCSB-A", 0.99, workload.MixYCSBA},
+		{"YCSB-B", 0.99, workload.MixYCSBB},
+		{"YCSB-C", 0.99, workload.MixYCSBC},
+		{"PUT-S", 0.99, workload.MixPutOnly},
+		{"GET-U", 0, workload.MixYCSBC},
+		{"PUT-U", 0, workload.MixPutOnly},
+	}
+}
+
+// RunFig7 reproduces the overall-performance grid: six operation mixes ×
+// four item sizes × two index engines, for μTPS, BaseKV, eRPCKV, and the
+// passive store matching the engine (RaceHash for hash, Sherman for tree).
+// Sizes may be restricted (nil = the paper's 8/64/256/1024).
+func RunFig7(s Scale, w io.Writer, sizes []int) []Fig7Cell {
+	if sizes == nil {
+		sizes = []int{8, 64, 256, 1024}
+	}
+	var out []Fig7Cell
+	for _, tree := range []bool{true, false} {
+		engine := "libcuckoo (μTPS-H)"
+		if tree {
+			engine = "MassTree (μTPS-T)"
+		}
+		fmt.Fprintf(w, "Fig 7 [%s]\n", engine)
+		tw := newTab(w)
+		fmt.Fprintln(tw, "mix\titem\tμTPS\tBaseKV\teRPCKV\tpassive")
+		for _, m := range fig7Mixes() {
+			for _, sz := range sizes {
+				cell := s.runFig7Cell(tree, m, sz)
+				out = append(out, cell)
+				suffix := ""
+				if cell.PassiveBW {
+					suffix = "*"
+				}
+				fmt.Fprintf(tw, "%s\t%dB\t%s\t%s\t%s\t%s%s\n",
+					m.name, sz, fmtMops(cell.MuTPS), fmtMops(cell.BaseKV),
+					fmtMops(cell.ERPCKV), fmtMops(cell.Passive), suffix)
+			}
+		}
+		tw.Flush()
+		fmt.Fprintln(w, "  (* = bandwidth-bound)")
+	}
+	return out
+}
+
+func (s Scale) runFig7Cell(tree bool, m fig7Mix, sz int) Fig7Cell {
+	wl := s.workload(m.theta, m.mix, sz)
+	p := s.params(tree, sz)
+	if m.theta == 0 {
+		// Uniform traffic has no hot set worth caching; the tuner would
+		// shrink it (Fig 13c) — skip the sweep dimension.
+		p.HotItems = 0
+	}
+	mu := s.runMuTPSBest(p, wl)
+	base := s.runArch(p, simkv.ArchRTC, wl)
+	erpc := s.runArch(p, simkv.ArchERPC, wl)
+	kind := simkv.RaceHash
+	if tree {
+		kind = simkv.Sherman
+	}
+	passive, bw := simkv.RunPassive(simkv.PassiveParams{
+		HW:       s.HW,
+		Kind:     kind,
+		ItemSize: sz,
+		VerbRate: s.passiveVerbRate(),
+	}, workload.NewGenerator(wl), s.Ops)
+	return Fig7Cell{
+		Tree:      tree,
+		Mix:       m.name,
+		ItemSize:  sz,
+		MuTPS:     mu.Mops(s.HW),
+		BaseKV:    base.Mops(s.HW),
+		ERPCKV:    erpc.Mops(s.HW),
+		Passive:   passive,
+		PassiveBW: bw,
+	}
+}
+
+// passiveVerbRate scales the RNIC verb ceiling with the share of the full
+// 28-core machine in use, so quick-scale comparisons keep the full-scale
+// CPU-vs-NIC geometry. Bandwidth caps always use the true line rate.
+func (s Scale) passiveVerbRate() float64 {
+	return 60e6 * float64(s.HW.Cores) / 28
+}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"mutps/internal/simkv"
+	"mutps/internal/workload"
+)
+
+// Fig8aRow is one workload column of the scan experiment.
+type Fig8aRow struct {
+	Workload string
+	MuTPST   float64
+	BaseKV   float64
+	ERPCKV   float64
+}
+
+// RunFig8a reproduces Figure 8a: scan throughput (YCSB-E and scan-only,
+// average range 50, 8 B items, tree index).
+func RunFig8a(s Scale, w io.Writer) []Fig8aRow {
+	var out []Fig8aRow
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Fig 8a: scans (range≈50, 8B items, tree)\t(Mops)")
+	fmt.Fprintln(tw, "workload\tμTPS-T\tBaseKV\teRPCKV")
+	for _, m := range []struct {
+		name string
+		mix  workload.Mix
+	}{
+		{"YCSB-E", workload.MixYCSBE},
+		{"scan-only", workload.MixScanOnly},
+	} {
+		wl := s.workload(0.99, m.mix, 8)
+		p := s.params(true, 8)
+		mu := s.runMuTPSBest(p, wl)
+		base := s.runArch(p, simkv.ArchRTC, wl)
+		erpc := s.runArch(p, simkv.ArchERPC, wl)
+		row := Fig8aRow{
+			Workload: m.name,
+			MuTPST:   mu.Mops(s.HW),
+			BaseKV:   base.Mops(s.HW),
+			ERPCKV:   erpc.Mops(s.HW),
+		}
+		out = append(out, row)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", m.name,
+			fmtMops(row.MuTPST), fmtMops(row.BaseKV), fmtMops(row.ERPCKV))
+	}
+	tw.Flush()
+	return out
+}
+
+// Fig8bcRow is one get-ratio column of the ETC experiment.
+type Fig8bcRow struct {
+	GetRatio float64
+	MuTPST   float64
+	MuTPSH   float64
+	BaseKV   float64
+	ERPCKV   float64
+}
+
+// RunFig8bc reproduces Figures 8b–c: the Meta ETC pool value-size mixture
+// at get ratios of 10%, 50%, and 90%.
+func RunFig8bc(s Scale, w io.Writer) []Fig8bcRow {
+	var out []Fig8bcRow
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Fig 8b-c: ETC pool\t(Mops)")
+	fmt.Fprintln(tw, "get%\tμTPS-T\tμTPS-H\tBaseKV\teRPCKV")
+	for _, ratio := range []float64{0.1, 0.5, 0.9} {
+		wl := workload.ETCConfig(s.Keys, ratio, s.Seed)
+		// The simulator models one value size per run; use the ETC mean.
+		meanSize := int(wl.ValueSize.Mean())
+		wlFixed := wl
+		wlFixed.ValueSize = workload.FixedSize(meanSize)
+		pT := s.params(true, meanSize)
+		pH := s.params(false, meanSize)
+		muT := s.runMuTPSBest(pT, wlFixed)
+		muH := s.runMuTPSBest(pH, wlFixed)
+		base := s.runArch(pT, simkv.ArchRTC, wlFixed)
+		erpc := s.runArch(pT, simkv.ArchERPC, wlFixed)
+		row := Fig8bcRow{
+			GetRatio: ratio,
+			MuTPST:   muT.Mops(s.HW),
+			MuTPSH:   muH.Mops(s.HW),
+			BaseKV:   base.Mops(s.HW),
+			ERPCKV:   erpc.Mops(s.HW),
+		}
+		out = append(out, row)
+		fmt.Fprintf(tw, "%.0f%%\t%s\t%s\t%s\t%s\n", 100*ratio,
+			fmtMops(row.MuTPST), fmtMops(row.MuTPSH), fmtMops(row.BaseKV), fmtMops(row.ERPCKV))
+	}
+	tw.Flush()
+	return out
+}
+
+// Fig9Row is one Twitter-cluster column.
+type Fig9Row struct {
+	Cluster string
+	MuTPST  float64
+	BaseKV  float64
+	ERPCKV  float64
+}
+
+// RunFig9 reproduces Figure 9: throughput on the three synthesized Twitter
+// traces of Table 1.
+func RunFig9(s Scale, w io.Writer) []Fig9Row {
+	var out []Fig9Row
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Fig 9: Twitter traces\t(Mops)")
+	fmt.Fprintln(tw, "cluster\tμTPS-T\tBaseKV\teRPCKV")
+	for _, c := range workload.TwitterClusters() {
+		wl := c.Config(s.Keys, s.Seed)
+		p := s.params(true, c.AvgValue)
+		if c.ZipfAlpha == 0 {
+			p.HotItems = 0
+		}
+		mu := s.runMuTPSBest(p, wl)
+		base := s.runArch(p, simkv.ArchRTC, wl)
+		erpc := s.runArch(p, simkv.ArchERPC, wl)
+		row := Fig9Row{
+			Cluster: c.Name,
+			MuTPST:  mu.Mops(s.HW),
+			BaseKV:  base.Mops(s.HW),
+			ERPCKV:  erpc.Mops(s.HW),
+		}
+		out = append(out, row)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", c.Name,
+			fmtMops(row.MuTPST), fmtMops(row.BaseKV), fmtMops(row.ERPCKV))
+	}
+	tw.Flush()
+	return out
+}

@@ -1,0 +1,305 @@
+// Package btree implements a concurrent B+-tree over uint64 keys, the
+// stand-in for MassTree used by μTPS-T. MassTree is a trie of B+-trees; for
+// the fixed 8-byte keys the paper evaluates with, a single B+-tree layer has
+// the same pointer-chase depth and node cacheline footprint, which are the
+// properties the μTPS thread architecture cares about.
+//
+// Concurrency follows classic top-down lock coupling: readers take shared
+// node locks hand-over-hand; writers take exclusive locks and split full
+// nodes preemptively on the way down, so no ancestor ever needs revisiting.
+// Deletion is lazy (no merging); leaves may underflow but remain linked,
+// which keeps the scan path simple and is how several production trees
+// behave in practice.
+package btree
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// maxKeys is the node fan-out minus one. 32 keys keeps an internal node at
+// roughly 4 cache lines of keys plus children, comparable to MassTree's
+// interior nodes.
+const maxKeys = 32
+
+type node[V any] struct {
+	mu     sync.RWMutex
+	leaf   bool
+	n      int
+	keys   [maxKeys]uint64
+	childs [maxKeys + 1]*node[V]
+	vals   [maxKeys]V
+	next   *node[V] // leaf chain for range scans
+}
+
+// Tree is a concurrent B+-tree mapping uint64 keys to values of type V.
+type Tree[V any] struct {
+	rootMu sync.RWMutex
+	root   *node[V]
+	count  atomic.Int64
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] {
+	return &Tree[V]{root: &node[V]{leaf: true}}
+}
+
+// Len returns the number of stored keys.
+func (t *Tree[V]) Len() int { return int(t.count.Load()) }
+
+// search returns the index of the first key >= k within the node.
+func (nd *node[V]) search(k uint64) int {
+	lo, hi := 0, nd.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nd.keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns which child to descend into for key k.
+func (nd *node[V]) childIndex(k uint64) int {
+	i := nd.search(k)
+	if i < nd.n && nd.keys[i] == k {
+		return i + 1
+	}
+	return i
+}
+
+// Get returns the value stored for key.
+func (t *Tree[V]) Get(key uint64) (V, bool) {
+	t.rootMu.RLock()
+	cur := t.root
+	cur.mu.RLock()
+	t.rootMu.RUnlock()
+	for !cur.leaf {
+		next := cur.childs[cur.childIndex(key)]
+		next.mu.RLock()
+		cur.mu.RUnlock()
+		cur = next
+	}
+	defer cur.mu.RUnlock()
+	i := cur.search(key)
+	if i < cur.n && cur.keys[i] == key {
+		return cur.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value for key.
+func (t *Tree[V]) Put(key uint64, val V) {
+	for !t.tryPut(key, val) {
+		t.splitRoot()
+	}
+}
+
+// tryPut descends with exclusive lock coupling, splitting full children
+// preemptively. It fails (returning false) only when the root itself is
+// full and must be split by the caller.
+func (t *Tree[V]) tryPut(key uint64, data V) bool {
+	t.rootMu.RLock()
+	cur := t.root
+	cur.mu.Lock()
+	t.rootMu.RUnlock()
+	if cur.n == maxKeys {
+		cur.mu.Unlock()
+		return false
+	}
+	for !cur.leaf {
+		child := cur.childs[cur.childIndex(key)]
+		child.mu.Lock()
+		if child.n == maxKeys {
+			left, right, sep := splitChild(child)
+			// Insert separator into cur (guaranteed non-full).
+			i := cur.search(sep)
+			copy(cur.keys[i+1:cur.n+1], cur.keys[i:cur.n])
+			copy(cur.childs[i+2:cur.n+2], cur.childs[i+1:cur.n+1])
+			cur.keys[i] = sep
+			cur.childs[i] = left
+			cur.childs[i+1] = right
+			cur.n++
+			if key > sep || (!child.leaf && key == sep) {
+				child = right
+			} else if child.leaf && key == sep {
+				// Leaf separator equals right's first key.
+				child = right
+			} else {
+				child = left
+			}
+			// left and right share child's lock state: splitChild keeps
+			// the original node as left and returns a fresh right; the
+			// original's lock is held. Lock the fresh node if we descend
+			// into it and release the other.
+			if child == right {
+				right.mu.Lock()
+				left.mu.Unlock()
+			}
+		}
+		cur.mu.Unlock()
+		cur = child
+	}
+	// Leaf insert; cur is locked and non-full.
+	i := cur.search(key)
+	if i < cur.n && cur.keys[i] == key {
+		cur.vals[i] = data
+		cur.mu.Unlock()
+		return true
+	}
+	copy(cur.keys[i+1:cur.n+1], cur.keys[i:cur.n])
+	copy(cur.vals[i+1:cur.n+1], cur.vals[i:cur.n])
+	cur.keys[i] = key
+	cur.vals[i] = data
+	cur.n++
+	t.count.Add(1)
+	cur.mu.Unlock()
+	return true
+}
+
+// splitChild splits a full locked node into (left=original, right=new) and
+// returns the separator key that routes between them. For leaves the
+// separator is right's first key (inclusive on the right, B+-tree style).
+func splitChild[V any](nd *node[V]) (left, right *node[V], sep uint64) {
+	right = &node[V]{leaf: nd.leaf}
+	mid := nd.n / 2
+	if nd.leaf {
+		right.n = nd.n - mid
+		copy(right.keys[:], nd.keys[mid:nd.n])
+		copy(right.vals[:], nd.vals[mid:nd.n])
+		var zero V
+		for i := mid; i < nd.n; i++ {
+			nd.vals[i] = zero
+		}
+		nd.n = mid
+		right.next = nd.next
+		nd.next = right
+		sep = right.keys[0]
+	} else {
+		sep = nd.keys[mid]
+		right.n = nd.n - mid - 1
+		copy(right.keys[:], nd.keys[mid+1:nd.n])
+		copy(right.childs[:], nd.childs[mid+1:nd.n+1])
+		for i := mid + 1; i <= nd.n; i++ {
+			nd.childs[i] = nil
+		}
+		nd.n = mid
+	}
+	return nd, right, sep
+}
+
+// splitRoot grows the tree by one level when the root is full.
+func (t *Tree[V]) splitRoot() {
+	t.rootMu.Lock()
+	defer t.rootMu.Unlock()
+	r := t.root
+	r.mu.Lock()
+	if r.n < maxKeys {
+		r.mu.Unlock()
+		return // someone else already split it
+	}
+	left, right, sep := splitChild(r)
+	newRoot := &node[V]{leaf: false, n: 1}
+	newRoot.keys[0] = sep
+	newRoot.childs[0] = left
+	newRoot.childs[1] = right
+	t.root = newRoot
+	r.mu.Unlock()
+}
+
+// Delete removes key, reporting whether it was present. Leaves are never
+// merged; routing keys for removed entries may linger harmlessly.
+func (t *Tree[V]) Delete(key uint64) bool {
+	t.rootMu.RLock()
+	cur := t.root
+	cur.mu.Lock()
+	t.rootMu.RUnlock()
+	for !cur.leaf {
+		next := cur.childs[cur.childIndex(key)]
+		next.mu.Lock()
+		cur.mu.Unlock()
+		cur = next
+	}
+	defer cur.mu.Unlock()
+	i := cur.search(key)
+	if i >= cur.n || cur.keys[i] != key {
+		return false
+	}
+	copy(cur.keys[i:cur.n-1], cur.keys[i+1:cur.n])
+	copy(cur.vals[i:cur.n-1], cur.vals[i+1:cur.n])
+	var zero V
+	cur.vals[cur.n-1] = zero
+	cur.n--
+	t.count.Add(-1)
+	return true
+}
+
+// Scan calls f for up to count entries with key >= start, in ascending key
+// order, stopping early if f returns false. It returns the number of
+// entries visited.
+func (t *Tree[V]) Scan(start uint64, count int, f func(key uint64, val V) bool) int {
+	if count <= 0 {
+		return 0
+	}
+	t.rootMu.RLock()
+	cur := t.root
+	cur.mu.RLock()
+	t.rootMu.RUnlock()
+	for !cur.leaf {
+		next := cur.childs[cur.childIndex(start)]
+		next.mu.RLock()
+		cur.mu.RUnlock()
+		cur = next
+	}
+	visited := 0
+	i := cur.search(start)
+	for {
+		for ; i < cur.n; i++ {
+			if !f(cur.keys[i], cur.vals[i]) {
+				cur.mu.RUnlock()
+				return visited + 1
+			}
+			visited++
+			if visited == count {
+				cur.mu.RUnlock()
+				return visited
+			}
+		}
+		next := cur.next
+		if next == nil {
+			cur.mu.RUnlock()
+			return visited
+		}
+		next.mu.RLock()
+		cur.mu.RUnlock()
+		cur = next
+		i = 0
+	}
+}
+
+// Range iterates the whole tree in key order until f returns false.
+func (t *Tree[V]) Range(f func(key uint64, val V) bool) {
+	t.Scan(0, int(^uint(0)>>1), f)
+}
+
+// Depth returns the current tree height (1 for a lone leaf); useful for
+// tests and for the simulation's pointer-chase modelling.
+func (t *Tree[V]) Depth() int {
+	t.rootMu.RLock()
+	cur := t.root
+	cur.mu.RLock()
+	t.rootMu.RUnlock()
+	d := 1
+	for !cur.leaf {
+		next := cur.childs[0]
+		next.mu.RLock()
+		cur.mu.RUnlock()
+		cur = next
+		d++
+	}
+	cur.mu.RUnlock()
+	return d
+}

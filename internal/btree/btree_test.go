@@ -1,0 +1,366 @@
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicPutGetDelete(t *testing.T) {
+	tr := New[[]byte]()
+	if _, ok := tr.Get(5); ok {
+		t.Fatal("empty tree must not contain key")
+	}
+	tr.Put(5, []byte("five"))
+	if v, ok := tr.Get(5); !ok || string(v) != "five" {
+		t.Fatalf("Get(5) = %q, %v", v, ok)
+	}
+	tr.Put(5, []byte("cinq"))
+	if v, _ := tr.Get(5); string(v) != "cinq" {
+		t.Fatal("Put must replace")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if !tr.Delete(5) || tr.Delete(5) {
+		t.Fatal("Delete semantics broken")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after delete", tr.Len())
+	}
+}
+
+func TestPointerValues(t *testing.T) {
+	tr := New[*int]()
+	x := 41
+	tr.Put(1, &x)
+	p, ok := tr.Get(1)
+	if !ok || p != &x {
+		t.Fatal("pointer values must round-trip identically")
+	}
+}
+
+func TestSortedInsertAndSplits(t *testing.T) {
+	tr := New[[]byte]()
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		var v [8]byte
+		binary.LittleEndian.PutUint64(v[:], i)
+		tr.Put(i, v[:])
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Depth() < 3 {
+		t.Fatalf("tree did not grow: depth %d", tr.Depth())
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := tr.Get(i)
+		if !ok || binary.LittleEndian.Uint64(v) != i {
+			t.Fatalf("key %d wrong after splits", i)
+		}
+	}
+}
+
+func TestReverseAndRandomInsert(t *testing.T) {
+	for name, keys := range map[string][]uint64{
+		"reverse": genKeys(5000, func(i int) uint64 { return uint64(5000 - i) }),
+		"random":  genKeys(5000, func(i int) uint64 { return (uint64(i)*2654435761 + 7) % 100000 }),
+	} {
+		tr := New[[]byte]()
+		seen := map[uint64]bool{}
+		for _, k := range keys {
+			tr.Put(k, []byte{byte(k)})
+			seen[k] = true
+		}
+		if tr.Len() != len(seen) {
+			t.Fatalf("%s: Len=%d want %d", name, tr.Len(), len(seen))
+		}
+		for k := range seen {
+			if v, ok := tr.Get(k); !ok || v[0] != byte(k) {
+				t.Fatalf("%s: key %d wrong", name, k)
+			}
+		}
+	}
+}
+
+func genKeys(n int, f func(int) uint64) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = f(i)
+	}
+	return out
+}
+
+func TestScanOrderAndBounds(t *testing.T) {
+	tr := New[[]byte]()
+	for i := uint64(0); i < 1000; i += 2 { // even keys only
+		tr.Put(i, []byte(fmt.Sprint(i)))
+	}
+	var got []uint64
+	n := tr.Scan(101, 10, func(k uint64, v []byte) bool {
+		got = append(got, k)
+		if string(v) != fmt.Sprint(k) {
+			t.Fatalf("scan value mismatch at %d", k)
+		}
+		return true
+	})
+	if n != 10 || len(got) != 10 {
+		t.Fatalf("scan visited %d, want 10", n)
+	}
+	if got[0] != 102 {
+		t.Fatalf("scan start = %d, want 102", got[0])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[i-1]+2 {
+			t.Fatalf("scan out of order: %v", got)
+		}
+	}
+	// Scan past the end.
+	n = tr.Scan(990, 100, func(uint64, []byte) bool { return true })
+	if n != 5 { // 990..998
+		t.Fatalf("tail scan visited %d, want 5", n)
+	}
+	// Early stop.
+	n = tr.Scan(0, 100, func(uint64, []byte) bool { return false })
+	if n != 1 {
+		t.Fatalf("early-stop scan visited %d, want 1", n)
+	}
+	// Degenerate counts.
+	if tr.Scan(0, 0, nil) != 0 || tr.Scan(0, -3, nil) != 0 {
+		t.Fatal("non-positive count must visit nothing")
+	}
+}
+
+func TestRangeFullIteration(t *testing.T) {
+	tr := New[[]byte]()
+	want := map[uint64]bool{}
+	for i := 0; i < 3000; i++ {
+		k := (uint64(i)*48271 + 11) % 9973
+		tr.Put(k, nil)
+		want[k] = true
+	}
+	var got []uint64
+	tr.Range(func(k uint64, _ []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("ranged %d keys, want %d", len(got), len(want))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("Range must be in key order")
+	}
+}
+
+func TestDeleteThenScanSkipsRemoved(t *testing.T) {
+	tr := New[[]byte]()
+	for i := uint64(0); i < 100; i++ {
+		tr.Put(i, nil)
+	}
+	for i := uint64(0); i < 100; i += 2 {
+		tr.Delete(i)
+	}
+	n := tr.Scan(0, 1000, func(k uint64, _ []byte) bool {
+		if k%2 == 0 {
+			t.Fatalf("deleted key %d visible in scan", k)
+		}
+		return true
+	})
+	if n != 50 {
+		t.Fatalf("scan visited %d, want 50", n)
+	}
+}
+
+func TestMatchesReferenceMap(t *testing.T) {
+	type op struct {
+		Kind byte
+		Key  uint16
+	}
+	f := func(ops []op) bool {
+		tr := New[[]byte]()
+		ref := map[uint64][]byte{}
+		for i, o := range ops {
+			k := uint64(o.Key % 256)
+			switch o.Kind % 3 {
+			case 0:
+				v := []byte{byte(i)}
+				tr.Put(k, v)
+				ref[k] = v
+			case 1:
+				got, ok := tr.Get(k)
+				want, wok := ref[k]
+				if ok != wok || (ok && string(got) != string(want)) {
+					return false
+				}
+			case 2:
+				_, wok := ref[k]
+				if tr.Delete(k) != wok {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		// Scan must visit exactly the live sorted keys.
+		var keys []uint64
+		tr.Range(func(k uint64, _ []byte) bool { keys = append(keys, k); return true })
+		if len(keys) != len(ref) {
+			return false
+		}
+		for _, k := range keys {
+			if _, ok := ref[k]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentWritersReaders(t *testing.T) {
+	tr := New[[]byte]()
+	const writers, readers, perW = 4, 4, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				k := uint64(w*perW + i)
+				v := make([]byte, 8)
+				binary.LittleEndian.PutUint64(v, k)
+				tr.Put(k, v)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			seed := uint64(r + 1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				seed = seed*6364136223846793005 + 1
+				k := seed % (writers * perW)
+				if v, ok := tr.Get(k); ok {
+					if binary.LittleEndian.Uint64(v) != k {
+						panic("value/key invariant violated during concurrency")
+					}
+				}
+				tr.Scan(k, 20, func(k uint64, v []byte) bool {
+					return binary.LittleEndian.Uint64(v) == k
+				})
+			}
+		}(r)
+	}
+	// Wait for writers, then stop readers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			if tr.Len() == writers*perW {
+				return
+			}
+			if i > 1e7 {
+				return
+			}
+		}
+	}()
+	<-done
+	close(stop)
+	wg.Wait()
+	if tr.Len() != writers*perW {
+		t.Fatalf("Len = %d, want %d", tr.Len(), writers*perW)
+	}
+	for k := uint64(0); k < writers*perW; k++ {
+		if v, ok := tr.Get(k); !ok || binary.LittleEndian.Uint64(v) != k {
+			t.Fatalf("key %d missing/wrong after concurrent load", k)
+		}
+	}
+}
+
+func TestConcurrentDeleteAndScan(t *testing.T) {
+	tr := New[[]byte]()
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		tr.Put(i, []byte{1})
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < n; i += 3 {
+			tr.Delete(i)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			prev := uint64(0)
+			first := true
+			tr.Scan(0, n, func(k uint64, _ []byte) bool {
+				if !first && k <= prev {
+					panic("scan order violated under concurrent deletes")
+				}
+				prev, first = k, false
+				return true
+			})
+		}
+	}()
+	wg.Wait()
+	want := n - (n+2)/3
+	if tr.Len() != want {
+		t.Fatalf("Len = %d, want %d", tr.Len(), want)
+	}
+}
+
+func TestDepthSingleLeaf(t *testing.T) {
+	tr := New[[]byte]()
+	if tr.Depth() != 1 {
+		t.Fatalf("empty tree depth = %d", tr.Depth())
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New[[]byte]()
+	var v [64]byte
+	for i := uint64(0); i < 1<<20; i++ {
+		tr.Put(i, v[:])
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			i = i*6364136223846793005 + 1
+			tr.Get(i % (1 << 20))
+		}
+	})
+}
+
+func BenchmarkScan50(b *testing.B) {
+	tr := New[[]byte]()
+	for i := uint64(0); i < 1<<20; i++ {
+		tr.Put(i, nil)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			i = i*6364136223846793005 + 1
+			tr.Scan(i%(1<<20), 50, func(uint64, []byte) bool { return true })
+		}
+	})
+}

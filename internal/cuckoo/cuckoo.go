@@ -1,0 +1,413 @@
+// Package cuckoo implements a concurrent bucketized cuckoo hash table with
+// lock-free reads, the stand-in for libcuckoo used by μTPS-H. It is generic
+// over the value type so the store can index shared item records. Each key maps
+// to two buckets of slotsPerBucket slots; inserts displace entries along a
+// bounded cuckoo path when both buckets are full, and the table doubles
+// when a path cannot be found.
+//
+// Readers never take locks: each occupied slot holds an immutable entry
+// behind an atomic pointer, so a Get is two bucket scans of atomic loads.
+// Writers serialize per bucket via striped mutexes; displacement paths and
+// resizing serialize on dedicated locks since they are rare.
+package cuckoo
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+const slotsPerBucket = 4
+
+// maxKickDepth bounds the displacement path length before a resize is
+// forced, matching libcuckoo's bounded search.
+const maxKickDepth = 128
+
+type entry[V any] struct {
+	key  uint64
+	data V // immutable after publication
+}
+
+type bucket[V any] struct {
+	slots [slotsPerBucket]atomic.Pointer[entry[V]]
+}
+
+type table[V any] struct {
+	buckets  []bucket[V]
+	mask     uint64
+	locks    []sync.Mutex // striped over buckets
+	lockMask uint64
+}
+
+// Map is a concurrent cuckoo hash table keyed by uint64 storing values of
+// type V. Values are stored verbatim; for aliasing-sensitive value types
+// (e.g. []byte) the caller decides whether to copy.
+type Map[V any] struct {
+	resizeMu sync.RWMutex // held shared by all ops, exclusive by resize
+	kickMu   sync.Mutex   // serializes displacement paths
+	t        atomic.Pointer[table[V]]
+	count    atomic.Int64
+}
+
+// New creates a table sized for at least capacityHint items.
+func New[V any](capacityHint int) *Map[V] {
+	if capacityHint < slotsPerBucket {
+		capacityHint = slotsPerBucket
+	}
+	nBuckets := 1
+	// Target ≤50% load at the hint so the cuckoo paths stay short.
+	for nBuckets*slotsPerBucket < capacityHint*2 {
+		nBuckets <<= 1
+	}
+	m := &Map[V]{}
+	m.t.Store(newTable[V](nBuckets))
+	return m
+}
+
+func newTable[V any](nBuckets int) *table[V] {
+	nLocks := nBuckets
+	if nLocks > 4096 {
+		nLocks = 4096
+	}
+	return &table[V]{
+		buckets:  make([]bucket[V], nBuckets),
+		mask:     uint64(nBuckets - 1),
+		locks:    make([]sync.Mutex, nLocks),
+		lockMask: uint64(nLocks - 1),
+	}
+}
+
+func mix1(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xFF51AFD7ED558CCD
+	k ^= k >> 33
+	k *= 0xC4CEB9FE1A85EC53
+	k ^= k >> 33
+	return k
+}
+
+func mix2(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xBF58476D1CE4E5B9
+	k ^= k >> 27
+	k *= 0x94D049BB133111EB
+	k ^= k >> 31
+	return k
+}
+
+func (t *table[V]) indexes(key uint64) (uint64, uint64) {
+	i1 := mix1(key) & t.mask
+	i2 := mix2(key) & t.mask
+	if i1 == i2 {
+		i2 = (i2 + 1) & t.mask
+	}
+	return i1, i2
+}
+
+func (t *table[V]) lockPair(i1, i2 uint64) func() {
+	l1, l2 := i1&t.lockMask, i2&t.lockMask
+	if l1 == l2 {
+		t.locks[l1].Lock()
+		return func() { t.locks[l1].Unlock() }
+	}
+	if l1 > l2 {
+		l1, l2 = l2, l1
+	}
+	t.locks[l1].Lock()
+	t.locks[l2].Lock()
+	return func() {
+		t.locks[l2].Unlock()
+		t.locks[l1].Unlock()
+	}
+}
+
+// Get returns the value stored for key.
+func (m *Map[V]) Get(key uint64) (V, bool) {
+	t := m.t.Load()
+	i1, i2 := t.indexes(key)
+	for _, bi := range [2]uint64{i1, i2} {
+		b := &t.buckets[bi]
+		for s := 0; s < slotsPerBucket; s++ {
+			if e := b.slots[s].Load(); e != nil && e.key == key {
+				return e.data, true
+			}
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value for key.
+func (m *Map[V]) Put(key uint64, val V) {
+	e := &entry[V]{key: key, data: val}
+	for {
+		if m.tryPut(e) {
+			return
+		}
+		m.grow()
+	}
+}
+
+// tryPut attempts an insert/update against the current table; false means
+// the table must grow.
+func (m *Map[V]) tryPut(e *entry[V]) bool {
+	m.resizeMu.RLock()
+	defer m.resizeMu.RUnlock()
+	t := m.t.Load()
+	i1, i2 := t.indexes(e.key)
+	unlock := t.lockPair(i1, i2)
+
+	// Replace in place if present.
+	for _, bi := range [2]uint64{i1, i2} {
+		b := &t.buckets[bi]
+		for s := 0; s < slotsPerBucket; s++ {
+			if old := b.slots[s].Load(); old != nil && old.key == e.key {
+				b.slots[s].Store(e)
+				unlock()
+				return true
+			}
+		}
+	}
+	// Empty slot in either bucket.
+	for _, bi := range [2]uint64{i1, i2} {
+		b := &t.buckets[bi]
+		for s := 0; s < slotsPerBucket; s++ {
+			if b.slots[s].Load() == nil {
+				b.slots[s].Store(e)
+				m.count.Add(1)
+				unlock()
+				return true
+			}
+		}
+	}
+	unlock()
+	// Both buckets full: displacement path under the kick lock.
+	return m.insertWithKick(t, e, i1)
+}
+
+type kickStep struct {
+	bucket uint64
+	slot   int
+}
+
+// insertWithKick frees a slot in bucket start by walking a cuckoo path.
+// Items are copied to their alternate bucket leaf-first so that a
+// concurrent reader always finds every key in at least one of its buckets.
+func (m *Map[V]) insertWithKick(t *table[V], e *entry[V], start uint64) bool {
+	m.kickMu.Lock()
+	defer m.kickMu.Unlock()
+
+	path := make([]kickStep, 0, maxKickDepth)
+	cur := start
+	seen := map[uint64]bool{}
+	for depth := 0; depth < maxKickDepth; depth++ {
+		if seen[cur] {
+			return false // cycle → resize
+		}
+		seen[cur] = true
+		// Pick the victim slot round-robin by depth for determinism.
+		victim := depth % slotsPerBucket
+		path = append(path, kickStep{cur, victim})
+		ve := t.buckets[cur].slots[victim].Load()
+		if ve == nil {
+			// Slot became empty meanwhile; shorten the path here.
+			break
+		}
+		v1, v2 := t.indexes(ve.key)
+		alt := v1
+		if cur == v1 {
+			alt = v2
+		}
+		// Does the alternate bucket have room?
+		hasRoom := false
+		for s := 0; s < slotsPerBucket; s++ {
+			if t.buckets[alt].slots[s].Load() == nil {
+				hasRoom = true
+				break
+			}
+		}
+		if hasRoom {
+			// Move items back-to-front along the path.
+			if !m.shiftPath(t, path, alt) {
+				return false
+			}
+			// start bucket now has the victim slot free; claim it.
+			unlock := t.lockPair(start, start)
+			ok := false
+			b := &t.buckets[start]
+			for s := 0; s < slotsPerBucket; s++ {
+				if b.slots[s].Load() == nil {
+					b.slots[s].Store(e)
+					m.count.Add(1)
+					ok = true
+					break
+				}
+			}
+			unlock()
+			if !ok {
+				return false
+			}
+			return true
+		}
+		cur = alt
+	}
+	return false
+}
+
+// shiftPath moves the entry at each path step into the next bucket,
+// starting from the deepest step whose destination is finalAlt.
+func (m *Map[V]) shiftPath(t *table[V], path []kickStep, finalAlt uint64) bool {
+	dst := finalAlt
+	for i := len(path) - 1; i >= 0; i-- {
+		src := path[i]
+		unlock := t.lockPair(src.bucket, dst)
+		e := t.buckets[src.bucket].slots[src.slot].Load()
+		if e == nil {
+			unlock()
+			dst = src.bucket
+			continue
+		}
+		// The victim may have been replaced since the path was planned;
+		// moving it to a bucket that is not one of its two homes would make
+		// it unfindable, so validate and abort the path instead.
+		e1, e2 := t.indexes(e.key)
+		if dst != e1 && dst != e2 {
+			unlock()
+			return false
+		}
+		placed := false
+		db := &t.buckets[dst]
+		for s := 0; s < slotsPerBucket; s++ {
+			if db.slots[s].Load() == nil {
+				db.slots[s].Store(e)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			unlock()
+			return false
+		}
+		t.buckets[src.bucket].slots[src.slot].Store(nil)
+		unlock()
+		dst = src.bucket
+	}
+	return true
+}
+
+// grow doubles the table and rehashes every entry.
+func (m *Map[V]) grow() {
+	m.resizeMu.Lock()
+	defer m.resizeMu.Unlock()
+	old := m.t.Load()
+	nt := newTable[V](len(old.buckets) * 2)
+	for bi := range old.buckets {
+		for s := 0; s < slotsPerBucket; s++ {
+			e := old.buckets[bi].slots[s].Load()
+			if e == nil {
+				continue
+			}
+			if !insertInto(nt, e) {
+				// Extremely unlikely at ≤25% load; grow again.
+				nt = rehashAll(nt, e)
+			}
+		}
+	}
+	m.t.Store(nt)
+}
+
+func insertInto[V any](t *table[V], e *entry[V]) bool {
+	i1, i2 := t.indexes(e.key)
+	for _, bi := range [2]uint64{i1, i2} {
+		for s := 0; s < slotsPerBucket; s++ {
+			if t.buckets[bi].slots[s].Load() == nil {
+				t.buckets[bi].slots[s].Store(e)
+				return true
+			}
+		}
+	}
+	// Single-threaded kick (we hold the resize lock exclusively).
+	cur := i1
+	carried := e
+	for depth := 0; depth < maxKickDepth; depth++ {
+		victim := depth % slotsPerBucket
+		old := t.buckets[cur].slots[victim].Load()
+		t.buckets[cur].slots[victim].Store(carried)
+		if old == nil {
+			return true
+		}
+		carried = old
+		o1, o2 := t.indexes(old.key)
+		if cur == o1 {
+			cur = o2
+		} else {
+			cur = o1
+		}
+		for s := 0; s < slotsPerBucket; s++ {
+			if t.buckets[cur].slots[s].Load() == nil {
+				t.buckets[cur].slots[s].Store(carried)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func rehashAll[V any](t *table[V], pending *entry[V]) *table[V] {
+	for {
+		nt := newTable[V](len(t.buckets) * 2)
+		ok := insertInto(nt, pending)
+		for bi := range t.buckets {
+			for s := 0; s < slotsPerBucket; s++ {
+				if e := t.buckets[bi].slots[s].Load(); e != nil {
+					ok = ok && insertInto(nt, e)
+				}
+			}
+		}
+		if ok {
+			return nt
+		}
+		t = nt
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *Map[V]) Delete(key uint64) bool {
+	m.resizeMu.RLock()
+	defer m.resizeMu.RUnlock()
+	t := m.t.Load()
+	i1, i2 := t.indexes(key)
+	unlock := t.lockPair(i1, i2)
+	defer unlock()
+	for _, bi := range [2]uint64{i1, i2} {
+		b := &t.buckets[bi]
+		for s := 0; s < slotsPerBucket; s++ {
+			if e := b.slots[s].Load(); e != nil && e.key == key {
+				b.slots[s].Store(nil)
+				m.count.Add(-1)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Len returns the number of stored items.
+func (m *Map[V]) Len() int { return int(m.count.Load()) }
+
+// Capacity returns the current slot capacity (buckets × slots).
+func (m *Map[V]) Capacity() int { return len(m.t.Load().buckets) * slotsPerBucket }
+
+// Range calls f for every entry until f returns false. The iteration is a
+// best-effort snapshot under concurrent writes.
+func (m *Map[V]) Range(f func(key uint64, val V) bool) {
+	t := m.t.Load()
+	for bi := range t.buckets {
+		for s := 0; s < slotsPerBucket; s++ {
+			if e := t.buckets[bi].slots[s].Load(); e != nil {
+				if !f(e.key, e.data) {
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package cuckoo
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicPutGetDelete(t *testing.T) {
+	m := New[[]byte](16)
+	if _, ok := m.Get(1); ok {
+		t.Fatal("empty map must not contain key")
+	}
+	m.Put(1, []byte("one"))
+	v, ok := m.Get(1)
+	if !ok || string(v) != "one" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	m.Put(1, []byte("uno"))
+	if v, _ := m.Get(1); string(v) != "uno" {
+		t.Fatal("Put must replace")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+	if !m.Delete(1) {
+		t.Fatal("Delete of present key must return true")
+	}
+	if m.Delete(1) {
+		t.Fatal("second Delete must return false")
+	}
+	if _, ok := m.Get(1); ok {
+		t.Fatal("deleted key must be gone")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", m.Len())
+	}
+}
+
+func TestZeroKeyAndZeroValue(t *testing.T) {
+	m := New[[]byte](4)
+	m.Put(0, nil)
+	v, ok := m.Get(0)
+	if !ok || len(v) != 0 {
+		t.Fatal("zero key with empty value must round-trip")
+	}
+}
+
+func TestPointerValues(t *testing.T) {
+	m := New[*int](4)
+	x := 41
+	m.Put(7, &x)
+	p, ok := m.Get(7)
+	if !ok || p != &x {
+		t.Fatal("pointer values must round-trip identically")
+	}
+	if _, ok := m.Get(8); ok {
+		t.Fatal("absent key must miss")
+	}
+}
+
+func TestGrowthKeepsAllKeys(t *testing.T) {
+	m := New[[]byte](4) // force many doublings
+	const n = 50000
+	for i := uint64(0); i < n; i++ {
+		var v [8]byte
+		binary.LittleEndian.PutUint64(v[:], i)
+		m.Put(i, v[:])
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := m.Get(i)
+		if !ok {
+			t.Fatalf("key %d lost", i)
+		}
+		if binary.LittleEndian.Uint64(v) != i {
+			t.Fatalf("key %d has wrong value", i)
+		}
+	}
+	if m.Capacity() < n {
+		t.Fatal("capacity must have grown past item count")
+	}
+}
+
+func TestRange(t *testing.T) {
+	m := New[[]byte](64)
+	want := map[uint64]string{}
+	for i := uint64(0); i < 100; i++ {
+		s := fmt.Sprintf("v%d", i)
+		want[i] = s
+		m.Put(i, []byte(s))
+	}
+	got := map[uint64]string{}
+	m.Range(func(k uint64, v []byte) bool {
+		got[k] = string(v)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("ranged %d items, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d: got %q want %q", k, got[k], v)
+		}
+	}
+	// Early stop.
+	n := 0
+	m.Range(func(uint64, []byte) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop iterated %d times", n)
+	}
+}
+
+func TestMatchesReferenceMap(t *testing.T) {
+	type op struct {
+		Kind byte
+		Key  uint16
+		Val  byte
+	}
+	f := func(ops []op) bool {
+		m := New[[]byte](8)
+		ref := map[uint64][]byte{}
+		for _, o := range ops {
+			k := uint64(o.Key % 512)
+			switch o.Kind % 3 {
+			case 0:
+				v := []byte{o.Val}
+				m.Put(k, v)
+				ref[k] = v
+			case 1:
+				got, ok := m.Get(k)
+				want, wok := ref[k]
+				if ok != wok {
+					return false
+				}
+				if ok && string(got) != string(want) {
+					return false
+				}
+			case 2:
+				_, wok := ref[k]
+				if m.Delete(k) != wok {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		for k, want := range ref {
+			got, ok := m.Get(k)
+			if !ok || string(got) != string(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	m := New[[]byte](1024)
+	const (
+		goroutines = 8
+		opsPer     = 20000
+		keyspace   = 4096
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			seed := uint64(g)*2654435761 + 1
+			for i := 0; i < opsPer; i++ {
+				seed = seed*6364136223846793005 + 1442695040888963407
+				k := seed % keyspace
+				switch seed >> 62 {
+				case 0, 1:
+					v := make([]byte, 8)
+					binary.LittleEndian.PutUint64(v, k)
+					m.Put(k, v)
+				case 2:
+					if val, ok := m.Get(k); ok {
+						if binary.LittleEndian.Uint64(val) != k {
+							panic("read value does not match key invariant")
+						}
+					}
+				case 3:
+					m.Delete(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Post-condition: every remaining entry still satisfies value==key.
+	m.Range(func(k uint64, v []byte) bool {
+		if binary.LittleEndian.Uint64(v) != k {
+			t.Errorf("entry %d corrupted", k)
+			return false
+		}
+		return true
+	})
+}
+
+func TestConcurrentGrowthUnderWriters(t *testing.T) {
+	m := New[[]byte](4)
+	var wg sync.WaitGroup
+	const writers = 4
+	const perWriter = 8000
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := uint64(w*perWriter + i)
+				v := make([]byte, 8)
+				binary.LittleEndian.PutUint64(v, k)
+				m.Put(k, v)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != writers*perWriter {
+		t.Fatalf("Len = %d, want %d", m.Len(), writers*perWriter)
+	}
+	for k := uint64(0); k < writers*perWriter; k++ {
+		if v, ok := m.Get(k); !ok || binary.LittleEndian.Uint64(v) != k {
+			t.Fatalf("key %d missing or wrong after concurrent growth", k)
+		}
+	}
+}
+
+func TestTinyCapacityHint(t *testing.T) {
+	m := New[[]byte](0)
+	m.Put(42, []byte("x"))
+	if v, ok := m.Get(42); !ok || string(v) != "x" {
+		t.Fatal("map with zero hint must still work")
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	m := New[[]byte](1 << 20)
+	var v [64]byte
+	for i := uint64(0); i < 1<<20; i++ {
+		m.Put(i, v[:])
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			i = i*6364136223846793005 + 1
+			m.Get(i % (1 << 20))
+		}
+	})
+}
+
+func BenchmarkPut(b *testing.B) {
+	m := New[[]byte](1 << 20)
+	var v [64]byte
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			i = i*6364136223846793005 + 1
+			m.Put(i%(1<<20), v[:])
+		}
+	})
+}

@@ -1,0 +1,63 @@
+// Package epoch provides a small epoch-based publication domain, the
+// mechanism μTPS uses (following Nap) to switch the cache-resident layer's
+// hot set atomically with respect to all worker threads: a writer installs
+// a new structure pointer, advances the epoch, and waits until every
+// registered reader has either gone quiescent or entered the new epoch,
+// after which the old structure can no longer be observed.
+package epoch
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// pad keeps each reader slot on its own cache line to avoid false sharing
+// between spin-polling workers.
+type slot struct {
+	state atomic.Uint64 // 0 = quiescent; otherwise epoch+1 at Enter time
+	_     [7]uint64
+}
+
+// Domain tracks a fixed set of readers identified by dense indexes.
+type Domain struct {
+	global atomic.Uint64
+	slots  []slot
+}
+
+// NewDomain creates a domain for readers [0, n).
+func NewDomain(n int) *Domain {
+	return &Domain{slots: make([]slot, n)}
+}
+
+// Readers returns the number of reader slots.
+func (d *Domain) Readers() int { return len(d.slots) }
+
+// Epoch returns the current global epoch.
+func (d *Domain) Epoch() uint64 { return d.global.Load() }
+
+// Enter marks reader r active in the current epoch. Calls must be paired
+// with Exit and must not nest.
+func (d *Domain) Enter(r int) {
+	d.slots[r].state.Store(d.global.Load() + 1)
+}
+
+// Exit marks reader r quiescent.
+func (d *Domain) Exit(r int) {
+	d.slots[r].state.Store(0)
+}
+
+// Synchronize advances the global epoch and blocks until every reader is
+// quiescent or has entered the new epoch. On return, no reader can still
+// observe state published before the corresponding pointer swap.
+func (d *Domain) Synchronize() {
+	e := d.global.Add(1)
+	for i := range d.slots {
+		for {
+			s := d.slots[i].state.Load()
+			if s == 0 || s > e {
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSynchronizeWithQuiescentReaders(t *testing.T) {
+	d := NewDomain(4)
+	if d.Readers() != 4 {
+		t.Fatalf("Readers = %d", d.Readers())
+	}
+	before := d.Epoch()
+	d.Synchronize() // no reader active: must not block
+	if d.Epoch() != before+1 {
+		t.Fatalf("epoch = %d, want %d", d.Epoch(), before+1)
+	}
+}
+
+func TestSynchronizeWaitsForActiveReader(t *testing.T) {
+	d := NewDomain(1)
+	d.Enter(0)
+	done := make(chan struct{})
+	var finished atomic.Bool
+	go func() {
+		d.Synchronize()
+		finished.Store(true)
+		close(done)
+	}()
+	// The synchronizer must not finish while the reader is in the old
+	// epoch. Give it generous opportunity to (incorrectly) complete.
+	for i := 0; i < 1000; i++ {
+		if finished.Load() {
+			t.Fatal("Synchronize returned while a reader held the old epoch")
+		}
+	}
+	d.Exit(0)
+	<-done
+}
+
+func TestReaderInNewEpochDoesNotBlock(t *testing.T) {
+	d := NewDomain(2)
+	// Reader 0 enters, the writer synchronizes once (reader exits), then
+	// reader 0 re-enters in the *new* epoch: a second synchronize must not
+	// wait on it... it must, actually — Enter pins the then-current epoch.
+	// What must NOT block is a reader that entered after the advance.
+	d.Enter(0)
+	d.Exit(0)
+	d.Synchronize()
+	d.Enter(1) // enters epoch 1 (records 2)
+	ch := make(chan struct{})
+	go func() {
+		d.Synchronize() // advances to 2; reader recorded 2 > 2? No: 2 == e.
+		close(ch)
+	}()
+	// Reader 1 entered before this advance, so the writer must wait.
+	var blocked atomic.Bool
+	select {
+	case <-ch:
+		t.Fatal("Synchronize must wait for reader that entered earlier epoch")
+	default:
+		blocked.Store(true)
+	}
+	d.Exit(1)
+	<-ch
+	if !blocked.Load() {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestConcurrentReadersAndSynchronizers(t *testing.T) {
+	const readers = 4
+	d := NewDomain(readers)
+	// Shared pointer protected by the epoch protocol.
+	var ptr atomic.Pointer[int]
+	v0 := 0
+	ptr.Store(&v0)
+	var retired atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d.Enter(r)
+				p := ptr.Load()
+				if *p < 0 {
+					panic("read a retired value")
+				}
+				d.Exit(r)
+			}
+		}(r)
+	}
+	for i := 1; i <= 200; i++ {
+		v := i
+		old := ptr.Swap(&v)
+		d.Synchronize()
+		// After synchronize no reader can still dereference old; poison it.
+		*old = -1
+		retired.Add(1)
+	}
+	close(stop)
+	wg.Wait()
+	if retired.Load() != 200 {
+		t.Fatalf("retired %d", retired.Load())
+	}
+}

@@ -1,0 +1,87 @@
+// Package hotset implements the resizable cache of the cache-resident layer
+// (§3.2.2): a background refresher samples recently accessed keys, tracks
+// the hottest ones with a count-min sketch feeding a top-K min-heap, and
+// atomically switches the worker-visible hot-set view using epoch-based
+// publication, Nap-style. For tree engines the published view is a sorted
+// array (no intermediate pointers, binary-searchable); for hash engines the
+// main index layout is reused (a compact open-addressed table).
+package hotset
+
+import "sync/atomic"
+
+const cmsDepth = 4
+
+// CMS is a count-min sketch over uint64 keys with saturating uint32
+// counters. Writes use atomic adds so multiple recorders may feed the same
+// sketch, though the tracker funnels through one refresher in practice.
+type CMS struct {
+	width uint64 // per-row counters, power of two
+	rows  [cmsDepth][]atomic.Uint32
+}
+
+// NewCMS creates a sketch with the given per-row width (rounded up to a
+// power of two, minimum 16).
+func NewCMS(width int) *CMS {
+	w := uint64(16)
+	for w < uint64(width) {
+		w <<= 1
+	}
+	c := &CMS{width: w}
+	for d := 0; d < cmsDepth; d++ {
+		c.rows[d] = make([]atomic.Uint32, w)
+	}
+	return c
+}
+
+var cmsSeeds = [cmsDepth]uint64{
+	0x9E3779B97F4A7C15, 0xC2B2AE3D27D4EB4F, 0x165667B19E3779F9, 0x27D4EB2F165667C5,
+}
+
+func cmsIndex(key, seed, mask uint64) uint64 {
+	x := key ^ seed
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return x & mask
+}
+
+// Add counts one occurrence of key.
+func (c *CMS) Add(key uint64) {
+	mask := c.width - 1
+	for d := 0; d < cmsDepth; d++ {
+		ctr := &c.rows[d][cmsIndex(key, cmsSeeds[d], mask)]
+		for {
+			v := ctr.Load()
+			if v == ^uint32(0) {
+				break // saturated
+			}
+			if ctr.CompareAndSwap(v, v+1) {
+				break
+			}
+		}
+	}
+}
+
+// Estimate returns the sketch's (over-)estimate of key's count.
+func (c *CMS) Estimate(key uint64) uint32 {
+	mask := c.width - 1
+	est := ^uint32(0)
+	for d := 0; d < cmsDepth; d++ {
+		v := c.rows[d][cmsIndex(key, cmsSeeds[d], mask)].Load()
+		if v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Reset zeroes all counters for the next sampling window.
+func (c *CMS) Reset() {
+	for d := 0; d < cmsDepth; d++ {
+		for i := range c.rows[d] {
+			c.rows[d][i].Store(0)
+		}
+	}
+}

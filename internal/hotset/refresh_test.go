@@ -1,0 +1,80 @@
+package hotset
+
+import (
+	"testing"
+
+	"mutps/internal/epoch"
+	"mutps/internal/seqitem"
+)
+
+// TestEpochGuardedRefresh demonstrates the Nap-style refresh protocol end
+// to end: readers pin an epoch around each view use; the refresher swaps
+// the view and synchronizes before harvesting the old one.
+func TestEpochGuardedRefresh(t *testing.T) {
+	const readers = 3
+	dom := epoch.NewDomain(readers)
+	cache := NewCache()
+	itemA := seqitem.New([]byte("aaaaaaaa"))
+	cache.Install(NewSortedView([]Entry{{Key: 1, Item: itemA}}))
+
+	// Reader side: epoch-guarded lookup.
+	lookup := func(r int, key uint64) (*seqitem.Item, bool) {
+		dom.Enter(r)
+		defer dom.Exit(r)
+		return cache.Lookup(key)
+	}
+
+	if it, ok := lookup(0, 1); !ok || string(it.Read(nil)) != "aaaaaaaa" {
+		t.Fatal("initial view broken")
+	}
+
+	// Refresher side: install, synchronize, then the old view is dead.
+	itemB := seqitem.New([]byte("bbbbbbbb"))
+	cache.Install(NewSortedView([]Entry{{Key: 2, Item: itemB}}))
+	dom.Synchronize()
+
+	if _, ok := lookup(1, 1); ok {
+		t.Fatal("old key visible after epoch-guarded switch")
+	}
+	if it, ok := lookup(2, 2); !ok || string(it.Read(nil)) != "bbbbbbbb" {
+		t.Fatal("new view not visible")
+	}
+}
+
+// TestTrackerToViewPipeline runs the full §3.2.2 pipeline: record traffic,
+// snapshot the hottest keys, and build the engine-appropriate view.
+func TestTrackerToViewPipeline(t *testing.T) {
+	tr := NewTracker(2, 1, 512)
+	cms := NewCMS(2048)
+	items := map[uint64]*seqitem.Item{}
+	for k := uint64(0); k < 100; k++ {
+		items[k] = seqitem.New([]byte{byte(k)})
+	}
+	// Key 5 is the hottest, then 6, then a uniform tail.
+	for i := 0; i < 300; i++ {
+		tr.Record(0, 5)
+	}
+	for i := 0; i < 150; i++ {
+		tr.Record(1, 6)
+	}
+	for k := uint64(0); k < 100; k++ {
+		tr.Record(0, k)
+	}
+	hot := tr.Snapshot(cms, 4)
+	if len(hot) != 4 || hot[0].Key != 5 || hot[1].Key != 6 {
+		t.Fatalf("hot = %+v", hot)
+	}
+	entries := make([]Entry, 0, len(hot))
+	for _, h := range hot {
+		entries = append(entries, Entry{Key: h.Key, Item: items[h.Key]})
+	}
+	for _, view := range []View{NewSortedView(entries), NewHashView(entries)} {
+		if view.Len() != 4 {
+			t.Fatalf("view len %d", view.Len())
+		}
+		it, ok := view.Lookup(5)
+		if !ok || it.Read(nil)[0] != 5 {
+			t.Fatal("hottest key must be servable from the view")
+		}
+	}
+}

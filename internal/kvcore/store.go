@@ -1,0 +1,339 @@
+package kvcore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mutps/internal/hotset"
+	"mutps/internal/ring"
+	"mutps/internal/rpc"
+	"mutps/internal/seqitem"
+	"mutps/internal/workload"
+)
+
+// Config describes a Store. Zero fields take documented defaults.
+type Config struct {
+	Engine    Engine
+	Workers   int // total worker goroutines (>= 2)
+	CRWorkers int // initially at the cache-resident layer (1..Workers-1)
+
+	BatchSize    int // CR→MR requests per ring slot (default 8)
+	RXCapacity   int // receive-ring slots (default 1024)
+	CRMRCapacity int // per-pair CR-MR ring slots (default 64)
+	SlabSize     int // per-CR-worker in-flight request contexts (default 4096)
+
+	HotItems    int // hot-set cache target size (0 disables the CR cache)
+	SampleEvery int // hot-set tracker sampling period (default 8)
+	TrackRing   int // per-worker sample ring (default 1024)
+
+	// IdleSleep is how long a worker parks after a long run of empty polls
+	// (default 50µs; negative disables). On the paper's dedicated pinned
+	// cores workers spin forever; when sharing cores with clients (tests,
+	// laptops, TCP serving) pure spinning starves everyone else, so idle
+	// workers yield the processor after idleSpins consecutive empty polls.
+	IdleSleep time.Duration
+
+	CapacityHint int // expected item count (hash engine pre-sizing)
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Workers < 2 {
+		return fmt.Errorf("kvcore: need at least 2 workers, got %d", c.Workers)
+	}
+	if c.CRWorkers < 1 || c.CRWorkers >= c.Workers {
+		return fmt.Errorf("kvcore: CRWorkers must be in [1, Workers-1], got %d/%d",
+			c.CRWorkers, c.Workers)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 8
+	}
+	if c.BatchSize > ring.MaxBatch {
+		c.BatchSize = ring.MaxBatch
+	}
+	if c.RXCapacity <= 0 {
+		c.RXCapacity = 1024
+	}
+	if c.CRMRCapacity <= 0 {
+		c.CRMRCapacity = 64
+	}
+	if c.SlabSize <= 0 {
+		c.SlabSize = 4096
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 8
+	}
+	if c.TrackRing <= 0 {
+		c.TrackRing = 1024
+	}
+	if c.CapacityHint <= 0 {
+		c.CapacityHint = 1 << 16
+	}
+	if c.IdleSleep == 0 {
+		c.IdleSleep = 50 * time.Microsecond
+	}
+	return nil
+}
+
+// Store is a running μTPS key-value store.
+type Store struct {
+	cfg Config
+
+	idx     Index
+	scanIdx RangeIndex // nil for hash engine
+
+	rpc     *rpc.Server
+	crmr    *ring.CRMR
+	cache   *hotset.Cache
+	tracker *hotset.Tracker
+	cms     *hotset.CMS
+	slabs   []*slab
+	crp     []*crPersist
+	mrcons  []*ring.Consumer
+
+	keyLocks [64]sync.Mutex // stripe for size-changing puts and deletes
+
+	nCR       atomic.Int32
+	hotTarget atomic.Int32
+	stop      atomic.Bool
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	refreshWG sync.WaitGroup
+	refreshCh chan struct{}
+
+	// Counters for the throughput monitor and stats.
+	ops       atomic.Uint64
+	crHits    atomic.Uint64
+	forwarded atomic.Uint64
+}
+
+// Open validates cfg, builds the store, and starts its workers.
+func Open(cfg Config) (*Store, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Store{cfg: cfg}
+	if cfg.Engine == Tree {
+		ti := newTreeIndex()
+		s.idx, s.scanIdx = ti, ti
+	} else {
+		s.idx = newHashIndex(cfg.CapacityHint)
+	}
+	s.rpc = rpc.NewServer(cfg.RXCapacity, cfg.Workers, cfg.CRWorkers)
+	s.crmr = ring.NewCRMR(cfg.Workers, cfg.Workers, cfg.CRMRCapacity)
+	s.cache = hotset.NewCache()
+	s.tracker = hotset.NewTracker(cfg.Workers, cfg.SampleEvery, cfg.TrackRing)
+	s.cms = hotset.NewCMS(4 * cfg.TrackRing * cfg.Workers)
+	s.slabs = make([]*slab, cfg.Workers)
+	s.crp = make([]*crPersist, cfg.Workers)
+	s.mrcons = make([]*ring.Consumer, cfg.Workers)
+	for i := range s.slabs {
+		s.slabs[i] = newSlab(cfg.SlabSize)
+		s.crp[i] = &crPersist{
+			prod: s.crmr.Producer(i, cfg.BatchSize),
+			cols: make([]crState, cfg.Workers),
+		}
+		s.mrcons[i] = s.crmr.Consumer(i)
+	}
+	s.nCR.Store(int32(cfg.CRWorkers))
+	s.hotTarget.Store(int32(cfg.HotItems))
+
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker(i)
+	}
+	return s, nil
+}
+
+// Engine returns the configured index engine.
+func (s *Store) Engine() Engine { return s.cfg.Engine }
+
+// Close stops all workers; it is idempotent. Callers must have drained
+// their outstanding calls first; requests still in flight are not
+// guaranteed a response.
+func (s *Store) Close() {
+	s.closeOnce.Do(func() {
+		s.stop.Store(true)
+		s.rpc.Close()
+		if s.refreshCh != nil {
+			close(s.refreshCh)
+			s.refreshWG.Wait()
+		}
+		s.wg.Wait()
+	})
+}
+
+// --- client API -----------------------------------------------------------
+
+// Get fetches the value for key over the store's RPC path.
+func (s *Store) Get(key uint64) ([]byte, bool) {
+	call := s.rpc.Send(rpc.Message{Op: workload.OpGet, Key: key})
+	if call == nil {
+		return nil, false
+	}
+	call.Wait()
+	return call.Value, call.Found
+}
+
+// Put stores val under key.
+func (s *Store) Put(key uint64, val []byte) {
+	v := make([]byte, len(val))
+	copy(v, val)
+	call := s.rpc.Send(rpc.Message{Op: workload.OpPut, Key: key, Value: v})
+	if call == nil {
+		return
+	}
+	call.Wait()
+}
+
+// Delete removes key, reporting whether it existed.
+func (s *Store) Delete(key uint64) bool {
+	call := s.rpc.Send(rpc.Message{Op: workload.OpDelete, Key: key})
+	if call == nil {
+		return false
+	}
+	call.Wait()
+	return call.Found
+}
+
+// KV is one scan result entry.
+type KV struct {
+	Key   uint64
+	Value []byte
+}
+
+// Scan returns up to count entries with keys >= start in ascending order.
+// It requires the Tree engine.
+func (s *Store) Scan(start uint64, count int) ([]KV, error) {
+	if s.scanIdx == nil {
+		return nil, fmt.Errorf("kvcore: scan requires the tree engine")
+	}
+	call := s.rpc.Send(rpc.Message{Op: workload.OpScan, Key: start, ScanCount: count})
+	if call == nil {
+		return nil, rpc.ErrClosed
+	}
+	call.Wait()
+	out := make([]KV, len(call.ScanKeys))
+	for i := range out {
+		out[i] = KV{Key: call.ScanKeys[i], Value: call.ScanVals[i]}
+	}
+	return out, nil
+}
+
+// SendAsync exposes the raw asynchronous RPC path for benchmarks and load
+// generators (many requests in flight per client goroutine).
+func (s *Store) SendAsync(m rpc.Message) *rpc.Call { return s.rpc.Send(m) }
+
+// --- manager operations ----------------------------------------------------
+
+// Split returns the current (CR, MR) worker allocation.
+func (s *Store) Split() (nCR, nMR int) {
+	n := int(s.nCR.Load())
+	return n, s.cfg.Workers - n
+}
+
+// SetSplit reassigns workers so that nCR of them serve the cache-resident
+// layer. It follows §3.5: the RPC schedule switches at a future slot index,
+// shrunk CR workers drain their owned slots then move to the MR layer, and
+// grown CR workers drain their CR-MR columns before switching. Request
+// processing is never blocked.
+func (s *Store) SetSplit(nCR int) error {
+	if nCR < 1 || nCR >= s.cfg.Workers {
+		return fmt.Errorf("kvcore: nCR must be in [1, Workers-1], got %d", nCR)
+	}
+	old := int(s.nCR.Swap(int32(nCR)))
+	if old == nCR {
+		return nil
+	}
+	s.rpc.Reconfigure(nCR)
+	return nil
+}
+
+// SetHotItems adjusts the hot-set cache target (0 disables it at the next
+// refresh).
+func (s *Store) SetHotItems(k int) {
+	if k < 0 {
+		k = 0
+	}
+	s.hotTarget.Store(int32(k))
+}
+
+// HotItems returns the hot-set target size.
+func (s *Store) HotItems() int { return int(s.hotTarget.Load()) }
+
+// RefreshHotSet samples the trackers and installs a fresh hot-set view,
+// returning the number of cached entries. It is called periodically by the
+// background refresher or manually by tests and tuners.
+func (s *Store) RefreshHotSet() int {
+	k := int(s.hotTarget.Load())
+	if k <= 0 {
+		s.cache.Install(hotset.NewSortedView(nil))
+		return 0
+	}
+	hot := s.tracker.Snapshot(s.cms, k)
+	entries := make([]hotset.Entry, 0, len(hot))
+	for _, h := range hot {
+		if it, ok := s.idx.Get(h.Key); ok && !it.Dead() {
+			entries = append(entries, hotset.Entry{Key: h.Key, Item: it.Latest()})
+		}
+	}
+	var v hotset.View
+	if s.cfg.Engine == Tree {
+		v = hotset.NewSortedView(entries)
+	} else {
+		v = hotset.NewHashView(entries)
+	}
+	s.cache.Install(v)
+	return len(entries)
+}
+
+// StartRefresher launches the background hot-set refresher with the given
+// period. It stops when the store is closed.
+func (s *Store) StartRefresher(period time.Duration) {
+	s.refreshCh = make(chan struct{})
+	s.refreshWG.Add(1)
+	go func() {
+		defer s.refreshWG.Done()
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.refreshCh:
+				return
+			case <-t.C:
+				s.RefreshHotSet()
+			}
+		}
+	}()
+}
+
+// Stats is a snapshot of store counters.
+type Stats struct {
+	Ops       uint64 // completed operations
+	CRHits    uint64 // served entirely at the cache-resident layer
+	Forwarded uint64 // forwarded over the CR-MR queue
+	Items     int    // indexed items
+	HotSize   int    // current hot-set view size
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Ops:       s.ops.Load(),
+		CRHits:    s.crHits.Load(),
+		Forwarded: s.forwarded.Load(),
+		Items:     s.idx.Len(),
+		HotSize:   s.cache.Len(),
+	}
+}
+
+// Ops returns the completed-operation counter (monotonic), the feedback
+// signal the auto-tuner's monitor differentiates.
+func (s *Store) Ops() uint64 { return s.ops.Load() }
+
+// preloadItem inserts directly into the index, bypassing the RPC path; used
+// for bulk pre-population before serving.
+func (s *Store) Preload(key uint64, val []byte) {
+	s.idx.Put(key, seqitem.New(val))
+}

@@ -1,0 +1,74 @@
+package kvcore
+
+import (
+	"time"
+
+	"mutps/internal/tuner"
+)
+
+// Tunable adapts the real store to the auto-tuner: each Measure applies a
+// configuration live (thread reassignment + hot-set resize, never blocking
+// request processing) and observes the op counter over a wall-clock window
+// — the paper's 10 ms feedback monitor.
+//
+// MRWays is accepted and recorded but has no effect on the real store: Go
+// cannot program Intel CAT. (The simulated system honours it; see
+// internal/simkv.Tunable.)
+type Tunable struct {
+	S *Store
+	// Window is the monitoring interval (default 10ms, the paper's value).
+	Window time.Duration
+	// MaxCache bounds the hot-set sizes explored (default 8192).
+	MaxCache int
+	// CacheStep is the linear-probe step (default MaxCache/8).
+	CacheStep int
+
+	lastWays int
+}
+
+// Bounds implements tuner.Reconfigurable.
+func (t *Tunable) Bounds() (threads, ways, maxCacheItems, cacheStep int) {
+	maxC := t.MaxCache
+	if maxC == 0 {
+		maxC = 8192
+	}
+	step := t.CacheStep
+	if step == 0 {
+		step = maxC / 8
+	}
+	// No CAT control from Go: expose a single "ways" point so the tuner's
+	// way search degenerates to a no-op probe.
+	return t.S.cfg.Workers, 0, maxC, step
+}
+
+// Measure implements tuner.Reconfigurable.
+func (t *Tunable) Measure(c tuner.Config) float64 {
+	nCR := t.S.cfg.Workers - c.MRThreads
+	if nCR < 1 {
+		nCR = 1
+	}
+	if nCR > t.S.cfg.Workers-1 {
+		nCR = t.S.cfg.Workers - 1
+	}
+	if err := t.S.SetSplit(nCR); err != nil {
+		return 0
+	}
+	t.S.SetHotItems(c.CacheItems)
+	t.S.RefreshHotSet()
+	t.lastWays = c.MRWays
+
+	w := t.Window
+	if w == 0 {
+		w = 10 * time.Millisecond
+	}
+	before := t.S.Ops()
+	start := time.Now()
+	time.Sleep(w)
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(t.S.Ops()-before) / elapsed
+}
+
+var _ tuner.Reconfigurable = (*Tunable)(nil)

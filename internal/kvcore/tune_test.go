@@ -1,0 +1,68 @@
+package kvcore
+
+import (
+	"testing"
+	"time"
+
+	"mutps/internal/tuner"
+)
+
+func TestTunableBounds(t *testing.T) {
+	s := openTest(t, Hash, func(c *Config) { c.Workers = 4; c.CRWorkers = 1 })
+	tn := &Tunable{S: s}
+	threads, ways, maxC, step := tn.Bounds()
+	if threads != 4 || ways != 0 {
+		t.Fatalf("bounds = %d/%d", threads, ways)
+	}
+	if maxC != 8192 || step != 1024 {
+		t.Fatalf("cache bounds = %d/%d", maxC, step)
+	}
+}
+
+func TestTunableMeasureAppliesConfig(t *testing.T) {
+	s := openTest(t, Hash, func(c *Config) { c.Workers = 4; c.CRWorkers = 1; c.HotItems = 64 })
+	for i := uint64(0); i < 128; i++ {
+		s.Preload(i, []byte{1})
+	}
+	// Background traffic so Measure observes non-zero throughput.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Get(uint64(i % 128))
+			}
+		}
+	}()
+	tn := &Tunable{S: s, Window: 20 * time.Millisecond, MaxCache: 128, CacheStep: 64}
+	rate := tn.Measure(tuner.Config{CacheItems: 32, MRThreads: 2})
+	close(stop)
+	<-done
+	if rate <= 0 {
+		t.Fatalf("measured rate %v under live traffic", rate)
+	}
+	if nCR, _ := s.Split(); nCR != 2 {
+		t.Fatalf("Measure must apply the split: nCR=%d", nCR)
+	}
+	if s.HotItems() != 32 {
+		t.Fatalf("Measure must apply the hot-set target: %d", s.HotItems())
+	}
+}
+
+func TestTunableMeasureClampsSplit(t *testing.T) {
+	s := openTest(t, Hash, func(c *Config) { c.Workers = 3; c.CRWorkers = 1 })
+	tn := &Tunable{S: s, Window: time.Millisecond}
+	// MRThreads beyond Workers-1 must clamp, not error.
+	tn.Measure(tuner.Config{MRThreads: 99})
+	if nCR, _ := s.Split(); nCR != 1 {
+		t.Fatalf("clamped split nCR=%d, want 1", nCR)
+	}
+	tn.Measure(tuner.Config{MRThreads: 0})
+	if nCR, _ := s.Split(); nCR != 2 {
+		t.Fatalf("clamped split nCR=%d, want 2", nCR)
+	}
+}

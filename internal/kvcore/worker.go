@@ -1,0 +1,407 @@
+package kvcore
+
+import (
+	"runtime"
+	"time"
+
+	"mutps/internal/ring"
+	"mutps/internal/rpc"
+	"mutps/internal/seqitem"
+	"mutps/internal/workload"
+)
+
+// idleSpins is how many consecutive empty polls a worker tolerates before
+// parking for Config.IdleSleep.
+const idleSpins = 256
+
+// idleGate tracks consecutive empty polls and parks the goroutine once the
+// spin budget is exhausted.
+type idleGate struct {
+	spins int
+	sleep time.Duration
+}
+
+func (g *idleGate) busy() { g.spins = 0 }
+
+func (g *idleGate) idle() {
+	g.spins++
+	if g.sleep > 0 && g.spins >= idleSpins {
+		g.spins = 0
+		time.Sleep(g.sleep)
+		return
+	}
+	runtime.Gosched()
+}
+
+// slab holds in-flight request contexts for one CR worker — the in-process
+// analog of the network receive-buffer slots the paper's 16-byte CR-MR
+// requests point into with their Buf field. Slots are allocated by the CR
+// worker when forwarding and recycled when the owning batch's ring reports
+// completion (the piggybacked tail advance).
+type slab struct {
+	msgs []rpc.Message
+	free []uint32
+}
+
+func newSlab(size int) *slab {
+	s := &slab{msgs: make([]rpc.Message, size), free: make([]uint32, size)}
+	for i := range s.free {
+		s.free[i] = uint32(size - 1 - i)
+	}
+	return s
+}
+
+func (s *slab) get() (uint32, bool) {
+	if len(s.free) == 0 {
+		return 0, false
+	}
+	slot := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	return slot, true
+}
+
+func (s *slab) put(slot uint32) {
+	s.msgs[slot] = rpc.Message{}
+	s.free = append(s.free, slot)
+}
+
+// worker is the body of every store goroutine. A worker has a fixed
+// identity usable in either layer: RPC slot owner i at the CR layer, CR-MR
+// column i at the MR layer.
+//
+// Role transitions follow §3.5, and crucially the *RPC schedule* — not the
+// nCR snapshot — decides when the CR role ends: the worker always enters
+// the CR loop, which retires immediately if the schedule assigns it no
+// slots, and otherwise keeps consuming until every slot the schedule ever
+// assigned it (including those below a pending switch index) is drained.
+// Dispatching on nCR alone would race with SetSplit: a worker could jump
+// to the MR role while the old schedule still routes requests to it,
+// stranding them forever.
+func (s *Store) worker(id int) {
+	defer s.wg.Done()
+	for !s.stop.Load() {
+		s.runCR(id)
+		if s.stop.Load() {
+			return
+		}
+		s.runMR(id)
+	}
+}
+
+// crState tracks per-destination in-flight batches so slab slots can be
+// recycled in FIFO order as the MR side commits them.
+type crState struct {
+	batches [][]uint32 // FIFO of slot lists per MR column
+	done    uint64     // batches known completed per column
+}
+
+// crPersist is a worker's CR-side bookkeeping. It lives in the Store (not
+// on the runCR stack) because batches can still be in flight when the
+// worker switches to the MR role — possibly consumed by the worker itself
+// once it gets there — and their slab slots must be recycled on the next
+// CR stint rather than leaked or (worse) recycled prematurely.
+type crPersist struct {
+	prod     *ring.Producer
+	cols     []crState
+	curBatch []uint32
+}
+
+// runCR is the cache-resident layer FSM (§3.2.3). It returns when the
+// worker is retired from the RPC schedule (role moves to MR) or the store
+// stops.
+func (s *Store) runCR(id int) {
+	st := s.crp[id]
+	sl := s.slabs[id]
+	served := 0
+	gate := idleGate{sleep: s.cfg.IdleSleep}
+
+	recycle := func() bool {
+		progress := false
+		for m := range st.cols {
+			r := s.crmr.Ring(id, m)
+			d := r.Done()
+			for st.cols[m].done < d && len(st.cols[m].batches) > 0 {
+				for _, slot := range st.cols[m].batches[0] {
+					sl.put(slot)
+				}
+				st.cols[m].batches = st.cols[m].batches[1:]
+				st.cols[m].done++
+				progress = true
+			}
+		}
+		return progress
+	}
+
+	flush := func() {
+		nCR := int(s.nCR.Load())
+		nMR := s.cfg.Workers - nCR
+		if mr, fl := st.prod.Flush(nCR, nMR); fl {
+			st.cols[mr].batches = append(st.cols[mr].batches, st.curBatch)
+			st.curBatch = nil
+		}
+	}
+
+	for !s.stop.Load() {
+		recycle()
+		m, ok, retired := s.rpc.Poll(id)
+		if retired {
+			// Push any partial batch before switching roles (it may land
+			// on our own MR column — we will consume it ourselves there).
+			// In-flight batches keep their slab slots until our next CR
+			// stint recycles them; the MR side completes the calls.
+			flush()
+			recycle()
+			return
+		}
+		if !ok {
+			// Idle: don't strand a partial batch behind the batching
+			// threshold; push it now so MR can make progress.
+			flush()
+			// Consumer identity is per *worker*, not per role: a producer
+			// with a momentarily stale view of the split can push a batch
+			// to this worker's MR column just after it switched to the CR
+			// role. Nobody else may consume an SPSC ring, so drain our own
+			// column here; this only fires on reassignment stragglers.
+			s.drainOwnColumn(id)
+			gate.idle()
+			continue
+		}
+		gate.busy()
+		served++
+		if served%256 == 0 {
+			// Under saturation the idle branch may never run; still check
+			// for reassignment stragglers on our own column periodically.
+			s.drainOwnColumn(id)
+		}
+		s.tracker.Record(id, m.Key)
+		if s.tryServeHot(&m) {
+			s.crHits.Add(1)
+			s.ops.Add(1)
+			continue
+		}
+		// Miss path: forward over the CR-MR queue.
+		slot, okSlot := sl.get()
+		for !okSlot {
+			// All contexts in flight; recycle completions until one frees.
+			if !recycle() {
+				runtime.Gosched()
+			}
+			if s.stop.Load() {
+				return
+			}
+			slot, okSlot = sl.get()
+		}
+		sl.msgs[slot] = m
+		req := encodeRequest(&m, slot)
+		st.curBatch = append(st.curBatch, slot)
+		nCR := int(s.nCR.Load())
+		if mr, fl := st.prod.Add(req, nCR, s.cfg.Workers-nCR); fl {
+			st.cols[mr].batches = append(st.cols[mr].batches, st.curBatch)
+			st.curBatch = nil
+		}
+		s.forwarded.Add(1)
+	}
+	flush()
+}
+
+// encodeRequest builds the compact 16-byte CR-MR representation (Fig. 6).
+func encodeRequest(m *rpc.Message, slot uint32) ring.Request {
+	size := len(m.Value)
+	if m.Op == workload.OpScan {
+		size = m.ScanCount
+	}
+	if size > 0xFFFF {
+		size = 0xFFFF
+	}
+	return ring.Request{
+		Key:  m.Key,
+		Type: uint8(m.Op),
+		Size: uint16(size),
+		Buf:  slot,
+	}
+}
+
+// tryServeHot serves the request entirely at the CR layer when the key is
+// in the hot-set view: the hit path of the FSM. Deletes and scans always
+// take the miss path (they mutate or traverse the full index).
+func (s *Store) tryServeHot(m *rpc.Message) bool {
+	switch m.Op {
+	case workload.OpGet:
+		it, ok := s.cache.Lookup(m.Key)
+		if !ok || it.Dead() {
+			return false
+		}
+		call := m.Call()
+		call.Value = it.Read(nil)
+		call.Found = true
+		call.Complete()
+		return true
+	case workload.OpPut:
+		it, ok := s.cache.Lookup(m.Key)
+		if !ok || it.Dead() {
+			return false
+		}
+		if !it.Write(m.Value) {
+			// Size change: must be an item replacement at the MR layer.
+			return false
+		}
+		m.Call().Complete()
+		return true
+	default:
+		return false
+	}
+}
+
+// drainOwnColumn processes any batches sitting in worker id's MR column —
+// the §3.5 residual-request guarantee, enforced from the CR role.
+func (s *Store) drainOwnColumn(id int) {
+	for {
+		cr, reqs, rg := s.mrcons[id].Poll(s.cfg.Workers)
+		if cr == -1 {
+			return
+		}
+		for i := range reqs {
+			s.processMR(cr, &reqs[i])
+		}
+		rg.Commit()
+	}
+}
+
+// runMR is the memory-resident layer loop: it drains batches from the
+// CR-MR queue and processes them against the full index. It returns when
+// the split moves this worker to the CR layer (after draining its column)
+// or the store stops.
+func (s *Store) runMR(id int) {
+	cons := s.mrcons[id]
+	batched, _ := s.idx.(BatchIndex)
+	var keyBuf []uint64
+	var posBuf []int
+	var itemBuf []*seqitem.Item
+	var foundBuf []bool
+	gate := idleGate{sleep: s.cfg.IdleSleep}
+	for !s.stop.Load() {
+		// Scan all rows: residual batches may exist from workers that have
+		// since changed role.
+		cr, reqs, rg := cons.Poll(s.cfg.Workers)
+		if cr == -1 {
+			if id < int(s.nCR.Load()) && s.crmr.ColumnEmpty(id) {
+				// Reassigned to the CR layer and fully drained: switch.
+				return
+			}
+			gate.idle()
+			continue
+		}
+		gate.busy()
+		if batched != nil && len(reqs) > 1 {
+			// Batched indexing (§3.3): serve the batch's gets with one
+			// shared index traversal; other ops take the per-request path.
+			keyBuf, posBuf = keyBuf[:0], posBuf[:0]
+			for i := range reqs {
+				if workload.OpType(reqs[i].Type) == workload.OpGet {
+					keyBuf = append(keyBuf, reqs[i].Key)
+					posBuf = append(posBuf, i)
+				}
+			}
+			if len(keyBuf) > 1 {
+				itemBuf, foundBuf = batched.GetBatch(keyBuf, itemBuf, foundBuf)
+				for j, i := range posBuf {
+					call := s.slabs[cr].msgs[reqs[i].Buf].Call()
+					if foundBuf[j] && !itemBuf[j].Dead() {
+						call.Value = itemBuf[j].Read(nil)
+						call.Found = true
+					}
+					call.Complete()
+					s.ops.Add(1)
+				}
+				for i := range reqs {
+					if workload.OpType(reqs[i].Type) != workload.OpGet {
+						s.processMR(cr, &reqs[i])
+					}
+				}
+				rg.Commit()
+				continue
+			}
+		}
+		for i := range reqs {
+			s.processMR(cr, &reqs[i])
+		}
+		rg.Commit() // piggybacked completion: slab slots recyclable
+	}
+}
+
+// processMR executes one forwarded request against the full index and
+// completes its call. The slab entry is read-only here; the owning CR
+// worker recycles it after the ring commit.
+func (s *Store) processMR(cr int, req *ring.Request) {
+	m := &s.slabs[cr].msgs[req.Buf]
+	call := m.Call()
+	switch workload.OpType(req.Type) {
+	case workload.OpGet:
+		if it, ok := s.idx.Get(req.Key); ok && !it.Dead() {
+			call.Value = it.Read(nil)
+			call.Found = true
+		}
+	case workload.OpPut:
+		s.putMR(req.Key, m.Value)
+	case workload.OpDelete:
+		call.Found = s.deleteMR(req.Key)
+	case workload.OpScan:
+		s.scanMR(req, call)
+	}
+	call.Complete()
+	s.ops.Add(1)
+}
+
+// putMR first tries the in-place same-size write (no locks beyond the
+// item's own bits), then falls back to item replacement under a key-stripe
+// lock so concurrent replacements serialize.
+func (s *Store) putMR(key uint64, val []byte) {
+	if it, ok := s.idx.Get(key); ok && !it.Dead() && it.Write(val) {
+		return
+	}
+	mu := &s.keyLocks[key&63]
+	mu.Lock()
+	defer mu.Unlock()
+	if it, ok := s.idx.Get(key); ok {
+		if !it.Dead() && it.Write(val) {
+			return
+		}
+		n := seqitem.New(val)
+		s.idx.Put(key, n)
+		it.MoveTo(n) // stale holders (hot views) converge on the new record
+		return
+	}
+	s.idx.Put(key, seqitem.New(val))
+}
+
+func (s *Store) deleteMR(key uint64) bool {
+	mu := &s.keyLocks[key&63]
+	mu.Lock()
+	defer mu.Unlock()
+	it, ok := s.idx.Get(key)
+	if !ok {
+		return false
+	}
+	s.idx.Delete(key)
+	it.Kill()
+	return true
+}
+
+func (s *Store) scanMR(req *ring.Request, call *rpc.Call) {
+	if s.scanIdx == nil {
+		return
+	}
+	count := int(req.Size)
+	keys := make([]uint64, 0, count)
+	vals := make([][]byte, 0, count)
+	s.scanIdx.Scan(req.Key, count, func(k uint64, it *seqitem.Item) bool {
+		if it.Dead() {
+			return true
+		}
+		keys = append(keys, k)
+		vals = append(vals, it.Read(nil))
+		return true
+	})
+	call.ScanKeys = keys
+	call.ScanVals = vals
+}

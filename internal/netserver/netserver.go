@@ -1,0 +1,328 @@
+// Package netserver exposes a μTPS store over TCP with a compact binary
+// protocol, making the library a network-attached KVS like the paper's
+// system (the RDMA dataplane is replaced by the operating system's TCP
+// stack; the thread architecture behind the listener is unchanged).
+//
+// Wire format (little-endian):
+//
+//	request:  op(1) key(8) len(4) payload[len]
+//	          op: 0=get 1=put 2=delete 3=scan (payload = count uint32)
+//	              4=stats (no payload; response = 5 × uint64 counters)
+//	response: status(1) len(4) payload[len]
+//	          status: 0=found/ok 1=not found 2=error (payload = message)
+//	          scan payload: count(4) then count × { key(8) vlen(4) val }
+package netserver
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"mutps/internal/kvcore"
+)
+
+// Op codes on the wire.
+const (
+	OpGet byte = iota
+	OpPut
+	OpDelete
+	OpScan
+	OpStats
+)
+
+// Status codes on the wire.
+const (
+	StatusFound byte = iota
+	StatusNotFound
+	StatusError
+)
+
+// maxPayload bounds request payloads (16 MB) to keep a malicious frame
+// from exhausting memory.
+const maxPayload = 16 << 20
+
+// Server serves a kvcore store over TCP.
+type Server struct {
+	store *kvcore.Store
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts accepting connections on ln and returns immediately.
+func Serve(store *kvcore.Store, ln net.Listener) *Server {
+	s := &Server{store: store, ln: ln, conns: map[net.Conn]struct{}{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting and closes every connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	var hdr [13]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return
+		}
+		op := hdr[0]
+		key := binary.LittleEndian.Uint64(hdr[1:9])
+		plen := binary.LittleEndian.Uint32(hdr[9:13])
+		if plen > maxPayload {
+			writeResp(w, StatusError, []byte("payload too large"))
+			w.Flush()
+			return
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return
+		}
+		if err := s.handle(w, op, key, payload); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(w *bufio.Writer, op byte, key uint64, payload []byte) error {
+	switch op {
+	case OpGet:
+		if v, ok := s.store.Get(key); ok {
+			return writeResp(w, StatusFound, v)
+		}
+		return writeResp(w, StatusNotFound, nil)
+	case OpPut:
+		s.store.Put(key, payload)
+		return writeResp(w, StatusFound, nil)
+	case OpDelete:
+		if s.store.Delete(key) {
+			return writeResp(w, StatusFound, nil)
+		}
+		return writeResp(w, StatusNotFound, nil)
+	case OpStats:
+		st := s.store.Stats()
+		body := make([]byte, 40)
+		binary.LittleEndian.PutUint64(body[0:], st.Ops)
+		binary.LittleEndian.PutUint64(body[8:], st.CRHits)
+		binary.LittleEndian.PutUint64(body[16:], st.Forwarded)
+		binary.LittleEndian.PutUint64(body[24:], uint64(st.Items))
+		binary.LittleEndian.PutUint64(body[32:], uint64(st.HotSize))
+		return writeResp(w, StatusFound, body)
+	case OpScan:
+		if len(payload) != 4 {
+			return writeResp(w, StatusError, []byte("scan payload must be a uint32 count"))
+		}
+		count := binary.LittleEndian.Uint32(payload)
+		if count > 1<<20 {
+			return writeResp(w, StatusError, []byte("scan count too large"))
+		}
+		kvs, err := s.store.Scan(key, int(count))
+		if err != nil {
+			return writeResp(w, StatusError, []byte(err.Error()))
+		}
+		body := make([]byte, 4, 4+len(kvs)*16)
+		binary.LittleEndian.PutUint32(body, uint32(len(kvs)))
+		var tmp [12]byte
+		for _, kv := range kvs {
+			binary.LittleEndian.PutUint64(tmp[0:8], kv.Key)
+			binary.LittleEndian.PutUint32(tmp[8:12], uint32(len(kv.Value)))
+			body = append(body, tmp[:]...)
+			body = append(body, kv.Value...)
+		}
+		return writeResp(w, StatusFound, body)
+	default:
+		return writeResp(w, StatusError, []byte(fmt.Sprintf("unknown op %d", op)))
+	}
+}
+
+func writeResp(w *bufio.Writer, status byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = status
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Client is a synchronous client for the netserver protocol; it is safe
+// for concurrent use (calls serialize on the connection).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a μTPS network server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(op byte, key uint64, payload []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var hdr [13]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint64(hdr[1:9], key)
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(payload)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return 0, nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, nil, err
+	}
+	var rh [5]byte
+	if _, err := io.ReadFull(c.r, rh[:]); err != nil {
+		return 0, nil, err
+	}
+	plen := binary.LittleEndian.Uint32(rh[1:5])
+	if plen > maxPayload {
+		return 0, nil, errors.New("netserver: oversized response")
+	}
+	body := make([]byte, plen)
+	if _, err := io.ReadFull(c.r, body); err != nil {
+		return 0, nil, err
+	}
+	if rh[0] == StatusError {
+		return rh[0], nil, fmt.Errorf("netserver: %s", body)
+	}
+	return rh[0], body, nil
+}
+
+// Get fetches the value for key.
+func (c *Client) Get(key uint64) ([]byte, bool, error) {
+	st, body, err := c.roundTrip(OpGet, key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	return body, st == StatusFound, nil
+}
+
+// Put stores val under key.
+func (c *Client) Put(key uint64, val []byte) error {
+	_, _, err := c.roundTrip(OpPut, key, val)
+	return err
+}
+
+// Delete removes key, reporting whether it existed.
+func (c *Client) Delete(key uint64) (bool, error) {
+	st, _, err := c.roundTrip(OpDelete, key, nil)
+	if err != nil {
+		return false, err
+	}
+	return st == StatusFound, nil
+}
+
+// Stats fetches the server's counter snapshot.
+func (c *Client) Stats() (kvcore.Stats, error) {
+	_, body, err := c.roundTrip(OpStats, 0, nil)
+	if err != nil {
+		return kvcore.Stats{}, err
+	}
+	if len(body) != 40 {
+		return kvcore.Stats{}, errors.New("netserver: malformed stats response")
+	}
+	return kvcore.Stats{
+		Ops:       binary.LittleEndian.Uint64(body[0:]),
+		CRHits:    binary.LittleEndian.Uint64(body[8:]),
+		Forwarded: binary.LittleEndian.Uint64(body[16:]),
+		Items:     int(binary.LittleEndian.Uint64(body[24:])),
+		HotSize:   int(binary.LittleEndian.Uint64(body[32:])),
+	}, nil
+}
+
+// Scan returns up to count entries with keys >= start.
+func (c *Client) Scan(start uint64, count int) ([]kvcore.KV, error) {
+	var pl [4]byte
+	binary.LittleEndian.PutUint32(pl[:], uint32(count))
+	_, body, err := c.roundTrip(OpScan, start, pl[:])
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 4 {
+		return nil, errors.New("netserver: short scan response")
+	}
+	n := binary.LittleEndian.Uint32(body)
+	body = body[4:]
+	out := make([]kvcore.KV, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(body) < 12 {
+			return nil, errors.New("netserver: truncated scan entry")
+		}
+		key := binary.LittleEndian.Uint64(body[0:8])
+		vlen := binary.LittleEndian.Uint32(body[8:12])
+		body = body[12:]
+		if uint32(len(body)) < vlen {
+			return nil, errors.New("netserver: truncated scan value")
+		}
+		val := make([]byte, vlen)
+		copy(val, body[:vlen])
+		body = body[vlen:]
+		out = append(out, kvcore.KV{Key: key, Value: val})
+	}
+	return out, nil
+}

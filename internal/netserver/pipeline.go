@@ -1,0 +1,188 @@
+package netserver
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// PipelineClient keeps many requests in flight on one connection: sends
+// and receives run on separate goroutines and responses are matched to
+// requests by order (the protocol is strictly FIFO per connection). It is
+// the high-throughput counterpart of Client for load generation — the
+// network analog of the paper's clients keeping the server's receive ring
+// full.
+type PipelineClient struct {
+	conn net.Conn
+	w    *bufio.Writer
+
+	sendMu  sync.Mutex
+	pending chan *Future
+	readWG  sync.WaitGroup
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// Future is a pending pipelined response.
+type Future struct {
+	done   chan struct{}
+	status byte
+	body   []byte
+	err    error
+}
+
+// Wait blocks until the response arrives and returns status and payload.
+func (f *Future) Wait() (status byte, body []byte, err error) {
+	<-f.done
+	return f.status, f.body, f.err
+}
+
+// DialPipeline opens a pipelined connection with the given maximum number
+// of in-flight requests (≥1; it bounds memory, not correctness).
+func DialPipeline(addr string, depth int) (*PipelineClient, error) {
+	if depth < 1 {
+		depth = 64
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &PipelineClient{
+		conn:    conn,
+		w:       bufio.NewWriter(conn),
+		pending: make(chan *Future, depth),
+		closed:  make(chan struct{}),
+	}
+	c.readWG.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *PipelineClient) readLoop() {
+	defer c.readWG.Done()
+	r := bufio.NewReader(c.conn)
+	for {
+		var f *Future
+		select {
+		case f = <-c.pending:
+		case <-c.closed:
+			// Drain any stragglers so their waiters unblock.
+			for {
+				select {
+				case f := <-c.pending:
+					f.err = errors.New("netserver: pipeline closed")
+					close(f.done)
+				default:
+					return
+				}
+			}
+		}
+		var hdr [5]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			f.err = err
+			close(f.done)
+			c.failRemaining(err)
+			return
+		}
+		plen := binary.LittleEndian.Uint32(hdr[1:5])
+		if plen > maxPayload {
+			f.err = errors.New("netserver: oversized response")
+			close(f.done)
+			c.failRemaining(f.err)
+			return
+		}
+		body := make([]byte, plen)
+		if _, err := io.ReadFull(r, body); err != nil {
+			f.err = err
+			close(f.done)
+			c.failRemaining(err)
+			return
+		}
+		f.status = hdr[0]
+		f.body = body
+		if hdr[0] == StatusError {
+			f.err = fmt.Errorf("netserver: %s", body)
+		}
+		close(f.done)
+	}
+}
+
+func (c *PipelineClient) failRemaining(err error) {
+	for {
+		select {
+		case f := <-c.pending:
+			f.err = err
+			close(f.done)
+		default:
+			return
+		}
+	}
+}
+
+// Send enqueues one request and returns its future. It blocks when the
+// in-flight window is full. Writes are buffered for batching: call Flush
+// before waiting on the final futures of a burst, or the last requests may
+// sit in the client buffer while their futures wait forever.
+func (c *PipelineClient) Send(op byte, key uint64, payload []byte) (*Future, error) {
+	f := &Future{done: make(chan struct{})}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	select {
+	case <-c.closed:
+		return nil, errors.New("netserver: pipeline closed")
+	case c.pending <- f:
+	default:
+		// The in-flight window is full. Everything buffered must reach the
+		// wire before we block, or the reader would wait for responses to
+		// requests the server never saw — a self-deadlock.
+		if err := c.w.Flush(); err != nil {
+			return nil, err
+		}
+		select {
+		case <-c.closed:
+			return nil, errors.New("netserver: pipeline closed")
+		case c.pending <- f:
+		}
+	}
+	var hdr [13]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint64(hdr[1:9], key)
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(payload)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return nil, err
+	}
+	// Flush opportunistically: batch consecutive sends, but never hold a
+	// request hostage when the caller is about to Wait.
+	if len(c.pending) <= 1 || c.w.Buffered() > 32<<10 {
+		if err := c.w.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Flush pushes any buffered requests to the wire.
+func (c *PipelineClient) Flush() error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return c.w.Flush()
+}
+
+// Close tears down the connection and fails outstanding futures.
+func (c *PipelineClient) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		err = c.conn.Close()
+		c.readWG.Wait()
+	})
+	return err
+}

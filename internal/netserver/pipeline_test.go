@@ -1,0 +1,141 @@
+package netserver
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+
+	"mutps/internal/kvcore"
+)
+
+func TestPipelineBasicOrdering(t *testing.T) {
+	srv, _ := startServer(t, kvcore.Hash)
+	pc, err := DialPipeline(srv.Addr().String(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+
+	const n = 200
+	futs := make([]*Future, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v := make([]byte, 8)
+		binary.LittleEndian.PutUint64(v, i)
+		f, err := pc.Send(OpPut, i, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	if err := pc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range futs {
+		if st, _, err := f.Wait(); err != nil || st != StatusFound {
+			t.Fatalf("put response: %d %v", st, err)
+		}
+	}
+	// Pipelined reads: responses must match request order.
+	futs = futs[:0]
+	for i := uint64(0); i < n; i++ {
+		f, err := pc.Send(OpGet, i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	pc.Flush()
+	for i, f := range futs {
+		st, body, err := f.Wait()
+		if err != nil || st != StatusFound {
+			t.Fatalf("get %d: %d %v", i, st, err)
+		}
+		if binary.LittleEndian.Uint64(body) != uint64(i) {
+			t.Fatalf("response %d out of order: got %d", i, binary.LittleEndian.Uint64(body))
+		}
+	}
+}
+
+func TestPipelineErrorResponsesDoNotDesync(t *testing.T) {
+	srv, _ := startServer(t, kvcore.Hash)
+	pc, err := DialPipeline(srv.Addr().String(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	// Scan on a hash engine errors; the following get must still line up.
+	fErr, _ := pc.Send(OpScan, 0, []byte{1, 0, 0, 0})
+	pc.Send(OpPut, 9, []byte("x"))
+	fGet, _ := pc.Send(OpGet, 9, nil)
+	pc.Flush()
+	if _, _, err := fErr.Wait(); err == nil {
+		t.Fatal("scan on hash engine must error")
+	}
+	st, body, err := fGet.Wait()
+	if err != nil || st != StatusFound || string(body) != "x" {
+		t.Fatalf("pipeline desynced after error: %d %q %v", st, body, err)
+	}
+}
+
+func TestPipelineCloseFailsOutstanding(t *testing.T) {
+	srv, _ := startServer(t, kvcore.Hash)
+	pc, err := DialPipeline(srv.Addr().String(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := pc.Send(OpGet, 1, nil)
+	pc.Close()
+	if _, _, err := f.Wait(); err != nil {
+		// Either it completed before close or it failed — both are fine;
+		// what matters is that Wait returns.
+		t.Log("outstanding future failed on close:", err)
+	}
+	if _, err := pc.Send(OpGet, 2, nil); err == nil {
+		t.Fatal("send after close must fail")
+	}
+	pc.Close() // idempotent
+}
+
+func BenchmarkPipelinePutGet(b *testing.B) {
+	store, err := kvcore.Open(kvcore.Config{Engine: kvcore.Hash, Workers: 3, CRWorkers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	ln, err := netListen()
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := Serve(store, ln)
+	defer srv.Close()
+	pc, err := DialPipeline(srv.Addr().String(), 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pc.Close()
+	val := make([]byte, 64)
+	b.ResetTimer()
+	futs := make([]*Future, 0, 128)
+	for n := 0; n < b.N; n++ {
+		f, err := pc.Send(OpPut, uint64(n%4096), val)
+		if err != nil {
+			b.Fatal(err)
+		}
+		futs = append(futs, f)
+		if len(futs) == 128 {
+			pc.Flush()
+			for _, f := range futs {
+				f.Wait()
+			}
+			futs = futs[:0]
+		}
+	}
+	pc.Flush()
+	for _, f := range futs {
+		f.Wait()
+	}
+}
+
+// netListen wraps net.Listen for benchmarks (keeps the test file free of a
+// direct net import dependency in its main body).
+func netListen() (net.Listener, error) { return net.Listen("tcp", "127.0.0.1:0") }

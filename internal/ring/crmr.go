@@ -1,0 +1,154 @@
+package ring
+
+import "runtime"
+
+// CRMR is the all-to-all CR-MR queue: rings[c][m] is the dedicated SPSC
+// ring from CR worker c to MR worker m. CR workers spread batches across MR
+// workers round-robin to balance load; each MR worker scans its column of
+// rings to pop new batches.
+//
+// The matrix is sized for the maximum worker counts the store may ever use,
+// so thread reassignment (which changes how many workers are *active* at
+// each layer) never reallocates rings — idle rings simply stay empty.
+type CRMR struct {
+	rings [][]*SPSC
+}
+
+// NewCRMR builds a maxCR × maxMR matrix of rings with the given per-ring
+// slot capacity.
+func NewCRMR(maxCR, maxMR, capacity int) *CRMR {
+	if maxCR <= 0 || maxMR <= 0 {
+		panic("ring: CRMR dimensions must be positive")
+	}
+	q := &CRMR{rings: make([][]*SPSC, maxCR)}
+	for c := range q.rings {
+		q.rings[c] = make([]*SPSC, maxMR)
+		for m := range q.rings[c] {
+			q.rings[c][m] = NewSPSC(capacity)
+		}
+	}
+	return q
+}
+
+// MaxCR returns the producer-side dimension.
+func (q *CRMR) MaxCR() int { return len(q.rings) }
+
+// MaxMR returns the consumer-side dimension.
+func (q *CRMR) MaxMR() int { return len(q.rings[0]) }
+
+// Ring returns the dedicated ring from CR worker c to MR worker m.
+func (q *CRMR) Ring(c, m int) *SPSC { return q.rings[c][m] }
+
+// Producer is CR worker c's sending handle: it batches requests locally
+// and pushes full batches to the active MR workers round-robin.
+type Producer struct {
+	q     *CRMR
+	cr    int
+	next  int // round-robin cursor over MR workers
+	batch []Request
+	limit int
+}
+
+// Producer creates the handle for CR worker c with the given batch size
+// (requests accumulated before a push; clamped to [1, MaxBatch]).
+func (q *CRMR) Producer(c, batchSize int) *Producer {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	if batchSize > MaxBatch {
+		batchSize = MaxBatch
+	}
+	return &Producer{q: q, cr: c, batch: make([]Request, 0, batchSize), limit: batchSize}
+}
+
+// Add queues one request locally; when the local batch reaches the batch
+// size it is flushed. It returns the MR worker index the batch went to and
+// true when a flush happened (so the caller can record the in-flight batch
+// for completion matching), or -1 and false otherwise. The active MR
+// workers are the contiguous columns [mrBase, mrBase+nMR).
+func (p *Producer) Add(req Request, mrBase, nMR int) (mr int, flushed bool) {
+	p.batch = append(p.batch, req)
+	if len(p.batch) < p.limit {
+		return -1, false
+	}
+	return p.Flush(mrBase, nMR)
+}
+
+// Flush pushes any locally queued requests as one batch, spinning while
+// the target ring is full. It returns (-1, false) when nothing was queued.
+func (p *Producer) Flush(mrBase, nMR int) (mr int, flushed bool) {
+	if len(p.batch) == 0 {
+		return -1, false
+	}
+	if nMR <= 0 || mrBase < 0 || mrBase+nMR > p.q.MaxMR() {
+		panic("ring: active MR range out of bounds")
+	}
+	m := mrBase + p.next%nMR
+	p.next++
+	r := p.q.rings[p.cr][m]
+	for !r.Push(p.batch) {
+		// Ring full: the MR worker is behind. On pinned dedicated cores
+		// this would be a pure spin; under the Go scheduler we must yield
+		// so the consumer goroutine can run.
+		runtime.Gosched()
+	}
+	p.batch = p.batch[:0]
+	return m, true
+}
+
+// PendingLocal returns how many requests are queued locally (not yet
+// pushed).
+func (p *Producer) PendingLocal() int { return len(p.batch) }
+
+// Consumer is MR worker m's receiving handle: it scans the rings of all
+// active CR workers for new batches.
+type Consumer struct {
+	q    *CRMR
+	mr   int
+	next int // scan cursor over CR workers for fairness
+}
+
+// Consumer creates the handle for MR worker m.
+func (q *CRMR) Consumer(m int) *Consumer {
+	return &Consumer{q: q, mr: m}
+}
+
+// Poll performs a one-shot scan over the active CR workers' rings (rows
+// [0, nCR)) and returns the first available batch along with the CR worker
+// it came from and the ring to Commit on. It returns cr = -1 when no ring
+// has work — the non-blocking discipline of the FSM execution model.
+func (c *Consumer) Poll(nCR int) (cr int, reqs []Request, r *SPSC) {
+	if nCR <= 0 || nCR > c.q.MaxCR() {
+		panic("ring: active CR count out of range")
+	}
+	for i := 0; i < nCR; i++ {
+		idx := (c.next + i) % nCR
+		ring := c.q.rings[idx][c.mr]
+		if batch := ring.Peek(); batch != nil {
+			c.next = (idx + 1) % nCR
+			return idx, batch, ring
+		}
+	}
+	return -1, nil, nil
+}
+
+// ColumnEmpty reports whether every ring feeding MR worker m is drained —
+// used during thread reassignment to ensure no residual requests.
+func (q *CRMR) ColumnEmpty(m int) bool {
+	for c := range q.rings {
+		if !q.rings[c][m].Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// RowEmpty reports whether CR worker c's outgoing rings are all drained.
+func (q *CRMR) RowEmpty(c int) bool {
+	for m := range q.rings[c] {
+		if !q.rings[c][m].Empty() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,291 @@
+// Package rpc implements reconfigurable RPC (§3.2.1): a single shared
+// receive ring at the server into which all clients append requests, with
+// worker threads claiming slots by index — worker i fetches the request at
+// slot m exactly when m mod n = i, where n is the number of active workers.
+// Changing n is therefore a server-local update: no coordination with
+// clients is needed, which is the property that makes μTPS's thread
+// reassignment cheap.
+//
+// The transport here is in-process (clients are goroutines); the simulated
+// RDMA path lives in internal/simhw and internal/simkv. The reconfiguration
+// protocol is the paper's: the manager publishes a switch index S, workers
+// keep using the old n for slots below S and the new n from S on, so every
+// slot has exactly one owner at all times and no request is lost or
+// duplicated.
+package rpc
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+
+	"mutps/internal/workload"
+)
+
+// Message is one client request as it sits in a receive-ring slot.
+type Message struct {
+	Op        workload.OpType
+	Key       uint64
+	Value     []byte // put payload; ownership passes to the server
+	ScanCount int
+
+	call *Call
+}
+
+// Call is the client-side future for a response.
+type Call struct {
+	done chan struct{}
+
+	// Results, valid after Wait returns.
+	Value    []byte   // get result (nil if missing)
+	Found    bool     // get/delete outcome
+	ScanKeys []uint64 // keys returned by a scan, ascending
+	ScanVals [][]byte // values parallel to ScanKeys
+	Err      error
+}
+
+// Wait blocks until the server completes the call.
+func (c *Call) Wait() { <-c.done }
+
+// Complete finishes the call; servers call it exactly once.
+func (c *Call) Complete() { close(c.done) }
+
+// ErrClosed is reported by Send after Close.
+var ErrClosed = errors.New("rpc: server closed")
+
+type slot struct {
+	seq atomic.Uint64
+	msg Message
+}
+
+// phase is one segment of the worker-count schedule: slots in
+// [start, nextPhase.start) are owned by worker (slot mod n).
+type phase struct {
+	start uint64
+	n     int
+}
+
+type schedule struct {
+	phases []phase // ascending by start; at least one
+}
+
+// nextOwned returns the smallest slot index >= from owned by worker, or
+// false if the worker owns no further slots (it has been retired by a
+// shrink and has passed the switch index).
+func (s *schedule) nextOwned(from uint64, worker int) (uint64, bool) {
+	for i := 0; i < len(s.phases); i++ {
+		p := s.phases[i]
+		end := ^uint64(0)
+		if i+1 < len(s.phases) {
+			end = s.phases[i+1].start
+		}
+		if end <= from {
+			continue
+		}
+		lo := from
+		if p.start > lo {
+			lo = p.start
+		}
+		if worker >= p.n {
+			continue // retired within this phase
+		}
+		// First index >= lo with index mod p.n == worker.
+		rem := lo % uint64(p.n)
+		idx := lo + (uint64(worker)+uint64(p.n)-rem)%uint64(p.n)
+		if idx < end {
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// Server is the in-process reconfigurable RPC endpoint.
+type Server struct {
+	capMask uint64
+	slots   []slot
+
+	ticket atomic.Uint64 // client producer tickets
+	sched  atomic.Pointer[schedule]
+	closed atomic.Bool
+
+	cursors    []cursorPad // per-worker next owned index (private to the worker)
+	maxWorkers int
+}
+
+type cursorPad struct {
+	v atomic.Uint64
+	_ [7]uint64
+}
+
+// NewServer creates a receive ring with the given capacity (rounded up to a
+// power of two) serving up to maxWorkers workers, initially n of them
+// active.
+func NewServer(capacity, maxWorkers, n int) *Server {
+	if n < 1 || n > maxWorkers {
+		panic("rpc: initial worker count out of range")
+	}
+	c := 2
+	for c < capacity {
+		c <<= 1
+	}
+	s := &Server{
+		capMask:    uint64(c - 1),
+		slots:      make([]slot, c),
+		cursors:    make([]cursorPad, maxWorkers),
+		maxWorkers: maxWorkers,
+	}
+	for i := range s.slots {
+		s.slots[i].seq.Store(uint64(i))
+	}
+	s.sched.Store(&schedule{phases: []phase{{0, n}}})
+	for w := 0; w < maxWorkers; w++ {
+		// Workers derive their own positions; everyone starts parked at 0
+		// and un-parks on first poll if the schedule includes them.
+		s.cursors[w].v.Store(parkedBit)
+	}
+	return s
+}
+
+// Cap returns the ring capacity in slots.
+func (s *Server) Cap() int { return len(s.slots) }
+
+// Workers returns the currently scheduled worker count (the n of the
+// latest phase).
+func (s *Server) Workers() int {
+	ph := s.sched.Load().phases
+	return ph[len(ph)-1].n
+}
+
+// Send appends a request to the shared receive ring, spinning while the
+// ring is full, and returns the call future (nil after Close). Safe for
+// any number of concurrent client goroutines.
+func (s *Server) Send(m Message) *Call {
+	if s.closed.Load() {
+		return nil
+	}
+	call := &Call{done: make(chan struct{})}
+	m.call = call
+	pos := s.ticket.Add(1) - 1
+	sl := &s.slots[pos&s.capMask]
+	for sl.seq.Load() != pos {
+		if s.closed.Load() {
+			return nil
+		}
+		runtime.Gosched() // ring full: wait for the owner to free the slot
+	}
+	sl.msg = m
+	sl.seq.Store(pos + 1)
+	return call
+}
+
+// parkedBit marks a cursor that currently owns no slot: the low bits hold
+// the position ownership ran out at, so a later grow phase re-derives the
+// next owned slot from there with no slot ever skipped or double-claimed.
+// Cursors are entirely worker-local; the manager never touches them.
+const parkedBit = uint64(1) << 63
+
+// Poll is worker w's non-blocking one-shot check of its next owned slot.
+// It returns the message and its completion future when one is ready. ok
+// is false when nothing is ready; retired is true when the current
+// schedule gives worker w no further slots (after a shrink) — the worker
+// may switch to the memory-resident layer, and will automatically un-park
+// here if a later grow re-activates it.
+func (s *Server) Poll(w int) (m Message, ok bool, retired bool) {
+	idx := s.cursors[w].v.Load()
+	if idx&parkedBit != 0 {
+		base := idx &^ parkedBit
+		next, okN := s.sched.Load().nextOwned(base, w)
+		if !okN {
+			return Message{}, false, true
+		}
+		s.cursors[w].v.Store(next)
+		idx = next
+	}
+	sl := &s.slots[idx&s.capMask]
+	if sl.seq.Load() != idx+1 {
+		return Message{}, false, false
+	}
+	m = sl.msg
+	sl.msg = Message{} // drop references for GC
+	sl.seq.Store(idx + s.capMask + 1)
+	if next, okN := s.sched.Load().nextOwned(idx+1, w); okN {
+		s.cursors[w].v.Store(next)
+	} else {
+		s.cursors[w].v.Store((idx + 1) | parkedBit)
+	}
+	return m, true, false
+}
+
+// Call returns the future attached to a polled message.
+func (m *Message) Call() *Call { return m.call }
+
+// Reconfigure schedules a change of the active worker count to newN and
+// returns the switch slot index S: slots below S keep the old mapping,
+// slots at or above S use the new one. Workers discover the change as
+// their cursors cross S; grown workers (w >= old n) start receiving work
+// automatically once S is reached.
+func (s *Server) Reconfigure(newN int) uint64 {
+	if newN < 1 || newN > s.maxWorkers {
+		panic("rpc: worker count out of range")
+	}
+	for {
+		old := s.sched.Load()
+		// S must be beyond every slot any worker could already have
+		// consumed; published slots are < ticket, and cursors never run
+		// ahead of published slots, so ticket + capacity is safe even
+		// against in-flight producers.
+		sw := s.ticket.Load() + uint64(len(s.slots))
+		phases := make([]phase, 0, len(old.phases)+1)
+		phases = append(phases, old.phases...)
+		phases = append(phases, phase{start: sw, n: newN})
+		// Prune history: phases entirely below every worker's position can
+		// never be consulted again (cursors only move forward), so keep
+		// only the newest phase at or below the frontier. Without this a
+		// long-lived server being auto-tuned would accumulate phases
+		// without bound and Poll's ownership walk would slow down.
+		frontier := s.minCursor()
+		keepFrom := 0
+		for i := 1; i < len(phases); i++ {
+			if phases[i].start <= frontier {
+				keepFrom = i
+			}
+		}
+		phases = phases[keepFrom:]
+		if s.sched.CompareAndSwap(old, &schedule{phases: phases}) {
+			// Parked workers re-derive their position from the new
+			// schedule on their next Poll; nothing else to do.
+			return sw
+		}
+	}
+}
+
+// minCursor returns the smallest position any worker may still consult.
+func (s *Server) minCursor() uint64 {
+	min := ^uint64(0)
+	for w := range s.cursors {
+		c := s.cursors[w].v.Load() &^ parkedBit
+		if c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// PhaseCount reports the live schedule length (for tests and diagnostics).
+func (s *Server) PhaseCount() int { return len(s.sched.Load().phases) }
+
+// PendingBefore reports whether worker w still owns unconsumed slots below
+// the given switch index (used to confirm drain during reassignment).
+func (s *Server) PendingBefore(w int, sw uint64) bool {
+	idx := s.cursors[w].v.Load()
+	if idx&parkedBit != 0 {
+		return false
+	}
+	// Only published slots can hold requests, so the worker is drained once
+	// its cursor passes either the switch index or the publication frontier.
+	return idx < sw && idx < s.ticket.Load()
+}
+
+// Close makes all subsequent Sends fail. In-flight calls must still be
+// drained by the workers.
+func (s *Server) Close() { s.closed.Store(true) }

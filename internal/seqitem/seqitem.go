@@ -1,0 +1,169 @@
+// Package seqitem implements the paper's per-item concurrency control
+// (§3.3): each KV item embeds lock and version bits. Updates of 8 bytes or
+// less are performed directly with a single atomic store; larger updates
+// take the lock bit with CAS, copy the value in place, and bump the version
+// before and after. Reads are lock-free: the version is read before and
+// after the copy and the read retries if it changed (a seqlock).
+//
+// An Item's size is fixed at creation. A size-changing update is performed
+// by the index layer as an item replacement (allocate a new Item, swap the
+// index pointer), which keeps the in-place protocol exact: 8-byte items
+// never need the lock at all, and larger items are only ever overwritten
+// with same-length values under the lock. The value payload is stored as
+// 64-bit words accessed atomically, so the protocol is precise under the
+// Go memory model while preserving the paper's cache behaviour — an
+// in-place update touches only the item's own cache lines.
+package seqitem
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// meta layout: bit 0 = lock, remaining bits = version.
+const (
+	lockBit uint64 = 1
+	verOne  uint64 = 2
+)
+
+// Item is a fixed-size mutable KV value with embedded lock/version bits.
+// Create items with New.
+type Item struct {
+	size  int
+	meta  atomic.Uint64
+	words []atomic.Uint64
+
+	// moved points to the item's replacement after a size-changing update
+	// swapped the index pointer; stale holders (e.g. the CR layer's hot-set
+	// view) transparently follow it. dead marks a deleted item so stale
+	// holders treat lookups as misses.
+	moved atomic.Pointer[Item]
+	dead  atomic.Bool
+}
+
+// Latest follows the replacement chain to the current item record.
+func (it *Item) Latest() *Item {
+	for {
+		n := it.moved.Load()
+		if n == nil {
+			return it
+		}
+		it = n
+	}
+}
+
+// MoveTo publishes n as the item's replacement. Callers swap the index
+// pointer first, then MoveTo, so every path converges on the new record.
+func (it *Item) MoveTo(n *Item) { it.moved.Store(n) }
+
+// Kill marks the item (and anything that still points at it) deleted.
+func (it *Item) Kill() { it.dead.Store(true) }
+
+// Dead reports whether the latest record in the chain has been deleted.
+func (it *Item) Dead() bool { return it.Latest().dead.Load() }
+
+// New creates an item holding exactly val (whose length becomes the item's
+// immutable size).
+func New(val []byte) *Item {
+	n := len(val)
+	nw := (n + 7) / 8
+	if nw == 0 {
+		nw = 1
+	}
+	it := &Item{size: n, words: make([]atomic.Uint64, nw)}
+	it.storeWords(val)
+	return it
+}
+
+// Size returns the current record's fixed value size in bytes (following
+// any replacement chain).
+func (it *Item) Size() int { return it.Latest().size }
+
+func (it *Item) storeWords(val []byte) {
+	n := len(val)
+	for w := 0; w*8 < n; w++ {
+		var chunk uint64
+		for b := 0; b < 8 && w*8+b < n; b++ {
+			chunk |= uint64(val[w*8+b]) << (8 * b)
+		}
+		it.words[w].Store(chunk)
+	}
+}
+
+func (it *Item) loadWords(dst []byte) {
+	n := it.size
+	for w := 0; w*8 < n; w++ {
+		chunk := it.words[w].Load()
+		for b := 0; b < 8 && w*8+b < n; b++ {
+			dst[w*8+b] = byte(chunk >> (8 * b))
+		}
+	}
+}
+
+// Write replaces the value in place. It returns false (leaving the item
+// unchanged) when len(val) differs from the item's fixed size — the caller
+// must then allocate a replacement item and swap the index pointer.
+func (it *Item) Write(val []byte) bool {
+	it = it.Latest()
+	if len(val) != it.size {
+		return false
+	}
+	if it.size <= 8 {
+		// The paper's fast path: the whole value is one word, so a single
+		// atomic store is a complete, untearable update.
+		var chunk uint64
+		for b := 0; b < len(val); b++ {
+			chunk |= uint64(val[b]) << (8 * b)
+		}
+		it.words[0].Store(chunk)
+		return true
+	}
+	// Lock bit via CAS, copy, unlock with a second version bump.
+	for {
+		old := it.meta.Load()
+		if old&lockBit != 0 {
+			runtime.Gosched()
+			continue
+		}
+		if it.meta.CompareAndSwap(old, (old+verOne)|lockBit) {
+			break
+		}
+	}
+	it.storeWords(val)
+	it.meta.Store((it.meta.Load() + verOne) &^ lockBit)
+	return true
+}
+
+// Read copies the current value into buf (growing it if needed) and returns
+// the filled slice: the paper's lock-free read protocol.
+func (it *Item) Read(buf []byte) []byte {
+	it = it.Latest()
+	n := it.size
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if n <= 8 {
+		chunk := it.words[0].Load()
+		for b := 0; b < n; b++ {
+			buf[b] = byte(chunk >> (8 * b))
+		}
+		return buf
+	}
+	for {
+		m1 := it.meta.Load()
+		if m1&lockBit != 0 {
+			runtime.Gosched()
+			continue
+		}
+		it.loadWords(buf)
+		if it.meta.Load() == m1 {
+			return buf
+		}
+	}
+}
+
+// ReadUint64 returns the first payload word; it is the zero-copy fast path
+// for ≤8-byte items (always consistent because such items are updated with
+// a single store).
+func (it *Item) ReadUint64() uint64 { return it.Latest().words[0].Load() }

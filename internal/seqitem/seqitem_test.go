@@ -1,0 +1,267 @@
+package seqitem
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndRead(t *testing.T) {
+	for _, val := range [][]byte{nil, {}, []byte("a"), []byte("12345678"), []byte("a longer value spanning words")} {
+		it := New(val)
+		if it.Size() != len(val) {
+			t.Fatalf("Size = %d, want %d", it.Size(), len(val))
+		}
+		got := it.Read(nil)
+		if !bytes.Equal(got, val) {
+			t.Fatalf("Read = %q, want %q", got, val)
+		}
+	}
+}
+
+func TestWriteSameSize(t *testing.T) {
+	it := New([]byte("hello, world!!"))
+	if !it.Write([]byte("HELLO, WORLD??")) {
+		t.Fatal("same-size write must succeed")
+	}
+	if got := it.Read(nil); string(got) != "HELLO, WORLD??" {
+		t.Fatalf("Read = %q", got)
+	}
+}
+
+func TestWriteSizeMismatchRejected(t *testing.T) {
+	it := New([]byte("eight by"))
+	if it.Write([]byte("nine byte")) {
+		t.Fatal("size-changing write must be rejected")
+	}
+	if got := it.Read(nil); string(got) != "eight by" {
+		t.Fatal("rejected write must not modify the item")
+	}
+}
+
+func TestSmallItemWordPath(t *testing.T) {
+	it := New([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	if it.ReadUint64() != 0x0807060504030201 {
+		t.Fatalf("ReadUint64 = %#x", it.ReadUint64())
+	}
+	it.Write([]byte{8, 7, 6, 5, 4, 3, 2, 1})
+	if it.ReadUint64() != 0x0102030405060708 {
+		t.Fatalf("after write ReadUint64 = %#x", it.ReadUint64())
+	}
+}
+
+func TestReadReusesBuffer(t *testing.T) {
+	it := New([]byte("0123456789"))
+	buf := make([]byte, 0, 64)
+	out := it.Read(buf)
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("Read must reuse a large-enough buffer")
+	}
+}
+
+func TestReadRoundTripProperty(t *testing.T) {
+	f := func(val []byte) bool {
+		it := New(val)
+		next := make([]byte, len(val))
+		for i := range next {
+			next[i] = val[i] ^ 0xFF
+		}
+		if !it.Write(next) {
+			return false
+		}
+		return bytes.Equal(it.Read(nil), next)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoTornReads hammers one large item with writers that each write a
+// value filled with a single repeated byte; readers must never observe a
+// mix of fill bytes.
+func TestNoTornReads(t *testing.T) {
+	const size = 256
+	it := New(bytes.Repeat([]byte{0}, size))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			val := bytes.Repeat([]byte{byte(w + 1)}, size)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					it.Write(val)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 0, size)
+			for i := 0; i < 20000; i++ {
+				got := it.Read(buf)
+				fill := got[0]
+				for _, b := range got {
+					if b != fill {
+						panic("torn read observed")
+					}
+				}
+			}
+		}()
+	}
+	// Let readers finish, then stop writers.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	// Readers exit by iteration count; writers by stop.
+	for i := 0; i < 4; i++ {
+	}
+	close(stop)
+	<-done
+}
+
+// TestSmallItemConcurrentWrites checks last-writer-wins word semantics.
+func TestSmallItemConcurrentWrites(t *testing.T) {
+	it := New(make([]byte, 8))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			val := bytes.Repeat([]byte{byte(w)}, 8)
+			for i := 0; i < 10000; i++ {
+				it.Write(val)
+				got := it.Read(nil)
+				fill := got[0]
+				for _, b := range got {
+					if b != fill {
+						panic("torn small read")
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func BenchmarkWrite8B(b *testing.B) {
+	it := New(make([]byte, 8))
+	val := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it.Write(val)
+	}
+}
+
+func BenchmarkWrite256B(b *testing.B) {
+	it := New(make([]byte, 256))
+	val := bytes.Repeat([]byte{7}, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it.Write(val)
+	}
+}
+
+func BenchmarkRead256B(b *testing.B) {
+	it := New(bytes.Repeat([]byte{7}, 256))
+	buf := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it.Read(buf)
+	}
+}
+
+func TestMoveToChainConvergence(t *testing.T) {
+	a := New([]byte("aaaa"))
+	b := New([]byte("bbbbbbbb"))
+	c := New([]byte("cccccccccccc"))
+	a.MoveTo(b)
+	b.MoveTo(c)
+	// All operations on the stale head follow the chain to the newest record.
+	if a.Latest() != c {
+		t.Fatal("Latest must follow the whole chain")
+	}
+	if got := a.Read(nil); string(got) != "cccccccccccc" {
+		t.Fatalf("Read through chain = %q", got)
+	}
+	if a.Size() != 12 {
+		t.Fatalf("Size through chain = %d", a.Size())
+	}
+	if !a.Write([]byte("CCCCCCCCCCCC")) {
+		t.Fatal("same-size write through chain must succeed")
+	}
+	if got := c.Read(nil); string(got) != "CCCCCCCCCCCC" {
+		t.Fatal("write through chain must land on the newest record")
+	}
+	// Size mismatch still rejected at the newest record.
+	if a.Write([]byte("short")) {
+		t.Fatal("size-changing write must be rejected through the chain")
+	}
+}
+
+func TestKillAndDeadThroughChain(t *testing.T) {
+	a := New([]byte("aaaa"))
+	if a.Dead() {
+		t.Fatal("fresh item must be alive")
+	}
+	b := New([]byte("bbbb"))
+	a.MoveTo(b)
+	b.Kill()
+	if !a.Dead() {
+		t.Fatal("death must be visible through the chain")
+	}
+	// Resurrection: a new record replaces the dead one.
+	c := New([]byte("cccc"))
+	b.MoveTo(c)
+	if a.Dead() {
+		t.Fatal("chain ending in a live record must be alive")
+	}
+}
+
+func TestConcurrentMoveAndRead(t *testing.T) {
+	head := New(bytes.Repeat([]byte{1}, 32))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	cur := head
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 2; i < 100; i++ {
+			n := New(bytes.Repeat([]byte{byte(i)}, 32))
+			cur.MoveTo(n)
+			cur = n
+		}
+		close(stop)
+	}()
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 0, 32)
+			for {
+				got := head.Read(buf)
+				fill := got[0]
+				for _, x := range got {
+					if x != fill {
+						panic("mixed-generation read through a moving chain")
+					}
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if head.Read(nil)[0] != 99 {
+		t.Fatal("chain must end at the last record")
+	}
+}

@@ -1,0 +1,54 @@
+package simhw
+
+// Alloc is a bump allocator over the simulated physical address space.
+// Simulated data structures allocate their nodes and buffers here so that
+// every pointer dereference corresponds to a concrete address the cache
+// model can track.
+type Alloc struct {
+	next uint64
+	end  uint64
+}
+
+// NewAlloc returns an allocator serving addresses from [base, base+size).
+// A zero size means unbounded.
+func NewAlloc(base, size uint64) *Alloc {
+	end := uint64(0)
+	if size > 0 {
+		end = base + size
+	}
+	return &Alloc{next: base, end: end}
+}
+
+// Alloc reserves size bytes aligned to align (which must be a power of two;
+// 0 means cache-line alignment is not required and 8-byte alignment is
+// used). It panics if the region is exhausted — simulation configuration
+// error, not a runtime condition.
+func (a *Alloc) Alloc(size, align uint64) uint64 {
+	if align == 0 {
+		align = 8
+	}
+	if align&(align-1) != 0 {
+		panic("simhw: alignment must be a power of two")
+	}
+	p := (a.next + align - 1) &^ (align - 1)
+	if a.end != 0 && p+size > a.end {
+		panic("simhw: simulated address region exhausted")
+	}
+	a.next = p + size
+	return p
+}
+
+// Used returns the number of bytes consumed (including alignment padding).
+func (a *Alloc) Used(base uint64) uint64 { return a.next - base }
+
+// Standard simulated address-space layout. Distinct regions make address
+// provenance obvious in traces and keep structures from aliasing in the
+// direct-mapped-index sense only when they truly share cache sets.
+const (
+	RegionRXBase   uint64 = 0x0000_1000_0000 // shared receive ring
+	RegionRespBase uint64 = 0x0000_2000_0000 // per-worker response buffers
+	RegionRingBase uint64 = 0x0000_3000_0000 // CR-MR queue rings
+	RegionHotBase  uint64 = 0x0000_4000_0000 // cache-resident hot-set structures
+	RegionIdxBase  uint64 = 0x0001_0000_0000 // full index structures
+	RegionDataBase uint64 = 0x0010_0000_0000 // KV item storage
+)

@@ -1,0 +1,227 @@
+package simhw
+
+// WayMask is a bitmask over cache ways. Bit i set means way i may be used
+// for allocation (fill) by the access class carrying the mask. Lookups are
+// never constrained by the mask — Intel CAT restricts allocation, not hits.
+type WayMask uint32
+
+// AllWays returns a mask with the n lowest ways set.
+func AllWays(n int) WayMask { return WayMask(1<<uint(n)) - 1 }
+
+// RightmostWays returns a mask selecting the k highest-numbered ("rightmost"
+// in the paper's and Intel's DDIO terminology) of n ways.
+func RightmostWays(n, k int) WayMask {
+	if k >= n {
+		return AllWays(n)
+	}
+	return AllWays(n) &^ AllWays(n-k)
+}
+
+// Count returns the number of ways enabled in the mask.
+func (m WayMask) Count() int {
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}
+
+// CacheStats aggregates hit/miss counters for one cache instance.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// MissRate returns misses/(hits+misses), or 0 for an untouched cache.
+func (s CacheStats) MissRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(t)
+}
+
+type cacheEntry struct {
+	tag     uint64
+	lastUse uint64
+	valid   bool
+	dirty   bool
+	owner   int8 // core that last wrote the line (for coherence modelling); -1 = none/NIC
+}
+
+// Cache is a set-associative cache with LRU replacement and CAT-style
+// allocation masks. It is not safe for concurrent use; the simulation
+// engine serializes access.
+type Cache struct {
+	sets     int
+	ways     int
+	lineBits uint
+	setMask  uint64
+	entries  []cacheEntry // sets*ways, row-major by set
+	tick     uint64
+	Stats    CacheStats
+}
+
+// NewCache builds a cache with the given geometry. sets must be a power of
+// two.
+func NewCache(sets, ways int, lineBits uint) *Cache {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("simhw: cache sets must be a positive power of two")
+	}
+	if ways <= 0 || ways > 32 {
+		panic("simhw: cache ways must be in [1,32]")
+	}
+	return &Cache{
+		sets:     sets,
+		ways:     ways,
+		lineBits: lineBits,
+		setMask:  uint64(sets - 1),
+		entries:  make([]cacheEntry, sets*ways),
+	}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SizeBytes returns the total capacity in bytes.
+func (c *Cache) SizeBytes() uint64 {
+	return uint64(c.sets) * uint64(c.ways) * (1 << c.lineBits)
+}
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	line := addr >> c.lineBits
+	return int(line & c.setMask), line >> uint(len64(c.setMask))
+}
+
+func len64(mask uint64) int {
+	n := 0
+	for mask != 0 {
+		mask >>= 1
+		n++
+	}
+	return n
+}
+
+// Lookup probes the cache without allocating. It returns whether the line is
+// present and, if so, marks it most-recently-used. write marks the line
+// dirty and records the owner core.
+func (c *Cache) Lookup(addr uint64, write bool, core int) (hit bool, prevOwner int8) {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	c.tick++
+	for w := 0; w < c.ways; w++ {
+		e := &c.entries[base+w]
+		if e.valid && e.tag == tag {
+			e.lastUse = c.tick
+			prevOwner = e.owner
+			if write {
+				e.dirty = true
+				e.owner = int8(core)
+			}
+			c.Stats.Hits++
+			return true, prevOwner
+		}
+	}
+	c.Stats.Misses++
+	return false, -1
+}
+
+// Contains reports presence without disturbing LRU state or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		e := &c.entries[base+w]
+		if e.valid && e.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill allocates the line into the cache, choosing a victim only among the
+// ways enabled in mask (CAT semantics). It returns the evicted line address
+// and whether an eviction of a valid line occurred.
+func (c *Cache) Fill(addr uint64, mask WayMask, write bool, core int) (evicted uint64, didEvict bool) {
+	if mask == 0 {
+		mask = AllWays(c.ways)
+	}
+	set, tag := c.index(addr)
+	base := set * c.ways
+	c.tick++
+	victim := -1
+	var victimUse uint64 = ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		if mask&(1<<uint(w)) == 0 {
+			continue
+		}
+		e := &c.entries[base+w]
+		if !e.valid {
+			victim = w
+			victimUse = 0
+			break
+		}
+		if e.lastUse < victimUse {
+			victim = w
+			victimUse = e.lastUse
+		}
+	}
+	if victim < 0 {
+		// Mask selected no ways that exist in this cache; treat as a
+		// bypassing access.
+		return 0, false
+	}
+	e := &c.entries[base+victim]
+	if e.valid {
+		didEvict = true
+		evicted = c.lineAddr(set, e.tag)
+		c.Stats.Evictions++
+	}
+	e.valid = true
+	e.tag = tag
+	e.lastUse = c.tick
+	e.dirty = write
+	if write {
+		e.owner = int8(core)
+	} else {
+		e.owner = -1
+	}
+	return evicted, didEvict
+}
+
+// Invalidate removes the line if present (used to model cross-cache
+// invalidations on remote writes).
+func (c *Cache) Invalidate(addr uint64) bool {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		e := &c.entries[base+w]
+		if e.valid && e.tag == tag {
+			e.valid = false
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cache) lineAddr(set int, tag uint64) uint64 {
+	return (tag<<uint(len64(c.setMask)) | uint64(set)) << c.lineBits
+}
+
+// Reset clears all entries and statistics.
+func (c *Cache) Reset() {
+	for i := range c.entries {
+		c.entries[i] = cacheEntry{}
+	}
+	c.tick = 0
+	c.Stats = CacheStats{}
+}
+
+// ResetStats clears counters but keeps cache contents, so steady-state miss
+// rates can be measured after warmup.
+func (c *Cache) ResetStats() { c.Stats = CacheStats{} }

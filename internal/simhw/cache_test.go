@@ -1,0 +1,172 @@
+package simhw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWayMaskHelpers(t *testing.T) {
+	if AllWays(12) != 0xFFF {
+		t.Fatalf("AllWays(12) = %#x, want 0xFFF", AllWays(12))
+	}
+	if got := RightmostWays(12, 2); got != 0xC00 {
+		t.Fatalf("RightmostWays(12,2) = %#x, want 0xC00", got)
+	}
+	if got := RightmostWays(4, 8); got != 0xF {
+		t.Fatalf("RightmostWays(4,8) = %#x, want 0xF", got)
+	}
+	if AllWays(12).Count() != 12 {
+		t.Fatalf("Count(AllWays(12)) = %d", AllWays(12).Count())
+	}
+	if RightmostWays(12, 2).Count() != 2 {
+		t.Fatalf("Count(RightmostWays(12,2)) = %d", RightmostWays(12, 2).Count())
+	}
+	if WayMask(0).Count() != 0 {
+		t.Fatalf("Count(0) != 0")
+	}
+}
+
+func TestCacheBasicHitMiss(t *testing.T) {
+	c := NewCache(4, 2, 6)
+	if hit, _ := c.Lookup(0x1000, false, 0); hit {
+		t.Fatal("empty cache must miss")
+	}
+	c.Fill(0x1000, 0, false, 0)
+	if hit, _ := c.Lookup(0x1000, false, 0); !hit {
+		t.Fatal("filled line must hit")
+	}
+	// Same line, different offset within the 64 B line.
+	if hit, _ := c.Lookup(0x103F, false, 0); !hit {
+		t.Fatal("offset within the same line must hit")
+	}
+	if c.Stats.Hits != 2 || c.Stats.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits 1 miss", c.Stats)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(1, 2, 6) // single set, 2 ways
+	c.Fill(0x0, 0, false, 0)
+	c.Fill(0x40, 0, false, 0)
+	// Touch 0x0 so 0x40 becomes LRU.
+	c.Lookup(0x0, false, 0)
+	ev, did := c.Fill(0x80, 0, false, 0)
+	if !did || ev != 0x40 {
+		t.Fatalf("evicted %#x (did=%v), want 0x40", ev, did)
+	}
+	if !c.Contains(0x0) || !c.Contains(0x80) || c.Contains(0x40) {
+		t.Fatal("wrong residency after LRU eviction")
+	}
+}
+
+func TestCacheWayMaskRestrictsAllocationNotHits(t *testing.T) {
+	c := NewCache(1, 4, 6)
+	// Fill way-restricted to ways {0,1}.
+	lo := WayMask(0b0011)
+	hi := WayMask(0b1100)
+	c.Fill(0x000, lo, false, 0)
+	c.Fill(0x040, lo, false, 0)
+	c.Fill(0x080, hi, false, 0)
+	// A third lo-fill must evict one of the first two, never 0x080.
+	c.Fill(0x0C0, lo, false, 0)
+	if !c.Contains(0x080) {
+		t.Fatal("fill outside mask evicted a protected way")
+	}
+	// The line in a hi way must still be hittable by anyone.
+	if hit, _ := c.Lookup(0x080, false, 3); !hit {
+		t.Fatal("mask must not restrict lookups")
+	}
+}
+
+func TestCacheMaskWithNoWaysBypasses(t *testing.T) {
+	c := NewCache(1, 2, 6)
+	// Mask selects ways beyond associativity → bypass, no eviction.
+	c.Fill(0x0, 0, false, 0)
+	_, did := c.Fill(0x40, WayMask(0b100), false, 0)
+	if did {
+		t.Fatal("bypassing fill must not evict")
+	}
+	if c.Contains(0x40) {
+		t.Fatal("bypassing fill must not allocate")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(2, 2, 6)
+	c.Fill(0x1000, 0, false, 0)
+	if !c.Invalidate(0x1000) {
+		t.Fatal("invalidate of present line must return true")
+	}
+	if c.Invalidate(0x1000) {
+		t.Fatal("second invalidate must return false")
+	}
+	if c.Contains(0x1000) {
+		t.Fatal("line present after invalidate")
+	}
+}
+
+func TestCacheResetAndResetStats(t *testing.T) {
+	c := NewCache(2, 2, 6)
+	c.Fill(0x40, 0, true, 1)
+	c.Lookup(0x40, false, 1)
+	c.ResetStats()
+	if c.Stats != (CacheStats{}) {
+		t.Fatal("ResetStats must zero counters")
+	}
+	if !c.Contains(0x40) {
+		t.Fatal("ResetStats must keep contents")
+	}
+	c.Reset()
+	if c.Contains(0x40) {
+		t.Fatal("Reset must clear contents")
+	}
+}
+
+func TestCacheGeometryPanics(t *testing.T) {
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { NewCache(3, 2, 6) })
+	mustPanic(func() { NewCache(0, 2, 6) })
+	mustPanic(func() { NewCache(4, 0, 6) })
+	mustPanic(func() { NewCache(4, 64, 6) })
+}
+
+// Property: after filling a working set no larger than one set's
+// unrestricted capacity, every line still hits.
+func TestCacheResidencyProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		c := NewCache(8, 4, 6)
+		// 8 sets * 4 ways = 32 lines capacity; use 32 distinct lines that
+		// spread evenly: addresses i*64 for i in [0,32).
+		for i := uint64(0); i < 32; i++ {
+			c.Fill(i*64, 0, false, 0)
+		}
+		for i := uint64(0); i < 32; i++ {
+			if hit, _ := c.Lookup(i*64, false, 0); !hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s CacheStats
+	if s.MissRate() != 0 {
+		t.Fatal("empty stats miss rate must be 0")
+	}
+	s = CacheStats{Hits: 3, Misses: 1}
+	if got := s.MissRate(); got != 0.25 {
+		t.Fatalf("miss rate = %v, want 0.25", got)
+	}
+}

@@ -1,0 +1,90 @@
+package simhw
+
+// Core is a simulated CPU core with a virtual clock. A core's Step function
+// performs one unit of work (e.g. process one request or one batch),
+// advances Time by the cycles charged, and reports whether the core still
+// has work. Cores whose Step is nil are idle.
+type Core struct {
+	ID   int
+	Time uint64
+	Step func(c *Core) bool
+
+	done bool
+}
+
+// Done reports whether the core has retired (Step returned false).
+func (c *Core) Done() bool { return c.done }
+
+// Engine advances a set of cores in min-clock order, which approximates the
+// true interleaving of pinned spin-polling threads while staying fully
+// deterministic (ties broken by core ID).
+type Engine struct {
+	Cores []*Core
+}
+
+// NewEngine creates an engine over n cores with zeroed clocks.
+func NewEngine(n int) *Engine {
+	e := &Engine{Cores: make([]*Core, n)}
+	for i := range e.Cores {
+		e.Cores[i] = &Core{ID: i}
+	}
+	return e
+}
+
+// Run steps cores in min-clock order until every core is done or the
+// earliest active core's clock reaches the until cycle bound. It returns the
+// largest clock value reached by any core that executed.
+func (e *Engine) Run(until uint64) uint64 {
+	var horizon uint64
+	for {
+		var next *Core
+		for _, c := range e.Cores {
+			if c.done || c.Step == nil {
+				continue
+			}
+			if next == nil || c.Time < next.Time {
+				next = c
+			}
+		}
+		if next == nil || next.Time >= until {
+			return horizon
+		}
+		if !next.Step(next) {
+			next.done = true
+		}
+		if next.Time > horizon {
+			horizon = next.Time
+		}
+	}
+}
+
+// ActiveCores returns how many cores are still runnable.
+func (e *Engine) ActiveCores() int {
+	n := 0
+	for _, c := range e.Cores {
+		if !c.done && c.Step != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxTime returns the largest clock across all cores (idle cores included).
+func (e *Engine) MaxTime() uint64 {
+	var m uint64
+	for _, c := range e.Cores {
+		if c.Time > m {
+			m = c.Time
+		}
+	}
+	return m
+}
+
+// SyncClocks sets every core's clock to the maximum clock, modelling a
+// barrier (used between simulation phases such as warmup and measurement).
+func (e *Engine) SyncClocks() {
+	m := e.MaxTime()
+	for _, c := range e.Cores {
+		c.Time = m
+	}
+}

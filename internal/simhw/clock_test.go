@@ -1,0 +1,174 @@
+package simhw
+
+import "testing"
+
+func TestEngineMinClockOrder(t *testing.T) {
+	e := NewEngine(3)
+	var order []int
+	// Core 0 steps cost 10 cycles, core 1 costs 3, core 2 costs 7; each
+	// runs 3 steps. Interleaving must always pick the minimum clock.
+	costs := []uint64{10, 3, 7}
+	steps := []int{0, 0, 0}
+	for i, c := range e.Cores {
+		i := i
+		c.Step = func(c *Core) bool {
+			order = append(order, c.ID)
+			c.Time += costs[i]
+			steps[i]++
+			return steps[i] < 3
+		}
+	}
+	e.Run(^uint64(0))
+	// Reconstruct expected order by simulating the same policy.
+	want := []int{0, 1, 2, 1, 2, 1, 0, 2, 0}
+	// Verify by an independent check instead of a hand-computed list:
+	// replay and confirm each chosen core had the min clock at choice time.
+	clocks := []uint64{0, 0, 0}
+	remaining := []int{3, 3, 3}
+	for n, id := range order {
+		for other := range clocks {
+			if remaining[other] == 0 {
+				continue
+			}
+			if clocks[other] < clocks[id] ||
+				(clocks[other] == clocks[id] && other < id) {
+				t.Fatalf("step %d chose core %d but core %d had clock %d <= %d",
+					n, id, other, clocks[other], clocks[id])
+			}
+		}
+		clocks[id] += costs[id]
+		remaining[id]--
+	}
+	_ = want
+	if len(order) != 9 {
+		t.Fatalf("executed %d steps, want 9", len(order))
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	e.Cores[0].Step = func(c *Core) bool {
+		n++
+		c.Time += 100
+		return true
+	}
+	e.Run(1000)
+	// Core stops being scheduled once its clock is >= 1000.
+	if n != 10 {
+		t.Fatalf("steps = %d, want 10", n)
+	}
+	if e.Cores[0].Done() {
+		t.Fatal("core must not be marked done by a time bound")
+	}
+}
+
+func TestEngineDoneAndIdleCores(t *testing.T) {
+	e := NewEngine(3)
+	// Core 0 idle (nil Step), core 1 runs twice, core 2 runs once.
+	runs := 0
+	e.Cores[1].Step = func(c *Core) bool {
+		runs++
+		c.Time += 1
+		return runs < 2
+	}
+	done2 := false
+	e.Cores[2].Step = func(c *Core) bool {
+		done2 = true
+		c.Time += 5
+		return false
+	}
+	if e.ActiveCores() != 2 {
+		t.Fatalf("active = %d, want 2", e.ActiveCores())
+	}
+	e.Run(^uint64(0))
+	if !done2 || runs != 2 {
+		t.Fatalf("runs=%d done2=%v", runs, done2)
+	}
+	if e.ActiveCores() != 0 {
+		t.Fatal("all startable cores must be done")
+	}
+	if !e.Cores[1].Done() || !e.Cores[2].Done() {
+		t.Fatal("done flags not set")
+	}
+}
+
+func TestEngineSyncClocksAndMaxTime(t *testing.T) {
+	e := NewEngine(2)
+	e.Cores[0].Time = 50
+	e.Cores[1].Time = 80
+	if e.MaxTime() != 80 {
+		t.Fatalf("MaxTime = %d", e.MaxTime())
+	}
+	e.SyncClocks()
+	if e.Cores[0].Time != 80 || e.Cores[1].Time != 80 {
+		t.Fatal("SyncClocks must raise all clocks to max")
+	}
+}
+
+func TestAllocAlignmentAndExhaustion(t *testing.T) {
+	a := NewAlloc(0x1000, 0x100)
+	p1 := a.Alloc(10, 64)
+	if p1%64 != 0 {
+		t.Fatalf("misaligned: %#x", p1)
+	}
+	p2 := a.Alloc(8, 0)
+	if p2 < p1+10 {
+		t.Fatalf("overlap: %#x after %#x+10", p2, p1)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected exhaustion panic")
+		}
+	}()
+	a.Alloc(0x1000, 8)
+}
+
+func TestAllocBadAlignmentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-power-of-two alignment")
+		}
+	}()
+	NewAlloc(0, 0).Alloc(8, 3)
+}
+
+func TestNICAccounting(t *testing.T) {
+	h := NewHierarchy(SmallParams())
+	n := NewNIC(h)
+	n.DeliverRequest(RegionRXBase, 64)
+	n.SendResponse(RegionRespBase, 1024)
+	if n.MsgsRX != 1 || n.MsgsTX != 1 {
+		t.Fatalf("msgs rx=%d tx=%d", n.MsgsRX, n.MsgsTX)
+	}
+	if n.BytesRX != 64+n.WireOverhead || n.BytesTX != 1024+n.WireOverhead {
+		t.Fatalf("bytes rx=%d tx=%d", n.BytesRX, n.BytesTX)
+	}
+	if !h.LLC().Contains(RegionRXBase) {
+		t.Fatal("request delivery must populate the LLC via DDIO")
+	}
+	if n.MinCyclesToMove() == 0 {
+		t.Fatal("bandwidth accounting must be positive")
+	}
+	n.ResetStats()
+	if n.BytesRX != 0 || n.MsgsTX != 0 {
+		t.Fatal("ResetStats must zero counters")
+	}
+}
+
+func TestParamsConversions(t *testing.T) {
+	p := DefaultParams()
+	if p.LineSize() != 64 {
+		t.Fatalf("line size %d", p.LineSize())
+	}
+	if got := p.CyclesToNanos(2000); got != 1000 {
+		t.Fatalf("CyclesToNanos(2000) = %v at 2 GHz", got)
+	}
+	if got := p.NanosToCycles(1000); got != 2000 {
+		t.Fatalf("NanosToCycles(1000) = %v", got)
+	}
+	// 200 Gbps at 2 GHz = 12.5 B/cycle.
+	if got := p.NICBytesPerCycle(); got != 12.5 {
+		t.Fatalf("NICBytesPerCycle = %v", got)
+	}
+}

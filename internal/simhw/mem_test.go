@@ -1,0 +1,183 @@
+package simhw
+
+import "testing"
+
+func testHierarchy() *Hierarchy {
+	return NewHierarchy(SmallParams())
+}
+
+func TestAccessLevelsAndLatencies(t *testing.T) {
+	h := testHierarchy()
+	p := h.P
+	addr := uint64(0x10000)
+
+	if c := h.Access(0, addr, false); c != p.DRAMLat {
+		t.Fatalf("cold access cost %d, want DRAM %d", c, p.DRAMLat)
+	}
+	if c := h.Access(0, addr, false); c != p.L1Lat {
+		t.Fatalf("hot access cost %d, want L1 %d", c, p.L1Lat)
+	}
+	// A different core finds it in LLC (no writer → no coherence charge).
+	if c := h.Access(1, addr, false); c != p.LLCLat {
+		t.Fatalf("peer access cost %d, want LLC %d", c, p.LLCLat)
+	}
+	st := h.CoreStats(0)
+	if st.DRAMLoads != 1 || st.L1Hits != 1 {
+		t.Fatalf("core0 stats %+v", st)
+	}
+}
+
+func TestCoherencePullAfterRemoteWrite(t *testing.T) {
+	h := testHierarchy()
+	p := h.P
+	addr := uint64(0x20000)
+	h.Access(0, addr, true) // core 0 writes (DRAM fill, owner=0)
+	c := h.Access(1, addr, false)
+	if c != p.LLCLat+p.CoherLat {
+		t.Fatalf("reader paid %d, want LLC+coherence %d", c, p.LLCLat+p.CoherLat)
+	}
+	if h.CoreStats(1).CoherencePulls != 1 {
+		t.Fatalf("coherence pulls = %d, want 1", h.CoreStats(1).CoherencePulls)
+	}
+}
+
+func TestWriteInvalidatesPeerL1(t *testing.T) {
+	h := testHierarchy()
+	addr := uint64(0x30000)
+	h.Access(1, addr, false) // core 1 caches it in its L1
+	if c := h.Access(1, addr, false); c != h.P.L1Lat {
+		t.Fatal("expected core 1 L1 hit")
+	}
+	h.Access(0, addr, true) // core 0 writes → invalidate core 1's copy
+	if c := h.Access(1, addr, false); c == h.P.L1Lat {
+		t.Fatal("core 1 L1 copy must have been invalidated by remote write")
+	}
+}
+
+func TestCLOSPartitioningProtectsVictim(t *testing.T) {
+	p := SmallParams() // LLC: 64 sets × 12 ways
+	h := NewHierarchy(p)
+	// Core 0 may only allocate into ways {0,1}; core 1 into the rest.
+	h.SetCLOS(0, WayMask(0b11))
+	h.SetCLOS(1, AllWays(p.LLCWays)&^WayMask(0b11))
+
+	// Core 1 fills a small working set: one line per LLC set.
+	protected := make([]uint64, 0, 64)
+	for i := uint64(0); i < uint64(p.LLCSets); i++ {
+		a := 0x100000 + i*p.LineSize()
+		protected = append(protected, a)
+		h.Access(1, a, false)
+	}
+	// Core 0 streams a huge working set; it must not evict core 1's lines
+	// from the LLC (they may leave core 1's L1, that's fine).
+	for i := uint64(0); i < 1<<14; i++ {
+		h.Access(0, 0x4000000+i*p.LineSize(), false)
+	}
+	for _, a := range protected {
+		if !h.LLC().Contains(a &^ (p.LineSize() - 1)) {
+			t.Fatalf("protected line %#x evicted despite CLOS partition", a)
+		}
+	}
+}
+
+func TestDDIOFillGoesToRightmostWaysOnMissOnly(t *testing.T) {
+	p := SmallParams()
+	h := NewHierarchy(p)
+	addr := uint64(RegionRXBase)
+
+	// Case 1: line absent → DDIO allocates into rightmost ways. Verify by
+	// checking that a subsequent massive fill by a core restricted to the
+	// DDIO ways evicts it, while a fill restricted elsewhere does not.
+	h.DMAWrite(addr, 64)
+	if !h.LLC().Contains(addr) {
+		t.Fatal("DMA write must allocate the line")
+	}
+
+	// Case 2: line already resident outside DDIO ways → DDIO updates in
+	// place (the line stays resident even if the DDIO ways thrash).
+	addr2 := uint64(0x900000)
+	h.Access(0, addr2, false) // core fill, full mask → may land anywhere
+	h.DMAWrite(addr2, 64)
+	if !h.LLC().Contains(addr2) {
+		t.Fatal("in-place DDIO update must keep the line resident")
+	}
+	// Thrash the DDIO ways heavily with same-set conflicting DMA writes.
+	ls := p.LineSize()
+	setStride := ls * uint64(p.LLCSets)
+	for i := uint64(1); i <= 64; i++ {
+		h.DMAWrite(addr2+i*setStride, 64) // all map to addr2's set
+	}
+	if !h.LLC().Contains(addr2) {
+		t.Fatal("line updated in place must not be evicted by DDIO-way thrash")
+	}
+}
+
+func TestAccessRangeStreamingPrefetch(t *testing.T) {
+	h := testHierarchy()
+	p := h.P
+	// 8 lines, all cold: first miss pays DRAM, the rest pay IssueCost.
+	c := h.AccessRange(0, 0x50000, 8*p.LineSize(), false)
+	want := p.DRAMLat + 7*p.IssueCost
+	if c != want {
+		t.Fatalf("range cost %d, want %d", c, want)
+	}
+	// Hot now: 8 L1 hits.
+	c = h.AccessRange(0, 0x50000, 8*p.LineSize(), false)
+	if c != 8*p.L1Lat {
+		t.Fatalf("hot range cost %d, want %d", c, 8*p.L1Lat)
+	}
+	if h.AccessRange(0, 0x50000, 0, false) != 0 {
+		t.Fatal("zero-size range must cost 0")
+	}
+}
+
+func TestAccessBatchOverlapsMisses(t *testing.T) {
+	h := testHierarchy()
+	p := h.P
+	// 4 independent cold lines in different sets.
+	addrs := []uint64{0x70000, 0x71000, 0x72000, 0x73000}
+	c := h.AccessBatch(0, addrs, false)
+	want := p.DRAMLat + 3*p.IssueCost
+	if c != want {
+		t.Fatalf("batched cost %d, want %d (overlapped)", c, want)
+	}
+	// Serial access of 4 cold lines would cost 4*DRAMLat; assert the
+	// modelled speedup exists.
+	if c >= 4*p.DRAMLat {
+		t.Fatal("batching produced no overlap benefit")
+	}
+}
+
+func TestAccessBatchMLPWindow(t *testing.T) {
+	p := SmallParams()
+	p.MLP = 2
+	h := NewHierarchy(p)
+	addrs := make([]uint64, 4)
+	for i := range addrs {
+		addrs[i] = 0x80000 + uint64(i)*0x1000
+	}
+	c := h.AccessBatch(0, addrs, false)
+	// MLP=2: windows of 2 → (DRAM + issue) + (DRAM + issue).
+	want := 2 * (p.DRAMLat + p.IssueCost)
+	if c != want {
+		t.Fatalf("MLP-limited cost %d, want %d", c, want)
+	}
+}
+
+func TestLLCMissRateCounter(t *testing.T) {
+	h := testHierarchy()
+	h.Access(0, 0x1000, false) // DRAM
+	h.Access(0, 0x1000, false) // L1
+	h.Access(1, 0x1000, false) // LLC
+	st0, st1 := h.CoreStats(0), h.CoreStats(1)
+	if got := st0.LLCMissRate(); got != 1.0 {
+		t.Fatalf("core0 LLC miss rate %v, want 1", got)
+	}
+	if got := st1.LLCMissRate(); got != 0.0 {
+		t.Fatalf("core1 LLC miss rate %v, want 0", got)
+	}
+	h.ResetStats()
+	if h.CoreStats(0) != (CoreStats{}) {
+		t.Fatal("ResetStats must clear per-core counters")
+	}
+}

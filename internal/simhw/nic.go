@@ -1,0 +1,58 @@
+package simhw
+
+// NIC models the server-side RNIC. Its two cache-visible behaviours are
+// DDIO request delivery into the shared receive ring and DMA reads of
+// response buffers (which do not disturb CPU caches). It also accounts
+// bytes moved so harnesses can apply the 200 Gbps line-rate cap.
+type NIC struct {
+	h *Hierarchy
+
+	// WireOverhead is the per-message byte overhead (headers) added to the
+	// payload for bandwidth accounting. RoCEv2 + RPC framing ≈ 90 B.
+	WireOverhead uint64
+
+	BytesRX uint64 // client→server payload+overhead bytes delivered
+	BytesTX uint64 // server→client payload+overhead bytes sent
+	MsgsRX  uint64
+	MsgsTX  uint64
+}
+
+// NewNIC attaches a NIC model to a cache hierarchy.
+func NewNIC(h *Hierarchy) *NIC {
+	return &NIC{h: h, WireOverhead: 90}
+}
+
+// DeliverRequest DMA-writes an incoming request of size bytes into the
+// receive-ring slot at addr, following DDIO fill rules.
+func (n *NIC) DeliverRequest(addr, size uint64) {
+	n.h.DMAWrite(addr, size)
+	n.BytesRX += size + n.WireOverhead
+	n.MsgsRX++
+}
+
+// SendResponse DMA-reads a response of size bytes from addr. CPU caches are
+// untouched (the paper relies on this: the CR layer never re-touches the
+// response buffer after the MR layer filled it).
+func (n *NIC) SendResponse(addr, size uint64) {
+	n.h.DMARead(addr, size)
+	n.BytesTX += size + n.WireOverhead
+	n.MsgsTX++
+}
+
+// MinCyclesToMove returns the minimum number of core cycles the NIC needs
+// to move the bytes accounted so far, given the modelled line rate. If the
+// CPU-side simulated duration is below this, the experiment is
+// bandwidth-bound and throughput must be capped accordingly.
+func (n *NIC) MinCyclesToMove() uint64 {
+	bpc := n.h.P.NICBytesPerCycle()
+	most := n.BytesRX
+	if n.BytesTX > most {
+		most = n.BytesTX
+	}
+	return uint64(float64(most) / bpc)
+}
+
+// ResetStats clears byte/message counters.
+func (n *NIC) ResetStats() {
+	n.BytesRX, n.BytesTX, n.MsgsRX, n.MsgsTX = 0, 0, 0, 0
+}

@@ -1,0 +1,87 @@
+// Package simhw provides a deterministic model of the hardware substrate the
+// μTPS paper evaluates on: per-core virtual clocks, a set-associative cache
+// hierarchy with Intel CAT-style way partitioning and DDIO fill rules, DRAM
+// latency, MLP-bounded miss overlap, and a simulated RNIC with a single
+// shared receive ring.
+//
+// The model is cost-accounting rather than cycle-accurate: each simulated
+// core owns a virtual clock, memory accesses consult shared stateful caches
+// and charge latency to the issuing core, and an Engine advances cores in
+// min-clock order so that cross-core cache interactions interleave
+// deterministically. Absolute numbers are not the point; the cache-state
+// dynamics (thrashing, residency, partition effects) that drive the paper's
+// results are modelled faithfully.
+package simhw
+
+// Params describes the simulated machine. The defaults mirror the paper's
+// server node: a 28-core Intel Xeon Gold 6330 (Ice Lake) with a 42 MB
+// 12-way shared LLC, 200 Gbps NIC, DDIO enabled on the two rightmost LLC
+// ways.
+type Params struct {
+	Cores int // number of simulated cores available to the server
+
+	// Cache geometry.
+	LineBits  uint // log2 of the cache line size (6 → 64 B lines)
+	L1Sets    int  // private L1d sets
+	L1Ways    int  // private L1d ways
+	LLCSets   int  // shared LLC sets
+	LLCWays   int  // shared LLC ways
+	DDIOWays  int  // rightmost LLC ways used by DDIO allocations
+	MLP       int  // line-fill buffers: max overlapping outstanding misses
+	FreqGHz   float64
+	L1Lat     uint64 // cycles for an L1 hit
+	LLCLat    uint64 // cycles for an LLC hit
+	DRAMLat   uint64 // cycles for a DRAM access
+	CoherLat  uint64 // extra cycles to pull a line owned modified by a peer
+	NICGbps   float64
+	IssueCost uint64 // cycles to issue one overlapped miss after the first
+}
+
+// DefaultParams returns the paper-testbed machine model.
+func DefaultParams() Params {
+	return Params{
+		Cores:     28,
+		LineBits:  6,
+		L1Sets:    64, // 32 KB / 64 B / 8 ways
+		L1Ways:    8,
+		LLCSets:   57344, // 42 MB / 64 B / 12 ways
+		LLCWays:   12,
+		DDIOWays:  2,
+		MLP:       10,
+		FreqGHz:   2.0,
+		L1Lat:     4,
+		LLCLat:    42,
+		DRAMLat:   200,
+		CoherLat:  70,
+		NICGbps:   200,
+		IssueCost: 20,
+	}
+}
+
+// SmallParams returns a scaled-down machine for fast unit tests: the same
+// structure, tiny caches so that eviction behaviour is exercised quickly.
+func SmallParams() Params {
+	p := DefaultParams()
+	p.Cores = 8
+	p.L1Sets = 8
+	p.LLCSets = 64
+	return p
+}
+
+// LineSize returns the cache line size in bytes.
+func (p Params) LineSize() uint64 { return 1 << p.LineBits }
+
+// CyclesToNanos converts core cycles to nanoseconds at the modelled
+// frequency.
+func (p Params) CyclesToNanos(c uint64) float64 { return float64(c) / p.FreqGHz }
+
+// NanosToCycles converts nanoseconds to core cycles.
+func (p Params) NanosToCycles(ns float64) uint64 { return uint64(ns * p.FreqGHz) }
+
+// NICBytesPerCycle returns the NIC line rate expressed in bytes per core
+// cycle, used for bandwidth-cap calculations.
+func (p Params) NICBytesPerCycle() float64 {
+	bytesPerSec := p.NICGbps * 1e9 / 8
+	cyclesPerSec := p.FreqGHz * 1e9
+	return bytesPerSec / cyclesPerSec
+}

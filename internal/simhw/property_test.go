@@ -1,0 +1,112 @@
+package simhw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the number of resident lines never exceeds capacity, for any
+// access pattern and any allocation mask.
+func TestCacheNeverExceedsCapacity(t *testing.T) {
+	f := func(addrsRaw []uint16, maskRaw uint8) bool {
+		c := NewCache(4, 4, 6)
+		mask := WayMask(maskRaw) & AllWays(4)
+		for _, a := range addrsRaw {
+			addr := uint64(a) * 64
+			if hit, _ := c.Lookup(addr, false, 0); !hit {
+				c.Fill(addr, mask, false, 0)
+			}
+		}
+		resident := 0
+		for line := uint64(0); line <= 0xFFFF; line++ {
+			if c.Contains(line * 64) {
+				resident++
+			}
+		}
+		return resident <= 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: lines filled under mask A are never evicted by fills under a
+// disjoint mask B (the CAT isolation guarantee).
+func TestCachePartitionIsolationProperty(t *testing.T) {
+	f := func(protRaw, noiseRaw []uint16) bool {
+		c := NewCache(8, 8, 6)
+		maskA := WayMask(0b00001111)
+		maskB := WayMask(0b11110000)
+		// Fill at most 4 protected lines per set (maskA capacity).
+		perSet := map[int]int{}
+		var protected []uint64
+		for _, p := range protRaw {
+			addr := uint64(p) * 64
+			set := int((addr >> 6) & 7)
+			if perSet[set] >= 4 || c.Contains(addr) {
+				continue
+			}
+			perSet[set]++
+			c.Fill(addr, maskA, false, 0)
+			protected = append(protected, addr)
+		}
+		for _, n := range noiseRaw {
+			c.Fill(uint64(n)*64+1<<20, maskB, false, 1)
+		}
+		for _, addr := range protected {
+			if !c.Contains(addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an access sequence replayed on two fresh hierarchies produces
+// identical cycle charges (determinism of the cost model).
+func TestHierarchyDeterminismProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		h1 := NewHierarchy(SmallParams())
+		h2 := NewHierarchy(SmallParams())
+		for _, o := range ops {
+			core := int(o % 4)
+			addr := uint64(o) * 128
+			write := o%3 == 0
+			if h1.Access(core, addr, write) != h2.Access(core, addr, write) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: batched access never costs more than serial access of the
+// same addresses on an identical hierarchy (overlap can only help).
+func TestBatchNeverSlowerProperty(t *testing.T) {
+	f := func(addrsRaw []uint16) bool {
+		if len(addrsRaw) == 0 {
+			return true
+		}
+		addrs := make([]uint64, len(addrsRaw))
+		for i, a := range addrsRaw {
+			addrs[i] = uint64(a) * 4096
+		}
+		hb := NewHierarchy(SmallParams())
+		hs := NewHierarchy(SmallParams())
+		batched := hb.AccessBatch(0, addrs, false)
+		var serial uint64
+		for _, a := range addrs {
+			serial += hs.Access(0, a, false)
+		}
+		return batched <= serial
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

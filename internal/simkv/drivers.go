@@ -1,0 +1,480 @@
+package simkv
+
+import (
+	"mutps/internal/simhw"
+	"mutps/internal/workload"
+)
+
+// coreScratch is per-core reusable working memory for batch processing.
+type coreScratch struct {
+	paths       [][]uint64
+	addrs       []uint64
+	respCounter uint64
+}
+
+// mrBatch charges one batch of index+data work at core: level-by-level
+// batched index traversal (software prefetch + coroutine interleaving →
+// overlapped misses), then per-item data access, then responses. locked
+// selects share-everything item locking for writes; readRX models the MR
+// layer fetching put payloads from the receive buffer (the cross-layer
+// coherence traffic the paper describes).
+func (s *System) mrBatch(core *simhw.Core, batch []simReq, sc *coreScratch, locked, readRX bool) {
+	var cycles uint64
+	if readRX {
+		for i := range batch {
+			if batch[i].op == workload.OpPut {
+				cycles += s.HW.AccessRange(core.ID,
+					s.rxAddr(core.ID, batch[i].slot)+rxHeaderBytes,
+					uint64(s.P.ItemSize), false)
+			}
+		}
+	}
+
+	// Batched indexing: one AccessBatch per tree level across the batch.
+	sc.paths = sc.paths[:0]
+	maxDepth := 0
+	for i := range batch {
+		var p []uint64
+		if batch[i].op == workload.OpScan && s.tree != nil {
+			p = s.tree.PathAddrs(nil, batch[i].key)
+		} else {
+			p = s.idx.PathAddrs(nil, batch[i].key)
+		}
+		sc.paths = append(sc.paths, p)
+		if len(p) > maxDepth {
+			maxDepth = len(p)
+		}
+	}
+	for l := 0; l < maxDepth; l++ {
+		sc.addrs = sc.addrs[:0]
+		for _, p := range sc.paths {
+			if l < len(p) {
+				sc.addrs = append(sc.addrs, p[l])
+			}
+		}
+		cycles += s.HW.AccessBatch(core.ID, sc.addrs, false)
+		cycles += uint64(len(sc.addrs)) * (cyclesIndexCPU + cyclesCoro)
+	}
+	core.Time += cycles
+
+	// Data access + responses, per request.
+	for i := range batch {
+		r := &batch[i]
+		if r.op == workload.OpScan && s.tree != nil {
+			core.Time += s.scanCost(core, r, sc)
+			core.Time += s.respond(core, r, sc.respCounter)
+			sc.respCounter++
+			continue
+		}
+		core.Time += s.serveItem(core, r, locked)
+		core.Time += s.respond(core, r, sc.respCounter)
+		sc.respCounter++
+	}
+}
+
+// scanCost charges a range query: leaf walk plus reading r.size items.
+// The μTPS MR layer overlaps the leaf and item misses with its coroutine
+// scheduler (AccessBatch); run-to-completion workers execute the scan
+// inline between polls, forfeiting the overlap window, so they pay serial
+// access costs. Shared-nothing stores additionally scatter-gather: a range
+// of consecutive keys spans every shard, so each shard pays an index
+// descent and the requester merges the fragments.
+func (s *System) scanCost(core *simhw.Core, r *simReq, sc *coreScratch) uint64 {
+	var cycles uint64
+	batched := s.A == ArchMuTPS || s.A == ArchReplay
+	if s.A == ArchERPC {
+		shards := s.P.Workers
+		if r.size < shards {
+			shards = r.size
+		}
+		// One descent per shard beyond the one already charged by mrBatch.
+		depth := uint64(s.idx.Depth())
+		cycles += uint64(shards-1) * depth * (s.P.HW.LLCLat + cyclesIndexCPU)
+		cycles += uint64(r.size) * cyclesScanMerge
+	}
+	sc.addrs = s.tree.LeafAddrs(sc.addrs[:0], r.key, r.size)
+	if batched {
+		cycles += s.HW.AccessBatch(core.ID, sc.addrs, false)
+	} else {
+		for _, a := range sc.addrs {
+			cycles += s.HW.Access(core.ID, a, false)
+		}
+	}
+	// Items of consecutive keys; overlap their first lines, stream the rest.
+	sc.addrs = sc.addrs[:0]
+	for j := 0; j < r.size; j++ {
+		k := r.key + uint64(j)
+		if k >= s.P.Keys {
+			break
+		}
+		sc.addrs = append(sc.addrs, s.items.Addr(k))
+	}
+	if batched {
+		cycles += s.HW.AccessBatch(core.ID, sc.addrs, false)
+	} else {
+		for _, a := range sc.addrs {
+			cycles += s.HW.Access(core.ID, a, false)
+		}
+	}
+	extra := (uint64(s.P.ItemSize)+16)/64 - 1
+	cycles += uint64(len(sc.addrs)) * extra * s.P.HW.IssueCost
+	return cycles
+}
+
+// Run simulates warm+measured requests and reports the measured window.
+func (s *System) Run(warm, measured int) Result {
+	reqs := genReqs(s.gen, warm+measured)
+	if warm > 0 {
+		s.runPhase(reqs[:warm])
+	}
+	s.HW.ResetStats()
+	s.NIC.ResetStats()
+	res := s.runPhase(reqs[warm:])
+	res.applyBandwidthCap(s.NIC)
+	s.fillMissRates(&res)
+	return res
+}
+
+func (s *System) fillMissRates(res *Result) {
+	crProbes, crMiss, mrProbes, mrMiss := 0.0, 0.0, 0.0, 0.0
+	split := s.P.CRWorkers
+	if s.A != ArchMuTPS && s.A != ArchReplay {
+		split = s.P.Workers // single pool: report the same rate twice
+	}
+	for c := 0; c < s.P.Workers; c++ {
+		st := s.HW.CoreStats(c)
+		p := float64(st.LLCHits + st.DRAMLoads)
+		m := float64(st.DRAMLoads)
+		if c < split || split == s.P.Workers {
+			crProbes += p
+			crMiss += m
+		}
+		if c >= split || split == s.P.Workers {
+			mrProbes += p
+			mrMiss += m
+		}
+	}
+	if crProbes > 0 {
+		res.CRMissRate = crMiss / crProbes
+	}
+	if mrProbes > 0 {
+		res.MRMissRate = mrMiss / mrProbes
+	}
+}
+
+// newEngine builds a per-phase engine whose core clocks continue from the
+// previous phase (lock-table release times are absolute).
+func (s *System) newEngine() *simhw.Engine {
+	eng := simhw.NewEngine(s.P.Workers)
+	for i, c := range eng.Cores {
+		c.Time = s.now[i]
+	}
+	return eng
+}
+
+// saveClocks persists core clocks after a phase.
+func (s *System) saveClocks(eng *simhw.Engine) {
+	for i, c := range eng.Cores {
+		s.now[i] = c.Time
+	}
+}
+
+// deliveryLead is how many slots ahead of the poll point the NIC has
+// already DMAed requests into the receive ring — the in-flight window.
+// The dwell between DMA and poll is what exposes run-to-completion
+// systems to RX-buffer eviction (§2.2.1).
+const deliveryLead = 256
+
+// lead clamps the delivery window to half the ring.
+func (s *System) lead() int {
+	l := int(s.rxSlots / 2)
+	if l > deliveryLead {
+		l = deliveryLead
+	}
+	return l
+}
+
+// newDeliverer returns a closure that ensures every request up to (and
+// including) slot upTo-1 has been DMA-delivered, in order.
+func (s *System) newDeliverer(reqs []simReq) func(upTo int) {
+	delivered := 0
+	w := s.P.Workers
+	return func(upTo int) {
+		if upTo > len(reqs) {
+			upTo = len(reqs)
+		}
+		for ; delivered < upTo; delivered++ {
+			r := &reqs[delivered]
+			owner := 0
+			if s.A == ArchERPC {
+				owner = int(r.key % uint64(w))
+			}
+			s.NIC.DeliverRequest(s.rxAddr(owner, r.slot), reqBytes(r.op, s.P.ItemSize))
+		}
+	}
+}
+
+func (s *System) runPhase(reqs []simReq) Result {
+	switch s.A {
+	case ArchMuTPS:
+		return s.runMuTPS(reqs)
+	case ArchReplay:
+		return s.runReplay(reqs)
+	default:
+		return s.runRTC(reqs)
+	}
+}
+
+// --- μTPS -------------------------------------------------------------
+
+type mrBatchMsg struct {
+	reqs    []simReq
+	readyAt uint64
+	ring    uint64 // slot address for the pop access
+}
+
+func (s *System) runMuTPS(reqs []simReq) Result {
+	nCR := s.P.CRWorkers
+	nMR := s.P.Workers - nCR
+	if nCR < 1 || nMR < 1 {
+		panic("simkv: μTPS needs at least one core per layer")
+	}
+	eng := s.newEngine()
+	queues := make([][]mrBatchMsg, s.P.Workers)
+	producersLeft := nCR
+	var ops uint64
+	s.locks.setContenders(nMR)
+	deliver := s.newDeliverer(reqs)
+
+	for c := 0; c < nCR; c++ {
+		c := c
+		next := c
+		sc := &coreScratch{}
+		var local []simReq
+		pushes := uint64(0)
+		flush := func(core *simhw.Core) {
+			if len(local) == 0 {
+				return
+			}
+			mr := nCR + int(pushes)%nMR
+			pushes++
+			addr := s.ringSlotAddr(c, mr, pushes)
+			core.Time += s.HW.AccessRange(core.ID, addr, uint64(16*len(local)), true) + cyclesRingPush
+			b := make([]simReq, len(local))
+			copy(b, local)
+			local = local[:0]
+			queues[mr] = append(queues[mr], mrBatchMsg{reqs: b, readyAt: core.Time, ring: addr})
+		}
+		eng.Cores[c].Step = func(core *simhw.Core) bool {
+			if next >= len(reqs) {
+				flush(core)
+				producersLeft--
+				return false
+			}
+			r := reqs[next]
+			next += nCR
+			// The NIC DMAed this request (and the in-flight window behind
+			// it) into the shared ring earlier; only the poll is charged.
+			deliver(int(r.slot) + s.lead() + 1)
+			rxAddr := s.rxAddr(core.ID, r.slot)
+			core.Time += cyclesPoll + cyclesParse
+			core.Time += s.HW.AccessRange(core.ID, rxAddr, rxHeaderBytes, false)
+			// Hot-set probe.
+			if s.hotIdx.FootprintBytes() > 0 {
+				sc.addrs = s.hotIdx.LookupAddrs(sc.addrs[:0], r.key)
+				for _, a := range sc.addrs {
+					core.Time += s.HW.Access(core.ID, a, false)
+				}
+			}
+			if s.hot[r.key] && (r.op == workload.OpGet || r.op == workload.OpPut) {
+				// Hit path: serve entirely at the CR layer.
+				if r.op == workload.OpPut {
+					core.Time += s.HW.AccessRange(core.ID, rxAddr+rxHeaderBytes, uint64(s.P.ItemSize), false)
+				}
+				core.Time += s.serveItem(core, &r, true)
+				core.Time += s.respond(core, &r, sc.respCounter)
+				sc.respCounter++
+				ops++
+				return true
+			}
+			// Miss path: forward.
+			local = append(local, r)
+			if len(local) >= s.P.BatchSize {
+				flush(core)
+			}
+			return true
+		}
+	}
+
+	for m := nCR; m < s.P.Workers; m++ {
+		m := m
+		sc := &coreScratch{}
+		eng.Cores[m].Step = func(core *simhw.Core) bool {
+			q := queues[m]
+			if len(q) == 0 {
+				if producersLeft == 0 {
+					return false
+				}
+				core.Time += cyclesIdle
+				return true
+			}
+			msg := q[0]
+			queues[m] = q[1:]
+			if msg.readyAt > core.Time {
+				core.Time = msg.readyAt
+			}
+			core.Time += s.HW.AccessRange(core.ID, msg.ring, uint64(16*len(msg.reqs)), false) + cyclesRingPop
+			s.mrBatch(core, msg.reqs, sc, true, true)
+			ops += uint64(len(msg.reqs))
+			return true
+		}
+	}
+
+	t0 := s.syncStart(eng)
+	eng.Run(^uint64(0))
+	s.saveClocks(eng)
+	return Result{Ops: ops, Cycles: eng.MaxTime() - t0}
+}
+
+// --- RTC family (BaseKV, eRPCKV, CAT variant) --------------------------
+
+func (s *System) runRTC(reqs []simReq) Result {
+	w := s.P.Workers
+	eng := s.newEngine()
+	var ops uint64
+
+	// Request assignment: BaseKV claims shared-ring slots round-robin
+	// (slot mod w); eRPCKV dispatches by key (shared-nothing), which is
+	// where its skew imbalance comes from.
+	assigned := make([][]simReq, w)
+	for i := range reqs {
+		var c int
+		if s.A == ArchERPC {
+			c = int(reqs[i].key % uint64(w))
+		} else {
+			c = i % w
+		}
+		assigned[c] = append(assigned[c], reqs[i])
+	}
+
+	locked := s.A != ArchERPC // shared-nothing needs no item locks
+	s.locks.setContenders(w)
+	deliver := s.newDeliverer(reqs)
+	rpcOverhead := uint64(cyclesPoll + cyclesParse)
+	if s.A == ArchERPC {
+		// eRPC's hand-optimized RX path: leaner descriptor handling and
+		// zero-copy delivery (the paper: "eRPC's highly optimized
+		// implementation delivers higher throughput than Reconfigurable
+		// RPC").
+		rpcOverhead -= 100
+	}
+
+	for c := 0; c < w; c++ {
+		c := c
+		mine := assigned[c]
+		next := 0
+		sc := &coreScratch{}
+		batch := make([]simReq, 0, s.P.BatchSize)
+		eng.Cores[c].Step = func(core *simhw.Core) bool {
+			if next >= len(mine) {
+				return false
+			}
+			batch = batch[:0]
+			for next < len(mine) && len(batch) < s.P.BatchSize {
+				r := mine[next]
+				next++
+				deliver(int(r.slot) + s.lead() + 1)
+				rxAddr := s.rxAddr(core.ID, r.slot)
+				core.Time += rpcOverhead + cyclesICache
+				core.Time += s.HW.AccessRange(core.ID, rxAddr, reqBytes(r.op, s.P.ItemSize), false)
+				batch = append(batch, r)
+			}
+			// Run-to-completion, but with batching+prefetching enabled as
+			// the paper grants BaseKV.
+			s.mrBatch(core, batch, sc, locked, false)
+			ops += uint64(len(batch))
+			return true
+		}
+	}
+
+	t0 := s.syncStart(eng)
+	eng.Run(^uint64(0))
+	s.saveClocks(eng)
+	return Result{Ops: ops, Cycles: eng.MaxTime() - t0}
+}
+
+// --- Fig 2a replay TPS --------------------------------------------------
+
+// runReplay models the motivation experiment: stage 1 (network) and stage
+// 2 (index+data) on disjoint cores with *no* inter-stage communication —
+// stage 2 deterministically regenerates the request stream.
+func (s *System) runReplay(reqs []simReq) Result {
+	n1 := s.P.CRWorkers
+	n2 := s.P.Workers - n1
+	if n1 < 1 || n2 < 1 {
+		panic("simkv: replay needs cores in both stages")
+	}
+	eng := s.newEngine()
+	var ops uint64
+	s.locks.setContenders(n2)
+	deliver := s.newDeliverer(reqs)
+
+	for c := 0; c < n1; c++ {
+		c := c
+		next := c
+		eng.Cores[c].Step = func(core *simhw.Core) bool {
+			if next >= len(reqs) {
+				return false
+			}
+			r := reqs[next]
+			next += n1
+			deliver(int(r.slot) + s.lead() + 1)
+			rxAddr := s.rxAddr(core.ID, r.slot)
+			core.Time += cyclesPoll + cyclesParse
+			// Stage 1 reads the header and posts the send descriptor; the
+			// data copy into the response buffer is stage 2's job (§3.3).
+			core.Time += s.HW.AccessRange(core.ID, rxAddr, rxHeaderBytes, false)
+			core.Time += cyclesRespond
+			return true
+		}
+	}
+	for c := n1; c < s.P.Workers; c++ {
+		c := c
+		next := c - n1
+		sc := &coreScratch{}
+		batch := make([]simReq, 0, s.P.BatchSize)
+		eng.Cores[c].Step = func(core *simhw.Core) bool {
+			if next >= len(reqs) {
+				return false
+			}
+			batch = batch[:0]
+			for next < len(reqs) && len(batch) < s.P.BatchSize {
+				batch = append(batch, reqs[next])
+				next += n2
+			}
+			s.mrBatch(core, batch, sc, true, false)
+			ops += uint64(len(batch))
+			return true
+		}
+	}
+
+	t0 := s.syncStart(eng)
+	eng.Run(^uint64(0))
+	s.saveClocks(eng)
+	return Result{Ops: ops, Cycles: eng.MaxTime() - t0}
+}
+
+// syncStart aligns all core clocks (a barrier between warmup and
+// measurement) and returns the common start time.
+func (s *System) syncStart(eng *simhw.Engine) uint64 {
+	var t0 uint64
+	for _, c := range eng.Cores {
+		if c.Time > t0 {
+			t0 = c.Time
+		}
+	}
+	for _, c := range eng.Cores {
+		c.Time = t0
+	}
+	return t0
+}

@@ -1,0 +1,202 @@
+package simkv
+
+import "mutps/internal/simhw"
+
+// simIndex computes the cache-line addresses a lookup of key would chase.
+// The structures are pre-populated and static: YCSB-style workloads update
+// values in place, so structural modifications are not modelled.
+type simIndex interface {
+	// PathAddrs appends the node-line addresses dereferenced while
+	// locating key, one per pointer-chase level, and returns the extended
+	// slice.
+	PathAddrs(dst []uint64, key uint64) []uint64
+	// Depth returns the pointer-chase depth (len of a path).
+	Depth() int
+	// FootprintBytes returns the total index size, for reporting.
+	FootprintBytes() uint64
+}
+
+// itemLayout computes where item records live in the simulated data region.
+type itemLayout struct {
+	base     uint64
+	slotSize uint64
+	size     int
+}
+
+// newItemLayout lays out n items of the given value size. Each slot holds a
+// 16-byte header plus the value, rounded to cache lines so items do not
+// share lines (as real allocators align them).
+func newItemLayout(base uint64, size int) *itemLayout {
+	slot := uint64(16+size+63) &^ 63
+	return &itemLayout{base: base, slotSize: slot, size: size}
+}
+
+// Addr returns the item record address for key.
+func (l *itemLayout) Addr(key uint64) uint64 { return l.base + key*l.slotSize }
+
+// Bytes returns the bytes read or written when copying the value.
+func (l *itemLayout) Bytes() uint64 { return uint64(l.size) }
+
+// simCuckoo models a bucketized cuckoo hash table: two candidate buckets
+// per key, each one cache line (4 tags + pointers), with the item found in
+// the first bucket with probability hit1.
+type simCuckoo struct {
+	base    uint64
+	buckets uint64
+}
+
+// newSimCuckoo sizes the table at 2x occupancy like libcuckoo defaults.
+func newSimCuckoo(base uint64, keys uint64) *simCuckoo {
+	n := uint64(16)
+	for n < keys/2 { // 4 slots per bucket at ~50% load
+		n <<= 1
+	}
+	return &simCuckoo{base: base, buckets: n}
+}
+
+func mix(k, seed uint64) uint64 {
+	k ^= seed
+	k ^= k >> 33
+	k *= 0xFF51AFD7ED558CCD
+	k ^= k >> 33
+	return k
+}
+
+// PathAddrs: the primary bucket line; half the keys also probe the
+// alternate bucket (deterministic by key parity of the hash to stay
+// reproducible).
+func (c *simCuckoo) PathAddrs(dst []uint64, key uint64) []uint64 {
+	h1 := mix(key, 0x9E3779B97F4A7C15)
+	b1 := h1 % c.buckets
+	dst = append(dst, c.base+b1*64)
+	if h1&1 == 1 { // ~50%: key resides in its second bucket
+		b2 := mix(key, 0xC2B2AE3D27D4EB4F) % c.buckets
+		dst = append(dst, c.base+b2*64)
+	}
+	return dst
+}
+
+func (c *simCuckoo) Depth() int { return 2 }
+
+func (c *simCuckoo) FootprintBytes() uint64 { return c.buckets * 64 }
+
+// simBTree models a static B+-tree over keys [0, n): fanout-f nodes, one
+// line accessed per level (the paper's pointer-chase cost), leaves in key
+// order so scans walk consecutive leaves.
+type simBTree struct {
+	base    uint64
+	keys    uint64
+	fanout  uint64
+	levels  []uint64 // node count per level, root first
+	offsets []uint64 // address offset of each level
+	nodeSz  uint64
+}
+
+// newSimBTree builds the level geometry for n keys with fanout 16 and
+// 256-byte nodes (4 lines; one line is touched per visited node, plus one
+// extra for the intra-node binary search on wide nodes).
+func newSimBTree(base uint64, keys uint64) *simBTree {
+	t := &simBTree{base: base, keys: keys, fanout: 16, nodeSz: 256}
+	n := (keys + t.fanout - 1) / t.fanout // leaves
+	var levels []uint64
+	for {
+		levels = append([]uint64{n}, levels...)
+		if n == 1 {
+			break
+		}
+		n = (n + t.fanout - 1) / t.fanout
+	}
+	t.levels = levels
+	t.offsets = make([]uint64, len(levels))
+	var off uint64
+	for i, cnt := range levels {
+		t.offsets[i] = off
+		off += cnt * t.nodeSz
+	}
+	return t
+}
+
+// nodeAddr returns the address of node idx at level l (0 = root level).
+func (t *simBTree) nodeAddr(l int, idx uint64) uint64 {
+	return t.base + t.offsets[l] + idx*t.nodeSz
+}
+
+// PathAddrs walks root→leaf; the node index at each level follows from the
+// key's position in the sorted keyspace (keys are 0..n-1 after load).
+func (t *simBTree) PathAddrs(dst []uint64, key uint64) []uint64 {
+	if key >= t.keys {
+		key = t.keys - 1
+	}
+	start := len(dst)
+	idx := key / t.fanout
+	for l := len(t.levels) - 1; l >= 0; l-- {
+		dst = append(dst, t.nodeAddr(l, idx))
+		idx /= t.fanout
+	}
+	// Reverse the appended segment to root-first order.
+	for i, j := start, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+	return dst
+}
+
+func (t *simBTree) Depth() int { return len(t.levels) }
+
+func (t *simBTree) FootprintBytes() uint64 {
+	var total uint64
+	for _, c := range t.levels {
+		total += c * t.nodeSz
+	}
+	return total
+}
+
+// LeafAddrs appends the leaf-line addresses covering count consecutive keys
+// starting at key — the scan path.
+func (t *simBTree) LeafAddrs(dst []uint64, key uint64, count int) []uint64 {
+	first := key / t.fanout
+	last := (key + uint64(count) - 1) / t.fanout
+	lvl := len(t.levels) - 1
+	for leaf := first; leaf <= last; leaf++ {
+		if leaf >= t.levels[lvl] {
+			break
+		}
+		dst = append(dst, t.nodeAddr(lvl, leaf))
+	}
+	return dst
+}
+
+// hotIndexLayout is the CR layer's compact hot-set index: a sorted array of
+// 16-byte entries (tree engines) or an open-addressed table (hash
+// engines); either way lookups touch O(1)-ish lines inside a small
+// dedicated region that stays cache-resident.
+type hotIndexLayout struct {
+	base    uint64
+	entries int
+	sorted  bool
+}
+
+func newHotIndexLayout(base uint64, entries int, sorted bool) *hotIndexLayout {
+	return &hotIndexLayout{base: base, entries: entries, sorted: sorted}
+}
+
+// LookupAddrs returns the lines touched by a hot-index probe for key.
+func (h *hotIndexLayout) LookupAddrs(dst []uint64, key uint64) []uint64 {
+	if h.entries == 0 {
+		return dst
+	}
+	span := uint64(h.entries) * 16
+	if h.sorted {
+		// Binary search: the first few levels share a handful of hot
+		// lines; model the final two distinct line touches.
+		mid := h.base + (mix(key, 7)%span)&^63
+		dst = append(dst, h.base, mid)
+		return dst
+	}
+	dst = append(dst, h.base+(mix(key, 7)%span)&^63)
+	return dst
+}
+
+// FootprintBytes returns the hot index size.
+func (h *hotIndexLayout) FootprintBytes() uint64 { return uint64(h.entries) * 16 }
+
+var _ = simhw.RegionIdxBase // region constants used by callers

@@ -1,0 +1,239 @@
+package simkv
+
+import (
+	"container/heap"
+	"sort"
+
+	"mutps/internal/simhw"
+	"mutps/internal/workload"
+)
+
+// LatencyResult reports a closed-loop run (Fig. 10): achieved throughput
+// and median / tail response times.
+type LatencyResult struct {
+	Mops    float64
+	P50Usec float64
+	P99Usec float64
+}
+
+type sendEvent struct {
+	at     uint64 // cycles at which the client transmits
+	client int
+}
+
+type sendHeap []sendEvent
+
+func (h sendHeap) Len() int           { return len(h) }
+func (h sendHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h sendHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *sendHeap) Push(x any)        { *h = append(*h, x.(sendEvent)) }
+func (h *sendHeap) Pop() any          { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+
+// inflight tracks one outstanding request per closed-loop client.
+type inflight struct {
+	req     simReq
+	sentAt  uint64
+	availAt uint64 // arrival at the server (sentAt + rtt/2)
+	ready   bool
+}
+
+// RunLatency drives the system with `clients` closed-loop clients (one
+// outstanding request each) for totalOps operations and reports throughput
+// against P50/P99 latency. rttNanos is the full network round trip added
+// to every request. Supported archs: ArchMuTPS, ArchRTC, ArchERPC.
+func (s *System) RunLatency(clients, totalOps int, rttNanos float64) LatencyResult {
+	halfRTT := s.P.HW.NanosToCycles(rttNanos / 2)
+	gen := s.gen
+	pending := &sendHeap{}
+	for c := 0; c < clients; c++ {
+		heap.Push(pending, sendEvent{at: s.maxNow(), client: c})
+	}
+	slots := make([]inflight, 0, totalOps+clients)
+	latencies := make([]uint64, 0, totalOps)
+	completed := 0
+	var lastDone uint64
+	start := s.maxNow()
+
+	// ensureSlot materializes the request occupying global slot index i by
+	// admitting the earliest pending client send. It returns false when no
+	// client is ready to occupy it yet.
+	ensureSlot := func(i int) bool {
+		for len(slots) <= i {
+			if pending.Len() == 0 {
+				return false
+			}
+			ev := heap.Pop(pending).(sendEvent)
+			r := gen.Next()
+			size := r.ValueSize
+			if r.Op == workload.OpScan {
+				size = r.ScanCount
+			}
+			slots = append(slots, inflight{
+				req:     simReq{key: r.Key, op: r.Op, size: size, slot: uint64(len(slots))},
+				sentAt:  ev.at,
+				availAt: ev.at + halfRTT,
+				ready:   true,
+			})
+		}
+		return true
+	}
+
+	complete := func(i int, at uint64) {
+		fl := &slots[i]
+		recv := at + halfRTT
+		latencies = append(latencies, recv-fl.sentAt)
+		completed++
+		if recv > lastDone {
+			lastDone = recv
+		}
+		heap.Push(pending, sendEvent{at: recv, client: 0})
+	}
+
+	nCR := s.P.Workers
+	isMuTPS := s.A == ArchMuTPS
+	if isMuTPS {
+		nCR = s.P.CRWorkers
+	}
+	nMR := s.P.Workers - nCR
+
+	eng := s.newEngine()
+	type fwd struct {
+		idx     int // slot index
+		readyAt uint64
+	}
+	queues := make([][][]fwd, s.P.Workers) // per MR core, FIFO of batches
+	activeCR := nCR
+	sc := make([]*coreScratch, s.P.Workers)
+	for i := range sc {
+		sc[i] = &coreScratch{}
+	}
+
+	for c := 0; c < nCR; c++ {
+		c := c
+		next := c
+		var local []fwd
+		pushes := 0
+		flush := func(core *simhw.Core) {
+			if len(local) == 0 || nMR == 0 {
+				return
+			}
+			mr := nCR + pushes%nMR
+			pushes++
+			addr := s.ringSlotAddr(c, mr, uint64(pushes))
+			core.Time += s.HW.AccessRange(core.ID, addr, uint64(16*len(local)), true) + cyclesRingPush
+			b := make([]fwd, len(local))
+			copy(b, local)
+			for i := range b {
+				b[i].readyAt = core.Time
+			}
+			local = local[:0]
+			queues[mr] = append(queues[mr], b)
+		}
+		eng.Cores[c].Step = func(core *simhw.Core) bool {
+			if completed >= totalOps {
+				return false
+			}
+			if !ensureSlot(next) {
+				flush(core)
+				core.Time += cyclesIdle
+				return true
+			}
+			fl := &slots[next]
+			if fl.availAt > core.Time {
+				// Nothing to poll yet; flush the partial batch rather than
+				// holding requests hostage to the batching threshold.
+				flush(core)
+				core.Time += cyclesIdle
+				if fl.availAt > core.Time {
+					core.Time = fl.availAt
+				}
+			}
+			idx := next
+			next += activeCR
+			r := fl.req
+			rxAddr := s.rxAddr(core.ID, r.slot)
+			s.NIC.DeliverRequest(rxAddr, reqBytes(r.op, s.P.ItemSize))
+			core.Time += cyclesPoll + cyclesParse
+			core.Time += s.HW.AccessRange(core.ID, rxAddr, rxHeaderBytes, false)
+			if isMuTPS && s.hot[r.key] && (r.op == workload.OpGet || r.op == workload.OpPut) {
+				if r.op == workload.OpPut {
+					core.Time += s.HW.AccessRange(core.ID, rxAddr+rxHeaderBytes, uint64(s.P.ItemSize), false)
+				}
+				core.Time += s.serveItem(core, &r, true)
+				core.Time += s.respond(core, &r, sc[c].respCounter)
+				sc[c].respCounter++
+				complete(idx, core.Time)
+				return true
+			}
+			if !isMuTPS {
+				// Run-to-completion: do the whole thing here, paying the
+				// monolithic front-end penalty.
+				core.Time += cyclesICache
+				batch := []simReq{r}
+				s.mrBatch(core, batch, sc[c], s.A != ArchERPC, false)
+				complete(idx, core.Time)
+				return true
+			}
+			local = append(local, fwd{idx: idx})
+			if len(local) >= s.P.BatchSize {
+				flush(core)
+			}
+			return true
+		}
+	}
+	if isMuTPS {
+		for m := nCR; m < s.P.Workers; m++ {
+			m := m
+			eng.Cores[m].Step = func(core *simhw.Core) bool {
+				if completed >= totalOps {
+					return false
+				}
+				if len(queues[m]) == 0 {
+					core.Time += cyclesIdle
+					return true
+				}
+				b := queues[m][0]
+				queues[m] = queues[m][1:]
+				if b[0].readyAt > core.Time {
+					core.Time = b[0].readyAt
+				}
+				core.Time += s.HW.AccessRange(core.ID, s.ringSlotAddr(0, m, 0), uint64(16*len(b)), false) + cyclesRingPop
+				batch := make([]simReq, len(b))
+				for i := range b {
+					batch[i] = slots[b[i].idx].req
+				}
+				s.mrBatch(core, batch, sc[m], true, true)
+				for i := range b {
+					complete(b[i].idx, core.Time)
+				}
+				return true
+			}
+		}
+	}
+
+	eng.Run(^uint64(0))
+	s.saveClocks(eng)
+
+	if len(latencies) == 0 {
+		return LatencyResult{}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p50 := latencies[len(latencies)/2]
+	p99 := latencies[(len(latencies)*99)/100]
+	secs := s.P.HW.CyclesToNanos(lastDone-start) / 1e9
+	return LatencyResult{
+		Mops:    float64(completed) / secs / 1e6,
+		P50Usec: s.P.HW.CyclesToNanos(p50) / 1e3,
+		P99Usec: s.P.HW.CyclesToNanos(p99) / 1e3,
+	}
+}
+
+func (s *System) maxNow() uint64 {
+	var m uint64
+	for _, t := range s.now {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}

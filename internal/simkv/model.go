@@ -1,0 +1,161 @@
+// Package simkv runs the paper's evaluation on the simulated hardware of
+// internal/simhw. It models μTPS and every compared system — BaseKV (the
+// run-to-completion baseline with reconfigurable RPC, batching and
+// prefetching enabled), eRPCKV (shared-nothing, key-mod dispatch), and the
+// passive one-sided-RDMA stores RaceHash and Sherman — at the granularity
+// of cache-line accesses, so the cache-state phenomena that drive the
+// paper's results (RX-buffer thrashing, hot-set residency, way-partition
+// interactions, lock contention) emerge from the model rather than being
+// asserted.
+//
+// Simulated data structures do not store data: they compute the addresses
+// a real implementation would touch, and the simhw cache hierarchy charges
+// cycles. Throughput is ops divided by the slowest core's virtual clock;
+// all runs are deterministic given the workload seed.
+package simkv
+
+import (
+	"mutps/internal/simhw"
+	"mutps/internal/workload"
+)
+
+// CPU work constants (cycles) for the non-memory parts of request
+// processing. These are rough Ice Lake-era figures; only their relative
+// magnitudes matter for shape reproduction.
+const (
+	cyclesPoll     = 30  // check a receive-slot header
+	cyclesParse    = 50  // decode the request
+	cyclesRespond  = 40  // build the response descriptor, post send
+	cyclesIndexCPU = 25  // per-node key comparisons during index traversal
+	cyclesRingPush = 40  // CR-MR queue push (per batch)
+	cyclesRingPop  = 40  // CR-MR queue pop (per batch)
+	cyclesCoro     = 12  // stackless-coroutine switch
+	cyclesLockHold = 150 // item lock hold: version bumps + store fences under invalidation
+	cyclesIdle     = 200 // idle-poll quantum when no work is available
+	rxHeaderBytes  = 32  // request header in a receive slot
+
+	// cyclesICache charges run-to-completion workers for executing the
+	// entire monolithic request path on one core: the paper calls out that
+	// "TPS reduces the instruction cache footprint for each worker
+	// thread"; a full KVS pass (RPC framing, index traversal, item access,
+	// concurrency control, response building) overflows a 32 KB L1i and
+	// stalls the front end, where each μTPS stage stays resident.
+	cyclesICache = 200
+
+	// cyclesScanMerge is the per-item cost of merging scatter-gathered
+	// range-query fragments in a shared-nothing store, where consecutive
+	// keys live on different shards.
+	cyclesScanMerge = 8
+)
+
+// SystemParams configures one simulated KVS run.
+type SystemParams struct {
+	HW        simhw.Params
+	Keys      uint64 // pre-populated items
+	ItemSize  int    // value bytes
+	Workers   int    // server cores in use
+	BatchSize int    // CR-MR / indexing batch
+	TreeIndex bool   // B+-tree (μTPS-T) vs cuckoo hash (μTPS-H)
+
+	// μTPS-specific knobs (ignored by baselines).
+	CRWorkers int // cores at the cache-resident layer
+	HotItems  int // hot-set size cached at the CR layer
+	MRWays    int // LLC ways the MR layer may allocate into (0 = all)
+}
+
+// Result reports one simulated run.
+type Result struct {
+	Ops    uint64
+	Cycles uint64 // slowest core's busy time over the measured window
+
+	// Per-layer LLC miss rates (probes that reached DRAM), matching what
+	// the paper measures with PCM. For RTC systems both describe the same
+	// worker pool.
+	CRMissRate float64
+	MRMissRate float64
+
+	BWLimited bool // throughput was capped by the 200 Gbps line rate
+}
+
+// Mops returns throughput in million operations per second.
+func (r Result) Mops(hw simhw.Params) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	secs := hw.CyclesToNanos(r.Cycles) / 1e9
+	return float64(r.Ops) / secs / 1e6
+}
+
+// applyBandwidthCap clamps the result to the NIC line rate: if moving the
+// bytes takes longer than the CPU did, the network is the bottleneck.
+func (r *Result) applyBandwidthCap(n *simhw.NIC) {
+	min := n.MinCyclesToMove()
+	if min > r.Cycles {
+		r.Cycles = min
+		r.BWLimited = true
+	}
+}
+
+// reqBytes returns the wire payload of a request as it lands in a receive
+// slot: header plus the value for puts.
+func reqBytes(op workload.OpType, itemSize int) uint64 {
+	if op == workload.OpPut {
+		return uint64(rxHeaderBytes + itemSize)
+	}
+	return rxHeaderBytes
+}
+
+// respBytes returns the response payload: header plus the value for gets,
+// or scanned items for scans.
+func respBytes(op workload.OpType, itemSize, scanned int) uint64 {
+	switch op {
+	case workload.OpGet:
+		return uint64(rxHeaderBytes + itemSize)
+	case workload.OpScan:
+		return uint64(rxHeaderBytes + scanned*itemSize)
+	default:
+		return rxHeaderBytes
+	}
+}
+
+// lockTable models per-item write locks: a map from item address to the
+// cycle at which the lock frees. A contended handoff pays a penalty that
+// grows with the number of cores in the put path, modelling the CAS retry
+// storm on the lock line (spinners hammering the line delay the holder's
+// release and the next acquirer's CAS — the classic TTAS degradation that
+// drives the paper's Figure 2c share-everything collapse).
+type lockTable struct {
+	freeAt     map[uint64]uint64
+	coher      uint64
+	contenders uint64 // worker threads that may contend on item locks
+}
+
+func newLockTable(coherLat uint64) *lockTable {
+	return &lockTable{
+		freeAt: make(map[uint64]uint64),
+		coher:  coherLat,
+	}
+}
+
+// setContenders records how many cores run the locking put path.
+func (lt *lockTable) setContenders(n int) {
+	if n < 1 {
+		n = 1
+	}
+	lt.contenders = uint64(n)
+}
+
+// acquire blocks virtual time until the item lock frees, then holds it for
+// holdCycles. It returns the core's new clock value.
+func (lt *lockTable) acquire(now uint64, itemAddr uint64, holdCycles uint64) uint64 {
+	free := lt.freeAt[itemAddr]
+	if free > now {
+		// Contended handoff: wait for release, then pay the retry-storm
+		// arbitration cost proportional to the contender pool.
+		now = free + lt.coher*lt.contenders
+	} else {
+		now += lt.coher // uncontended CAS still pulls the line
+	}
+	lt.freeAt[itemAddr] = now + holdCycles
+	return now + holdCycles
+}

@@ -1,0 +1,86 @@
+package simkv
+
+import (
+	"mutps/internal/simhw"
+	"mutps/internal/workload"
+)
+
+// Passive KVSs (RaceHash, Sherman) bypass the server CPU entirely: clients
+// locate and fetch items with one-sided RDMA verbs. Their throughput is
+// therefore bounded by the NIC's verb rate and line rate, not by server
+// cache behaviour, so they are modelled analytically: verbs per operation ×
+// a small-message verb-rate ceiling, plus the bandwidth cap. This matches
+// how the paper explains their results ("they require multiple one-sided
+// verbs to locate a KV item"; Sherman at 1 KB "is primarily constrained by
+// network bandwidth").
+type PassiveKind int
+
+// The two passive baselines of Figure 7.
+const (
+	RaceHash PassiveKind = iota // one-sided extendible hashing
+	Sherman                     // one-sided B+-tree with client-side caches
+)
+
+// PassiveParams configures the analytic model.
+type PassiveParams struct {
+	HW       simhw.Params
+	Kind     PassiveKind
+	ItemSize int
+	// VerbRate is the RNIC's small-message one-sided op ceiling (ops/s).
+	// CX-6-class NICs sustain on the order of 50–80 M reads/s; the default
+	// (60 M) reproduces the paper's relative placement.
+	VerbRate float64
+}
+
+// verbsPerOp returns the average one-sided verbs needed per operation.
+func (p PassiveParams) verbsPerOp(op workload.OpType) float64 {
+	switch p.Kind {
+	case RaceHash:
+		// Race hashing: read the (combined) bucket group, then the item;
+		// writes add a CAS on the slot and the item write.
+		if op == workload.OpGet {
+			return 2
+		}
+		return 4
+	default: // Sherman
+		// Internal nodes are cached client-side: reads touch the leaf and
+		// the item; writes add lock acquisition/release one-sided ops.
+		if op == workload.OpGet {
+			return 2
+		}
+		if op == workload.OpScan {
+			return 3 // leaf chain reads; items arrive in bulk
+		}
+		return 5
+	}
+}
+
+// RunPassive evaluates the analytic model on n generated requests and
+// returns throughput in Mops plus whether the bandwidth bound was the
+// limiter.
+func RunPassive(p PassiveParams, gen *workload.Generator, n int) (mops float64, bwLimited bool) {
+	if p.VerbRate == 0 {
+		p.VerbRate = 60e6
+	}
+	var verbs, bytes float64
+	for i := 0; i < n; i++ {
+		r := gen.Next()
+		v := p.verbsPerOp(r.Op)
+		verbs += v
+		// Every verb moves a header; item-carrying verbs move the value.
+		bytes += v*64 + float64(p.ItemSize)
+		if r.Op == workload.OpScan {
+			bytes += float64(r.ScanCount * p.ItemSize)
+		}
+	}
+	// Time to issue all verbs at the verb ceiling vs move all bytes at
+	// line rate; clients pipeline perfectly (best case for the baseline).
+	opSecs := verbs / p.VerbRate
+	bwSecs := bytes / (p.HW.NICGbps * 1e9 / 8)
+	secs := opSecs
+	if bwSecs > secs {
+		secs = bwSecs
+		bwLimited = true
+	}
+	return float64(n) / secs / 1e6, bwLimited
+}

@@ -1,0 +1,242 @@
+package simkv
+
+import (
+	"mutps/internal/simhw"
+	"mutps/internal/workload"
+)
+
+// simReq is one pre-generated request flowing through a simulated system.
+type simReq struct {
+	key  uint64
+	op   workload.OpType
+	size int // value bytes (puts/gets), items (scans)
+	slot uint64
+}
+
+// genReqs pre-generates n requests so that slot index → request is a pure
+// function (workers claim slots out of order across cores).
+func genReqs(gen *workload.Generator, n int) []simReq {
+	out := make([]simReq, n)
+	for i := range out {
+		r := gen.Next()
+		size := r.ValueSize
+		if r.Op == workload.OpScan {
+			size = r.ScanCount
+		}
+		out[i] = simReq{key: r.Key, op: r.Op, size: size, slot: uint64(i)}
+	}
+	return out
+}
+
+// Arch selects the simulated thread architecture.
+type Arch int
+
+// Simulated systems (Fig. 7's competitors plus the Fig. 2 specials).
+const (
+	ArchMuTPS  Arch = iota // the paper's system
+	ArchRTC                // BaseKV: run-to-completion, share-everything
+	ArchERPC               // eRPCKV: run-to-completion, shared-nothing
+	ArchRTCCAT             // Fig 2a: RTC with workers fenced off the DDIO ways
+	ArchReplay             // Fig 2a: two-stage TPS with deterministic replay (no queues)
+)
+
+// System is a simulated KVS instance. Hardware state (caches) persists
+// across Run calls so tuning and dynamic-workload experiments see warm
+// steady states.
+type System struct {
+	P   SystemParams
+	A   Arch
+	HW  *simhw.Hierarchy
+	NIC *simhw.NIC
+
+	idx    simIndex
+	tree   *simBTree // non-nil when TreeIndex
+	items  *itemLayout
+	hotIdx *hotIndexLayout
+	hot    map[uint64]bool
+	gen    *workload.Generator
+	locks  *lockTable
+
+	rxSlotSize uint64
+	rxSlots    uint64
+
+	// Per-core virtual clocks, persisted across Run/Measure calls so lock
+	// release times and cache state stay on one consistent timeline.
+	now []uint64
+
+	// Per-worker private RX regions for eRPC's shared-nothing layout
+	// (15 MB per worker, as eRPC allocates).
+	erpcRXStride uint64
+}
+
+// rxRingBytesShare sizes the shared receive ring at a third of the LLC so
+// it can stay cache-resident, as the paper's reconfigurable RPC intends;
+// slot counts are clamped to a sane range.
+func rxRingSlotsFor(hw simhw.Params, slotSize uint64) uint64 {
+	budget := hw.LineSize() * uint64(hw.LLCSets) * uint64(hw.LLCWays) / 3
+	n := budget / slotSize
+	if n < 512 {
+		n = 512
+	}
+	if n > 2048 {
+		n = 2048
+	}
+	return n
+}
+
+// NewSystem builds a simulated KVS over a fresh hardware model.
+func NewSystem(p SystemParams, arch Arch, gen *workload.Generator) *System {
+	hw := simhw.NewHierarchy(p.HW)
+	s := &System{
+		P:   p,
+		A:   arch,
+		HW:  hw,
+		NIC: simhw.NewNIC(hw),
+		gen: gen,
+	}
+	if p.TreeIndex {
+		t := newSimBTree(simhw.RegionIdxBase, p.Keys)
+		s.idx, s.tree = t, t
+	} else {
+		s.idx = newSimCuckoo(simhw.RegionIdxBase, p.Keys)
+	}
+	s.items = newItemLayout(simhw.RegionDataBase, p.ItemSize)
+	s.locks = newLockTable(p.HW.CoherLat)
+	s.rxSlotSize = (uint64(rxHeaderBytes+p.ItemSize) + 63) &^ 63
+	s.rxSlots = rxRingSlotsFor(p.HW, s.rxSlotSize)
+	s.erpcRXStride = 15 << 20
+
+	s.now = make([]uint64, p.Workers)
+	s.locks.setContenders(p.Workers)
+	s.configureHot(p.HotItems)
+	s.applyCLOS()
+	return s
+}
+
+// configureHot installs the hot set: the K hottest keys by workload rank
+// (the hotset package validates the tracking machinery on the real store;
+// the simulation uses the ideal hot set directly).
+func (s *System) configureHot(k int) {
+	s.P.HotItems = k
+	s.hot = make(map[uint64]bool, k)
+	if s.A != ArchMuTPS || k <= 0 {
+		s.hotIdx = newHotIndexLayout(simhw.RegionHotBase, 0, s.P.TreeIndex)
+		return
+	}
+	for _, key := range s.gen.HotKeys(k) {
+		s.hot[key] = true
+	}
+	s.hotIdx = newHotIndexLayout(simhw.RegionHotBase, k, s.P.TreeIndex)
+}
+
+// applyCLOS assigns LLC way masks per the architecture: μTPS gives CR
+// cores every way and restricts MR cores to the rightmost MRWays; the CAT
+// variant fences all workers off the DDIO ways; other systems share all
+// ways.
+func (s *System) applyCLOS() {
+	all := simhw.AllWays(s.P.HW.LLCWays)
+	for c := 0; c < s.P.HW.Cores; c++ {
+		s.HW.SetCLOS(c, all)
+	}
+	switch s.A {
+	case ArchMuTPS:
+		if s.P.MRWays > 0 && s.P.MRWays < s.P.HW.LLCWays {
+			mask := simhw.RightmostWays(s.P.HW.LLCWays, s.P.MRWays)
+			for c := s.P.CRWorkers; c < s.P.Workers; c++ {
+				s.HW.SetCLOS(c, mask)
+			}
+		}
+	case ArchRTCCAT:
+		mask := all &^ s.HW.DDIOMask()
+		for c := 0; c < s.P.Workers; c++ {
+			s.HW.SetCLOS(c, mask)
+		}
+	}
+}
+
+// SetSplit adjusts the μTPS CR/MR core division.
+func (s *System) SetSplit(nCR int) {
+	s.P.CRWorkers = nCR
+	s.applyCLOS()
+}
+
+// SetMRWays adjusts the LLC ways granted to the MR layer.
+func (s *System) SetMRWays(w int) {
+	s.P.MRWays = w
+	s.applyCLOS()
+}
+
+// SetHotItems re-derives the hot set at a new size.
+func (s *System) SetHotItems(k int) { s.configureHot(k) }
+
+// SetItemSize changes the value size (the Fig. 14 dynamic-workload shift).
+func (s *System) SetItemSize(size int) {
+	s.P.ItemSize = size
+	s.items = newItemLayout(simhw.RegionDataBase, size)
+	s.rxSlotSize = (uint64(rxHeaderBytes+size) + 63) &^ 63
+	s.rxSlots = rxRingSlotsFor(s.P.HW, s.rxSlotSize)
+}
+
+func (s *System) rxAddr(core int, slot uint64) uint64 {
+	if s.A == ArchERPC {
+		// Per-worker private RX ring inside eRPC's 15 MB buffer region.
+		// The descriptor ring itself is short (512 entries) and reused
+		// rapidly, which is why eRPC's RX path stays cache-friendly even
+		// though its total buffer reservation is large.
+		const erpcRingSlots = 512
+		base := simhw.RegionRXBase + uint64(core)*s.erpcRXStride
+		return base + (slot%erpcRingSlots)*s.rxSlotSize
+	}
+	return simhw.RegionRXBase + (slot%s.rxSlots)*s.rxSlotSize
+}
+
+func (s *System) respAddr(core int, counter uint64) uint64 {
+	const respRegion = 64 << 10 // 64 KB per worker, reused across batches
+	sz := (uint64(rxHeaderBytes+s.P.ItemSize) + 63) &^ 63
+	per := respRegion / sz
+	if per == 0 {
+		per = 1
+	}
+	return simhw.RegionRespBase + uint64(core)<<20 + (counter%per)*sz
+}
+
+func (s *System) ringSlotAddr(cr, mr int, seq uint64) uint64 {
+	const slotsPerRing = 64
+	ringStride := uint64(slotsPerRing) * 64 * 8 // slot up to 8 lines
+	base := simhw.RegionRingBase + uint64(cr*s.P.Workers+mr)*ringStride
+	return base + (seq%slotsPerRing)*64*8
+}
+
+// serveItem charges the data access for one request at core and returns
+// the added cycles. Write ops go through the item lock when locked is
+// true; core.Time must already include previously charged cycles.
+func (s *System) serveItem(core *simhw.Core, r *simReq, locked bool) uint64 {
+	addr := s.items.Addr(r.key)
+	var cycles uint64
+	switch r.op {
+	case workload.OpGet:
+		cycles += s.HW.AccessRange(core.ID, addr, s.items.Bytes()+16, false)
+	case workload.OpPut, workload.OpDelete:
+		if locked && s.P.ItemSize > 8 {
+			// Serialize through the item lock: copy time is charged as
+			// the hold; the acquire models CAS/coherence and waiting.
+			copyCycles := s.HW.AccessRange(core.ID, addr, s.items.Bytes()+16, true) + cyclesLockHold
+			core.Time = s.locks.acquire(core.Time+cycles, addr, copyCycles)
+			return 0 // time already advanced
+		}
+		cycles += s.HW.AccessRange(core.ID, addr, s.items.Bytes()+16, true)
+	}
+	return cycles
+}
+
+// respond charges building and posting a response (gets and scans carry
+// the value back; puts/deletes a header) and accounts NIC TX bytes.
+func (s *System) respond(core *simhw.Core, r *simReq, counter uint64) uint64 {
+	bytes := respBytes(r.op, s.P.ItemSize, r.size)
+	var cycles uint64
+	if r.op == workload.OpGet || r.op == workload.OpScan {
+		cycles += s.HW.AccessRange(core.ID, s.respAddr(core.ID, counter), bytes, true)
+	}
+	s.NIC.SendResponse(s.respAddr(core.ID, counter), bytes)
+	return cycles + cyclesRespond
+}

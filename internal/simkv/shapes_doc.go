@@ -1,0 +1,35 @@
+package simkv
+
+// This file documents the calibration constants' provenance so future
+// changes keep the shape tests meaningful.
+//
+// The cost model separates three kinds of per-request cost:
+//
+//  1. Memory-hierarchy cycles — computed by internal/simhw from actual
+//     cache state (L1/LLC hit/miss, coherence pulls, way-mask fills).
+//     These dominate and are where every headline effect lives: RX-buffer
+//     dwell misses under run-to-completion, hot-item residency under CR-
+//     exclusive ways, index pointer chasing, MLP-overlapped batch misses.
+//
+//  2. Fixed CPU work (cyclesPoll/Parse/Respond/IndexCPU/Coro/RingPush/
+//     RingPop) — small constants in the tens of cycles, approximating
+//     straight-line instruction work per step on an Ice Lake-class core.
+//
+//  3. Structural penalties with published grounding:
+//     - cyclesICache (monolithic front-end stalls): §2.2.1 "TPS reduces
+//       the instruction cache footprint for each worker thread".
+//     - lockTable handoff ∝ contenders (TTAS retry storms): drives the
+//       Figure 2c share-everything collapse and the benefit of throttling
+//       the MR pool.
+//     - deliveryLead (DMA precedes poll by the in-flight window): exposes
+//       RX lines to eviction between DDIO write and poll, §2.2.1's
+//       "DDIO-initiated cache misses".
+//
+// Calibration anchors (quick scale, seeds fixed):
+//   - Fig 2a TPS/TPQ ∈ [1.0, 1.6] across item sizes (paper: 1.22–1.54).
+//   - Fig 7 μTPS/BaseKV ∈ [0.9, 7] everywhere; > 1 on skewed tree reads
+//     (paper band: 1.03–5.46).
+//   - eRPC beats BaseKV on uniform small-item hash and loses under skew.
+//   - Sherman bandwidth-bound at 1 KB.
+// Changing any constant requires re-running `go test ./internal/bench` —
+// the shape tests are the regression net.

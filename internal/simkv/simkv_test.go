@@ -1,0 +1,314 @@
+package simkv
+
+import (
+	"testing"
+
+	"mutps/internal/simhw"
+	"mutps/internal/tuner"
+	"mutps/internal/workload"
+)
+
+// testHW scales the machine down (8 cores, 1.5 MB LLC) so a 200k-key store
+// exhibits the paper's cache dynamics in fast unit tests.
+func testHW() simhw.Params {
+	p := simhw.DefaultParams()
+	p.Cores = 8
+	p.LLCSets = 2048 // 1.5 MB LLC
+	return p
+}
+
+func testParams(tree bool, itemSize int) SystemParams {
+	return SystemParams{
+		HW:        testHW(),
+		Keys:      200_000,
+		ItemSize:  itemSize,
+		Workers:   8,
+		BatchSize: 8,
+		TreeIndex: tree,
+		CRWorkers: 2,
+		HotItems:  2000,
+		MRWays:    8, // leave 4 LLC ways exclusive to the CR layer
+	}
+}
+
+func cfgFor(theta float64, mix workload.Mix, keys uint64, size int, seed uint64) workload.Config {
+	return workload.Config{Keys: keys, Theta: theta, Mix: mix, ValueSize: workload.FixedSize(size), Seed: seed}
+}
+
+func runSys(p SystemParams, a Arch, wl workload.Config, warm, n int) Result {
+	sys := NewSystem(p, a, workload.NewGenerator(wl))
+	return sys.Run(warm, n)
+}
+
+const (
+	tWarm = 6000
+	tOps  = 20000
+)
+
+func TestMuTPSBeatsRTCOnSkewedTree(t *testing.T) {
+	p := testParams(true, 64)
+	wl := cfgFor(0.99, workload.MixYCSBB, p.Keys, p.ItemSize, 7)
+	mu, bestP := BestMuTPS(p, func() *System {
+		return NewSystem(p, ArchMuTPS, workload.NewGenerator(wl))
+	}, tWarm, tOps, []int{0, 4, 8})
+	base := runSys(p, ArchRTC, wl, tWarm, tOps)
+	rm, rb := mu.Mops(p.HW), base.Mops(p.HW)
+	t.Logf("μTPS=%.1f Mops (cr=%d ways=%d) BaseKV=%.1f Mops (%.2fx)",
+		rm, bestP.CRWorkers, bestP.MRWays, rb, rm/rb)
+	if rm <= rb {
+		t.Fatalf("μTPS (%.1f) must beat BaseKV (%.1f) on skewed tree reads", rm, rb)
+	}
+}
+
+func TestCRLayerMissRateFarBelowRTC(t *testing.T) {
+	p := testParams(true, 64)
+	wl := cfgFor(0, workload.MixYCSBC, p.Keys, p.ItemSize, 3)
+	mu := runSys(p, ArchMuTPS, wl, tWarm, tOps)
+	base := runSys(p, ArchRTC, wl, tWarm, tOps)
+	t.Logf("CR miss %.1f%% / MR miss %.1f%% vs RTC %.1f%%",
+		100*mu.CRMissRate, 100*mu.MRMissRate, 100*base.CRMissRate)
+	// Paper §2.2.1: stage-1 threads 2% vs 33% for NP-TPQ.
+	if mu.CRMissRate >= base.CRMissRate/2 {
+		t.Fatalf("CR layer LLC miss rate %.2f must be far below RTC's %.2f",
+			mu.CRMissRate, base.CRMissRate)
+	}
+}
+
+func TestERPCWinsUniformLosesSkewed(t *testing.T) {
+	p := testParams(false, 8)
+	uni := cfgFor(0, workload.MixYCSBC, p.Keys, p.ItemSize, 5)
+	skew := cfgFor(0.99, workload.MixYCSBC, p.Keys, p.ItemSize, 5)
+	eUni := runSys(p, ArchERPC, uni, tWarm, tOps).Mops(p.HW)
+	bUni := runSys(p, ArchRTC, uni, tWarm, tOps).Mops(p.HW)
+	eSkew := runSys(p, ArchERPC, skew, tWarm, tOps).Mops(p.HW)
+	bSkew := runSys(p, ArchRTC, skew, tWarm, tOps).Mops(p.HW)
+	t.Logf("uniform: eRPC=%.1f Base=%.1f | skewed: eRPC=%.1f Base=%.1f", eUni, bUni, eSkew, bSkew)
+	if eUni <= bUni {
+		t.Fatalf("eRPC (%.1f) should beat BaseKV (%.1f) on uniform hash reads", eUni, bUni)
+	}
+	if eSkew >= bSkew {
+		t.Fatalf("eRPC (%.1f) should trail BaseKV (%.1f) under skew (load imbalance)", eSkew, bSkew)
+	}
+}
+
+func TestBatchingImprovesMuTPS(t *testing.T) {
+	wl := cfgFor(0.99, workload.MixYCSBA, 200_000, 8, 11)
+	p1 := testParams(false, 8)
+	p1.BatchSize = 1
+	p8 := testParams(false, 8)
+	p8.BatchSize = 10
+	r1 := runSys(p1, ArchMuTPS, wl, tWarm, tOps).Mops(p1.HW)
+	r8 := runSys(p8, ArchMuTPS, wl, tWarm, tOps).Mops(p8.HW)
+	t.Logf("batch=1: %.1f Mops, batch=10: %.1f Mops (+%.0f%%)", r1, r8, 100*(r8/r1-1))
+	if r8 <= r1 {
+		t.Fatalf("batching must help: %.1f vs %.1f", r8, r1)
+	}
+}
+
+func TestSEContentionCollapse(t *testing.T) {
+	// Fig 2c: share-everything puts degrade as threads grow; shared-nothing
+	// does not collapse the same way.
+	wl := cfgFor(0.99, workload.MixPutOnly, 200_000, 64, 13)
+	few := testParams(false, 64)
+	few.Workers = 3
+	few.CRWorkers = 1
+	many := testParams(false, 64)
+	many.Workers = 8
+	rFew := runSys(few, ArchRTC, wl, tWarm, tOps).Mops(few.HW)
+	rMany := runSys(many, ArchRTC, wl, tWarm, tOps).Mops(many.HW)
+	perFew, perMany := rFew/3, rMany/8
+	t.Logf("SE puts: 3 workers=%.1f Mops (%.2f/w), 8 workers=%.1f Mops (%.2f/w)",
+		rFew, perFew, rMany, perMany)
+	if perMany > perFew*0.9 {
+		t.Fatalf("per-worker SE put efficiency must degrade with contention: %.2f → %.2f",
+			perFew, perMany)
+	}
+}
+
+func TestPassiveModels(t *testing.T) {
+	hw := testHW()
+	genCfg := cfgFor(0.99, workload.MixYCSBC, 200_000, 64, 17)
+	// Scale the NIC verb ceiling to the test machine's 8-of-28 cores so
+	// the CPU-vs-NIC comparison matches the full-scale geometry.
+	verbRate := 60e6 * 8 / 28
+	mops, bw := RunPassive(PassiveParams{HW: hw, Kind: RaceHash, ItemSize: 64, VerbRate: verbRate},
+		workload.NewGenerator(genCfg), 20000)
+	if bw || mops <= 0 || mops > 30 {
+		t.Fatalf("RaceHash gets: %.1f Mops (bw=%v) out of expected range", mops, bw)
+	}
+	// Sherman at 1 KB must be bandwidth-limited (paper's observation).
+	// The bandwidth bound is a NIC property, so check it at the full verb
+	// ceiling (the scaled rate above only matters for CPU comparisons).
+	mops1k, bw1k := RunPassive(PassiveParams{HW: hw, Kind: Sherman, ItemSize: 1024},
+		workload.NewGenerator(cfgFor(0.99, workload.MixYCSBC, 200_000, 1024, 17)), 20000)
+	t.Logf("RaceHash 64B: %.1f Mops; Sherman 1KB: %.1f Mops bw=%v", mops, mops1k, bw1k)
+	if !bw1k {
+		t.Fatal("Sherman at 1 KB should be bandwidth-bound")
+	}
+	// μTPS with small items should beat both passive stores.
+	p := testParams(false, 64)
+	mu := runSys(p, ArchMuTPS, genCfg, tWarm, tOps).Mops(p.HW)
+	if mu <= mops {
+		t.Fatalf("μTPS (%.1f) should beat RaceHash (%.1f) at 64 B", mu, mops)
+	}
+}
+
+func TestReplayModeRuns(t *testing.T) {
+	p := testParams(true, 64)
+	p.CRWorkers = 3
+	wl := cfgFor(0, workload.MixYCSBC, p.Keys, p.ItemSize, 23)
+	r := runSys(p, ArchReplay, wl, tWarm, tOps)
+	if r.Ops == 0 || r.Cycles == 0 {
+		t.Fatal("replay mode produced nothing")
+	}
+	if r.CRMissRate >= r.MRMissRate {
+		t.Fatalf("stage-1 miss rate %.2f should be below stage-2's %.2f",
+			r.CRMissRate, r.MRMissRate)
+	}
+}
+
+func TestLatencyClosedLoop(t *testing.T) {
+	p := testParams(true, 8)
+	wl := cfgFor(0.99, workload.MixYCSBA, p.Keys, 8, 29)
+	few := NewSystem(p, ArchMuTPS, workload.NewGenerator(wl)).RunLatency(4, 4000, 2000)
+	many := NewSystem(p, ArchMuTPS, workload.NewGenerator(wl)).RunLatency(32, 4000, 2000)
+	t.Logf("4 clients: %.2f Mops P50=%.2fµs P99=%.2fµs | 32 clients: %.2f Mops P50=%.2fµs P99=%.2fµs",
+		few.Mops, few.P50Usec, few.P99Usec, many.Mops, many.P50Usec, many.P99Usec)
+	if few.P50Usec < 2 { // RTT alone is 2 µs
+		t.Fatalf("P50 %.2f below network RTT", few.P50Usec)
+	}
+	if many.Mops <= few.Mops {
+		t.Fatal("more closed-loop clients must raise throughput before saturation")
+	}
+	if few.P99Usec < few.P50Usec {
+		t.Fatal("P99 below P50")
+	}
+	rtc := NewSystem(p, ArchRTC, workload.NewGenerator(wl)).RunLatency(16, 4000, 2000)
+	if rtc.Mops <= 0 || rtc.P50Usec <= 0 {
+		t.Fatal("RTC latency mode broken")
+	}
+}
+
+func TestTunableSearch(t *testing.T) {
+	p := testParams(true, 64)
+	wl := cfgFor(0.99, workload.MixYCSBA, p.Keys, 64, 31)
+	sys := NewSystem(p, ArchMuTPS, workload.NewGenerator(wl))
+	tn := &Tunable{S: sys, MaxCache: 4000, CacheStep: 2000, Window: 4000}
+	res := tuner.Optimize(tn)
+	if res.Score <= 0 || res.Probes == 0 {
+		t.Fatalf("tuner result %+v", res)
+	}
+	if res.Best.MRThreads < 1 || res.Best.MRThreads > p.Workers-1 {
+		t.Fatalf("tuned MR threads out of range: %+v", res.Best)
+	}
+	// The tuned configuration should beat a pathological one.
+	bad := tn.Measure(tuner.Config{CacheItems: 0, MRThreads: 1, MRWays: p.HW.LLCWays})
+	good := tn.Measure(res.Best)
+	t.Logf("tuned=%+v score=%.1f vs pathological=%.1f", res.Best, good, bad)
+	if good < bad*0.95 {
+		t.Fatalf("tuned config (%.1f) worse than pathological (%.1f)", good, bad)
+	}
+}
+
+func TestDynamicItemSizeShift(t *testing.T) {
+	// Fig 14 mechanics: shrink the value size mid-run, retune, and confirm
+	// the system reconfigures without error and throughput changes.
+	p := testParams(true, 512)
+	wl := cfgFor(0.99, workload.MixYCSBA, p.Keys, 512, 37)
+	sys := NewSystem(p, ArchMuTPS, workload.NewGenerator(wl))
+	before := sys.Run(tWarm, tOps).Mops(p.HW)
+	sys.SetItemSize(8)
+	after := sys.Run(tWarm, tOps).Mops(p.HW)
+	t.Logf("512B: %.1f Mops → 8B: %.1f Mops", before, after)
+	if after <= before {
+		t.Fatal("shrinking items must raise throughput")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := testParams(false, 64)
+	wl := cfgFor(0.99, workload.MixYCSBA, p.Keys, 64, 41)
+	a := runSys(p, ArchMuTPS, wl, 2000, 8000)
+	b := runSys(p, ArchMuTPS, wl, 2000, 8000)
+	if a != b {
+		t.Fatalf("simulation must be deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestItemLayoutAndIndexes(t *testing.T) {
+	l := newItemLayout(0x1000, 100)
+	if l.Addr(0) != 0x1000 || l.Addr(1)-l.Addr(0) < 116 {
+		t.Fatal("item layout slots must not overlap")
+	}
+	if l.Addr(1)%64 != 0 {
+		t.Fatal("items must be line-aligned")
+	}
+	c := newSimCuckoo(0, 1_000_000)
+	p := c.PathAddrs(nil, 42)
+	if len(p) < 1 || len(p) > 2 {
+		t.Fatalf("cuckoo path %v", p)
+	}
+	if c.FootprintBytes() == 0 || c.Depth() != 2 {
+		t.Fatal("cuckoo geometry")
+	}
+	bt := newSimBTree(0, 10_000_000)
+	path := bt.PathAddrs(nil, 12345)
+	if len(path) != bt.Depth() {
+		t.Fatalf("path length %d vs depth %d", len(path), bt.Depth())
+	}
+	if bt.Depth() < 5 {
+		t.Fatalf("10M keys at fanout 16 must be ≥6 levels, got %d", bt.Depth())
+	}
+	// Same key → same path; adjacent keys share upper levels.
+	p2 := bt.PathAddrs(nil, 12345)
+	for i := range path {
+		if path[i] != p2[i] {
+			t.Fatal("paths must be deterministic")
+		}
+	}
+	p3 := bt.PathAddrs(nil, 12346)
+	if path[0] != p3[0] {
+		t.Fatal("root must be shared")
+	}
+	leaves := bt.LeafAddrs(nil, 0, 50)
+	if len(leaves) < 3 {
+		t.Fatalf("50-item scan should span several leaves, got %d", len(leaves))
+	}
+	// Out-of-range key clamps.
+	if got := bt.PathAddrs(nil, 1<<62); len(got) != bt.Depth() {
+		t.Fatal("clamped path broken")
+	}
+}
+
+func TestLockTableContention(t *testing.T) {
+	lt := newLockTable(70)
+	lt.setContenders(8)
+	// Uncontended: now advances by coher + hold.
+	end := lt.acquire(1000, 0xABC, 500)
+	if end != 1000+70+500 {
+		t.Fatalf("uncontended end = %d", end)
+	}
+	// Contended: waits for release, then pays the retry-storm handoff
+	// proportional to the contender pool.
+	end2 := lt.acquire(1100, 0xABC, 500)
+	if end2 != end+70*8+500 {
+		t.Fatalf("contended end = %d, want %d", end2, end+70*8+500)
+	}
+	// A different item is independent.
+	if lt.acquire(2000, 0xDEF, 100) != 2000+70+100 {
+		t.Fatal("independent items must not contend")
+	}
+	// Larger contender pools pay larger handoffs.
+	lt2 := newLockTable(70)
+	lt2.setContenders(28)
+	lt2.acquire(1000, 1, 500)
+	if lt2.acquire(1100, 1, 500)-end2 <= 0 {
+		t.Fatal("handoff must grow with contenders")
+	}
+	// Degenerate contender count clamps to 1.
+	lt3 := newLockTable(70)
+	lt3.setContenders(0)
+	if lt3.acquire(0, 1, 10) != 80 {
+		t.Fatal("contender clamp broken")
+	}
+}

@@ -1,0 +1,86 @@
+package simkv
+
+import "mutps/internal/tuner"
+
+// tunerWindow is the number of requests simulated per Measure probe — the
+// analog of the paper's 10 ms monitoring window.
+const tunerWindow = 8000
+
+// Tunable adapts a μTPS System to the auto-tuner's Reconfigurable
+// interface: each Measure applies the configuration live (the system keeps
+// its cache state) and simulates one monitoring window.
+type Tunable struct {
+	S *System
+	// CacheStep overrides the linear-probe step (default 1000 items, the
+	// paper's 1K).
+	CacheStep int
+	// MaxCache bounds the hot-set sizes explored (default 10000, the
+	// paper's 10K-item hot set).
+	MaxCache int
+	// Window overrides the per-probe request count.
+	Window int
+}
+
+// Bounds implements tuner.Reconfigurable.
+func (t *Tunable) Bounds() (threads, ways, maxCacheItems, cacheStep int) {
+	maxC := t.MaxCache
+	if maxC == 0 {
+		maxC = 10000
+	}
+	step := t.CacheStep
+	if step == 0 {
+		step = 1000
+	}
+	return t.S.P.Workers, t.S.P.HW.LLCWays, maxC, step
+}
+
+// Measure implements tuner.Reconfigurable.
+func (t *Tunable) Measure(c tuner.Config) float64 {
+	s := t.S
+	if c.MRThreads < 1 {
+		c.MRThreads = 1
+	}
+	if c.MRThreads > s.P.Workers-1 {
+		c.MRThreads = s.P.Workers - 1
+	}
+	s.SetSplit(s.P.Workers - c.MRThreads)
+	s.SetHotItems(c.CacheItems)
+	s.SetMRWays(c.MRWays)
+	w := t.Window
+	if w == 0 {
+		w = tunerWindow
+	}
+	res := s.Run(w/4, w)
+	return res.Mops(s.P.HW)
+}
+
+var _ tuner.Reconfigurable = (*Tunable)(nil)
+
+// BestMuTPS sweeps the CR/MR split (and optionally LLC-way grants) with a
+// fresh system per candidate and returns the best measured result together
+// with the winning parameters — the grid-experiment stand-in for running
+// the full auto-tuner at every point of a figure.
+func BestMuTPS(p SystemParams, mk func() *System, warm, n int, waysGrid []int) (Result, SystemParams) {
+	if len(waysGrid) == 0 {
+		waysGrid = []int{0}
+	}
+	var best Result
+	bestP := p
+	first := true
+	for _, w := range waysGrid {
+		for cr := 1; cr < p.Workers; cr++ {
+			cand := p
+			cand.CRWorkers = cr
+			cand.MRWays = w
+			sys := mk()
+			sys.P = cand
+			sys.applyCLOS()
+			sys.configureHot(cand.HotItems)
+			r := sys.Run(warm, n)
+			if first || r.Mops(p.HW) > best.Mops(p.HW) {
+				best, bestP, first = r, cand, false
+			}
+		}
+	}
+	return best, bestP
+}

@@ -1,0 +1,76 @@
+package tuner
+
+import "testing"
+
+func TestMonitorStableLoadNeverTriggers(t *testing.T) {
+	var m Monitor
+	for i := 0; i < 100; i++ {
+		rate := 100.0
+		if i%2 == 0 {
+			rate = 105 // small jitter
+		}
+		if m.Observe(rate) {
+			t.Fatalf("stable load triggered at sample %d", i)
+		}
+	}
+	if b := m.Baseline(); b < 95 || b > 110 {
+		t.Fatalf("baseline drifted: %v", b)
+	}
+}
+
+func TestMonitorDetectsShiftOnce(t *testing.T) {
+	var m Monitor
+	for i := 0; i < 10; i++ {
+		m.Observe(100)
+	}
+	// Load doubles: must trigger exactly once, then settle at the new level.
+	triggers := 0
+	for i := 0; i < 20; i++ {
+		if m.Observe(200) {
+			triggers++
+		}
+	}
+	if triggers != 1 {
+		t.Fatalf("shift triggered %d times, want 1", triggers)
+	}
+	// Downward shift also triggers.
+	for i := 0; i < 6; i++ {
+		m.Observe(200)
+	}
+	fired := false
+	for i := 0; i < 10; i++ {
+		if m.Observe(120) {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("downward shift not detected")
+	}
+}
+
+func TestMonitorWarmupSuppression(t *testing.T) {
+	var m Monitor
+	// Wildly varying warmup samples must not trigger.
+	for i, r := range []float64{10, 500, 50} {
+		if m.Observe(r) {
+			t.Fatalf("warmup sample %d triggered", i)
+		}
+	}
+}
+
+func TestMonitorCustomThresholdAndReset(t *testing.T) {
+	m := Monitor{Threshold: 0.5, Warmup: 1}
+	m.Observe(100)
+	m.Observe(100)
+	if m.Observe(130) {
+		t.Fatal("30% deviation must not trigger at 50% threshold")
+	}
+	if !m.Observe(300) {
+		t.Fatal("200% deviation must trigger")
+	}
+	m.Reset()
+	if m.Baseline() != 0 {
+		t.Fatal("reset must clear the baseline")
+	}
+}

@@ -1,0 +1,163 @@
+package workload
+
+// OpType identifies a KVS operation.
+type OpType uint8
+
+// Operations issued by generated workloads.
+const (
+	OpGet OpType = iota
+	OpPut
+	OpDelete
+	OpScan
+)
+
+func (o OpType) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	default:
+		return "scan"
+	}
+}
+
+// Request is one generated KV operation.
+type Request struct {
+	Op        OpType
+	Key       uint64
+	ValueSize int // bytes; meaningful for puts (and as expected size for gets)
+	ScanCount int // items to return; meaningful for scans
+}
+
+// Mix gives operation proportions; whatever is left after Get+Scan+Delete
+// is Put. Fractions must sum to at most 1.
+type Mix struct {
+	GetFrac    float64
+	ScanFrac   float64
+	DeleteFrac float64
+}
+
+// Standard mixes from the paper's evaluation (§5.2.1).
+var (
+	MixYCSBA    = Mix{GetFrac: 0.5}   // 50% get / 50% put
+	MixYCSBB    = Mix{GetFrac: 0.95}  // 95% get / 5% put
+	MixYCSBC    = Mix{GetFrac: 1.0}   // 100% get
+	MixYCSBE    = Mix{ScanFrac: 0.95} // 95% scan / 5% put
+	MixPutOnly  = Mix{}               // 100% put
+	MixScanOnly = Mix{ScanFrac: 1.0}  // scan-only (Fig 8a)
+)
+
+// SizeDist samples a value size in bytes.
+type SizeDist interface {
+	Sample(r *RNG) int
+	Mean() float64
+}
+
+// FixedSize returns every value at n bytes.
+type FixedSize int
+
+// Sample implements SizeDist.
+func (f FixedSize) Sample(*RNG) int { return int(f) }
+
+// Mean implements SizeDist.
+func (f FixedSize) Mean() float64 { return float64(f) }
+
+// Config fully describes a workload.
+type Config struct {
+	Keys      uint64  // populated keyspace size
+	Theta     float64 // Zipfian skew; 0 = uniform. YCSB default is 0.99.
+	Mix       Mix
+	ValueSize SizeDist
+	ScanLen   int // average range size for scans (paper uses 50)
+	Seed      uint64
+}
+
+// Generator produces a deterministic request stream for a Config.
+type Generator struct {
+	cfg  Config
+	rng  *RNG
+	zipf *Zipfian
+}
+
+// NewGenerator validates cfg and builds the stream.
+func NewGenerator(cfg Config) *Generator {
+	if cfg.Keys == 0 {
+		panic("workload: Config.Keys must be positive")
+	}
+	if cfg.ValueSize == nil {
+		cfg.ValueSize = FixedSize(64)
+	}
+	if cfg.ScanLen == 0 {
+		cfg.ScanLen = 50
+	}
+	if s := cfg.Mix.GetFrac + cfg.Mix.ScanFrac + cfg.Mix.DeleteFrac; s > 1+1e-9 {
+		panic("workload: Mix fractions exceed 1")
+	}
+	return &Generator{
+		cfg:  cfg,
+		rng:  NewRNG(cfg.Seed),
+		zipf: NewZipfian(cfg.Keys, cfg.Theta),
+	}
+}
+
+// KeyOfRank maps popularity rank k (0 = hottest) to the concrete key, using
+// YCSB-style FNV scrambling so hot keys are spread across the keyspace.
+func (g *Generator) KeyOfRank(k uint64) uint64 {
+	return fnv64a(k) % g.cfg.Keys
+}
+
+// HotKeys returns the n hottest keys in rank order. With a uniform
+// distribution there is no meaningful ranking, but the mapping is still
+// deterministic.
+func (g *Generator) HotKeys(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = g.KeyOfRank(uint64(i))
+	}
+	return out
+}
+
+// Next returns the next request in the stream.
+func (g *Generator) Next() Request {
+	rank := g.zipf.Next(g.rng)
+	key := g.KeyOfRank(rank)
+	u := g.rng.Float64()
+	m := g.cfg.Mix
+	var req Request
+	switch {
+	case u < m.GetFrac:
+		req = Request{Op: OpGet, Key: key, ValueSize: g.cfg.ValueSize.Sample(g.rng)}
+	case u < m.GetFrac+m.ScanFrac:
+		// Scan lengths uniform in [1, 2*ScanLen) so the mean matches ScanLen.
+		n := 1 + g.rng.Intn(2*g.cfg.ScanLen-1)
+		req = Request{Op: OpScan, Key: key, ScanCount: n}
+	case u < m.GetFrac+m.ScanFrac+m.DeleteFrac:
+		req = Request{Op: OpDelete, Key: key}
+	default:
+		req = Request{Op: OpPut, Key: key, ValueSize: g.cfg.ValueSize.Sample(g.rng)}
+	}
+	return req
+}
+
+// Fill produces the next len(dst) requests into dst and returns dst; handy
+// for batched simulation loops.
+func (g *Generator) Fill(dst []Request) []Request {
+	for i := range dst {
+		dst[i] = g.Next()
+	}
+	return dst
+}
+
+// Clone returns an independent generator with identical configuration and a
+// freshly reset stream — the deterministic-replay primitive used by the
+// Figure 2a methodology (the second stage regenerates the first stage's
+// exact sequence instead of receiving it over a queue).
+func (g *Generator) Clone() *Generator {
+	return NewGenerator(g.cfg)
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }

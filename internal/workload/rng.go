@@ -1,0 +1,67 @@
+// Package workload generates the request streams used throughout the μTPS
+// evaluation: YCSB-style synthetic mixes with uniform or Zipfian key
+// popularity, the Meta ETC pool value-size mixture, and synthetic versions
+// of the three Twitter cache traces characterised in the paper's Table 1.
+//
+// All generators are deterministic given a seed: the same Config and Seed
+// reproduce the exact request sequence, which the paper's Figure 2a
+// methodology (deterministic replay at the second stage) relies on.
+package workload
+
+// RNG is a small, fast, deterministic generator (splitmix64 seeded
+// xorshift128+ would be overkill; splitmix64 itself has excellent
+// statistical quality for simulation use).
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed (0 is remapped so the stream
+// is never degenerate).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0,n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform integer in [0,n). n must be positive.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("workload: Uint64n with zero bound")
+	}
+	return r.Uint64() % n
+}
+
+// fnv64a hashes x with 64-bit FNV-1a over its 8 little-endian bytes; used
+// to scramble Zipfian ranks across the keyspace, as YCSB does.
+func fnv64a(x uint64) uint64 {
+	h := uint64(0xCBF29CE484222325)
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xFF
+		h *= 0x100000001B3
+		x >>= 8
+	}
+	return h
+}

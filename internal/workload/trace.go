@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadTrace parses a request trace in the common CSV form used by the
+// Twitter cache-trace release and similar tools:
+//
+//	op,key[,valueSize[,scanCount]]
+//
+// where op is one of get/put/delete/scan (case-insensitive; "set" and
+// "update" are accepted as put, "gets" as get). Keys may be decimal
+// integers or arbitrary strings (hashed to 64 bits, as the paper's
+// 16-byte request format does). Blank lines and lines starting with '#'
+// are skipped. The reader stops at EOF or after limit requests (0 = no
+// limit).
+func ReadTrace(r io.Reader, limit int) ([]Request, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var out []Request
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		req, err := parseTraceLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		out = append(out, req)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	return out, nil
+}
+
+func parseTraceLine(text string) (Request, error) {
+	fields := strings.Split(text, ",")
+	if len(fields) < 2 {
+		return Request{}, fmt.Errorf("want at least op,key; got %q", text)
+	}
+	var req Request
+	switch strings.ToLower(strings.TrimSpace(fields[0])) {
+	case "get", "gets", "read":
+		req.Op = OpGet
+	case "put", "set", "update", "add", "insert", "write":
+		req.Op = OpPut
+	case "delete", "del":
+		req.Op = OpDelete
+	case "scan", "range":
+		req.Op = OpScan
+	default:
+		return Request{}, fmt.Errorf("unknown op %q", fields[0])
+	}
+	req.Key = parseTraceKey(strings.TrimSpace(fields[1]))
+	if len(fields) > 2 {
+		n, err := strconv.Atoi(strings.TrimSpace(fields[2]))
+		if err != nil || n < 0 {
+			return Request{}, fmt.Errorf("bad value size %q", fields[2])
+		}
+		req.ValueSize = n
+	}
+	if len(fields) > 3 {
+		n, err := strconv.Atoi(strings.TrimSpace(fields[3]))
+		if err != nil || n < 0 {
+			return Request{}, fmt.Errorf("bad scan count %q", fields[3])
+		}
+		req.ScanCount = n
+	}
+	if req.Op == OpScan && req.ScanCount == 0 {
+		req.ScanCount = 50
+	}
+	return req, nil
+}
+
+// parseTraceKey accepts decimal keys directly and hashes anything else,
+// matching the paper's treatment of keys longer than 8 bytes.
+func parseTraceKey(s string) uint64 {
+	if n, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return n
+	}
+	h := uint64(0xCBF29CE484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001B3
+	}
+	return h
+}
+
+// TraceGenerator replays a fixed request slice as a Generator-compatible
+// stream, looping when it reaches the end.
+type TraceGenerator struct {
+	reqs []Request
+	pos  int
+}
+
+// NewTraceGenerator wraps reqs (which must be non-empty).
+func NewTraceGenerator(reqs []Request) *TraceGenerator {
+	if len(reqs) == 0 {
+		panic("workload: empty trace")
+	}
+	return &TraceGenerator{reqs: reqs}
+}
+
+// Next returns the next trace request, looping at the end.
+func (g *TraceGenerator) Next() Request {
+	r := g.reqs[g.pos]
+	g.pos = (g.pos + 1) % len(g.reqs)
+	return r
+}
+
+// Len returns the underlying trace length.
+func (g *TraceGenerator) Len() int { return len(g.reqs) }

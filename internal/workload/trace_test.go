@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadTraceBasic(t *testing.T) {
+	in := `# comment
+get,42
+put,43,128
+delete,44
+scan,45,0,25
+
+set,46,64
+`
+	reqs, err := ReadTrace(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Request{
+		{Op: OpGet, Key: 42},
+		{Op: OpPut, Key: 43, ValueSize: 128},
+		{Op: OpDelete, Key: 44},
+		{Op: OpScan, Key: 45, ScanCount: 25},
+		{Op: OpPut, Key: 46, ValueSize: 64},
+	}
+	if len(reqs) != len(want) {
+		t.Fatalf("parsed %d, want %d", len(reqs), len(want))
+	}
+	for i := range want {
+		if reqs[i] != want[i] {
+			t.Fatalf("req %d = %+v, want %+v", i, reqs[i], want[i])
+		}
+	}
+}
+
+func TestReadTraceStringKeysHashed(t *testing.T) {
+	reqs, err := ReadTrace(strings.NewReader("get,user:1001\nget,user:1001\nget,user:1002\n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqs[0].Key != reqs[1].Key {
+		t.Fatal("same string key must hash identically")
+	}
+	if reqs[0].Key == reqs[2].Key {
+		t.Fatal("different string keys should hash differently")
+	}
+}
+
+func TestReadTraceLimitAndDefaults(t *testing.T) {
+	in := strings.Repeat("get,1\n", 100)
+	reqs, err := ReadTrace(strings.NewReader(in), 10)
+	if err != nil || len(reqs) != 10 {
+		t.Fatalf("limit broken: %d, %v", len(reqs), err)
+	}
+	// Scan without a count defaults to 50.
+	reqs, _ = ReadTrace(strings.NewReader("scan,5\n"), 0)
+	if reqs[0].ScanCount != 50 {
+		t.Fatalf("default scan count = %d", reqs[0].ScanCount)
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	for _, in := range []string{
+		"frobnicate,1\n",
+		"get\n",
+		"put,1,notanumber\n",
+		"scan,1,0,-4\n",
+	} {
+		if _, err := ReadTrace(strings.NewReader(in), 0); err == nil {
+			t.Fatalf("input %q must fail", in)
+		}
+	}
+}
+
+func TestTraceGeneratorLoops(t *testing.T) {
+	g := NewTraceGenerator([]Request{{Op: OpGet, Key: 1}, {Op: OpPut, Key: 2}})
+	if g.Len() != 2 {
+		t.Fatal("Len")
+	}
+	seq := []uint64{1, 2, 1, 2, 1}
+	for i, want := range seq {
+		if got := g.Next().Key; got != want {
+			t.Fatalf("step %d: key %d, want %d", i, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty trace must panic")
+		}
+	}()
+	NewTraceGenerator(nil)
+}

@@ -1,0 +1,95 @@
+package workload
+
+// This file synthesizes the production workloads the paper evaluates:
+// Meta's ETC memcache pool (§5.2.2) and the three Twitter cache clusters of
+// Table 1. The originals are not redistributable; the paper's evaluation
+// only depends on the published distribution parameters, which we
+// regenerate exactly.
+
+// ETCSize samples value sizes following the mixture the paper states for
+// the ETC pool: 1–13 B (Zipfian within range, 40%), 14–300 B (Zipfian
+// within range, 55%), >300 B (uniform, 5%). The open upper range is capped
+// at 1 KB, matching the paper's largest evaluated item size.
+type ETCSize struct {
+	small  *Zipfian // offsets within [1,13]
+	mid    *Zipfian // offsets within [14,300]
+	maxBig int
+}
+
+// NewETCSize builds the ETC value-size sampler.
+func NewETCSize() *ETCSize {
+	return &ETCSize{
+		small:  NewZipfian(13, 0.99),
+		mid:    NewZipfian(287, 0.99),
+		maxBig: 1024,
+	}
+}
+
+// Sample implements SizeDist.
+func (e *ETCSize) Sample(r *RNG) int {
+	u := r.Float64()
+	switch {
+	case u < 0.40:
+		return 1 + int(e.small.Next(r))
+	case u < 0.95:
+		return 14 + int(e.mid.Next(r))
+	default:
+		return 301 + r.Intn(e.maxBig-300)
+	}
+}
+
+// Mean implements SizeDist (approximated numerically once).
+func (e *ETCSize) Mean() float64 {
+	// Deterministic estimate over a fixed sample; cheap and stable.
+	r := NewRNG(1)
+	sum := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += e.Sample(r)
+	}
+	return float64(sum) / n
+}
+
+// ETCConfig returns the ETC workload with the given get ratio (the paper
+// uses 10%, 50% and 90%) over a 10M-key store with YCSB-default skew.
+func ETCConfig(keys uint64, getRatio float64, seed uint64) Config {
+	return Config{
+		Keys:      keys,
+		Theta:     0.99,
+		Mix:       Mix{GetFrac: getRatio},
+		ValueSize: NewETCSize(),
+		Seed:      seed,
+	}
+}
+
+// TwitterCluster describes one of the paper's selected Twitter traces
+// (Table 1).
+type TwitterCluster struct {
+	Name      string
+	PutRatio  float64
+	AvgValue  int     // bytes
+	ZipfAlpha float64 // key-popularity skew; 0 means uniform
+}
+
+// The three representative traces from Table 1.
+var (
+	TwitterCluster12 = TwitterCluster{Name: "Cluster-12", PutRatio: 0.80, AvgValue: 1030, ZipfAlpha: 0.30}
+	TwitterCluster19 = TwitterCluster{Name: "Cluster-19", PutRatio: 0.25, AvgValue: 101, ZipfAlpha: 0.74}
+	TwitterCluster31 = TwitterCluster{Name: "Cluster-31", PutRatio: 0.94, AvgValue: 15, ZipfAlpha: 0}
+)
+
+// TwitterClusters lists all synthesized traces in paper order.
+func TwitterClusters() []TwitterCluster {
+	return []TwitterCluster{TwitterCluster12, TwitterCluster19, TwitterCluster31}
+}
+
+// Config builds the workload for a Twitter cluster over the given keyspace.
+func (t TwitterCluster) Config(keys uint64, seed uint64) Config {
+	return Config{
+		Keys:      keys,
+		Theta:     t.ZipfAlpha,
+		Mix:       Mix{GetFrac: 1 - t.PutRatio},
+		ValueSize: FixedSize(t.AvgValue),
+		Seed:      seed,
+	}
+}

@@ -1,0 +1,353 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Fatal("different seeds should diverge immediately (overwhelmingly likely)")
+	}
+}
+
+func TestRNGZeroSeedRemapped(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed must not produce a degenerate stream")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		if n := r.Intn(10); n < 0 || n >= 10 {
+			t.Fatalf("Intn out of range: %v", n)
+		}
+		if n := r.Uint64n(3); n >= 3 {
+			t.Fatalf("Uint64n out of range: %v", n)
+		}
+	}
+}
+
+func TestRNGPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewRNG(1).Intn(0) },
+		func() { NewRNG(1).Uint64n(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestZipfianUniformCase(t *testing.T) {
+	z := NewZipfian(100, 0)
+	r := NewRNG(1)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next(r)]++
+	}
+	for k, c := range counts {
+		if c == 0 {
+			t.Fatalf("rank %d never drawn under uniform", k)
+		}
+	}
+	if p := z.ProbOfRank(0); p != 0.01 {
+		t.Fatalf("uniform ProbOfRank = %v", p)
+	}
+}
+
+func TestZipfianSkewAndFrequencies(t *testing.T) {
+	z := NewZipfian(1000, 0.99)
+	r := NewRNG(3)
+	counts := make([]int, 1000)
+	const n = 500000
+	for i := 0; i < n; i++ {
+		k := z.Next(r)
+		if k >= 1000 {
+			t.Fatalf("rank out of domain: %d", k)
+		}
+		counts[k]++
+	}
+	// Empirical frequency of rank 0 should be near its analytic probability.
+	p0 := z.ProbOfRank(0)
+	f0 := float64(counts[0]) / n
+	if math.Abs(f0-p0) > 0.02 {
+		t.Fatalf("rank-0 frequency %v vs analytic %v", f0, p0)
+	}
+	if counts[0] < counts[500] {
+		t.Fatal("rank 0 must be more popular than rank 500")
+	}
+	// Probabilities must be decreasing in rank.
+	if z.ProbOfRank(0) <= z.ProbOfRank(10) {
+		t.Fatal("ProbOfRank must decrease with rank")
+	}
+}
+
+func TestZipfianPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipfian(0, 0.5) },
+		func() { NewZipfian(10, -0.1) },
+		func() { NewZipfian(10, 1.0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestZipfianProbabilitiesSumToOne(t *testing.T) {
+	z := NewZipfian(500, 0.8)
+	sum := 0.0
+	for k := uint64(0); k < 500; k++ {
+		sum += z.ProbOfRank(k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestGeneratorDeterministicReplay(t *testing.T) {
+	cfg := Config{Keys: 10000, Theta: 0.99, Mix: MixYCSBA, ValueSize: FixedSize(64), Seed: 9}
+	g1 := NewGenerator(cfg)
+	g2 := g1.Clone()
+	for i := 0; i < 5000; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatalf("replay diverged at request %d", i)
+		}
+	}
+}
+
+func TestGeneratorMixProportions(t *testing.T) {
+	cases := []struct {
+		mix  Mix
+		want [4]float64 // get, put, delete, scan
+	}{
+		{MixYCSBA, [4]float64{0.5, 0.5, 0, 0}},
+		{MixYCSBB, [4]float64{0.95, 0.05, 0, 0}},
+		{MixYCSBC, [4]float64{1, 0, 0, 0}},
+		{MixYCSBE, [4]float64{0, 0.05, 0, 0.95}},
+		{MixPutOnly, [4]float64{0, 1, 0, 0}},
+		{Mix{GetFrac: 0.5, DeleteFrac: 0.1}, [4]float64{0.5, 0.4, 0.1, 0}},
+	}
+	for _, tc := range cases {
+		g := NewGenerator(Config{Keys: 1000, Mix: tc.mix, Seed: 5})
+		var got [4]float64
+		const n = 200000
+		for i := 0; i < n; i++ {
+			switch g.Next().Op {
+			case OpGet:
+				got[0]++
+			case OpPut:
+				got[1]++
+			case OpDelete:
+				got[2]++
+			case OpScan:
+				got[3]++
+			}
+		}
+		for j := range got {
+			got[j] /= n
+			if math.Abs(got[j]-tc.want[j]) > 0.01 {
+				t.Fatalf("mix %+v: op %d frequency %v, want %v", tc.mix, j, got[j], tc.want[j])
+			}
+		}
+	}
+}
+
+func TestGeneratorScanLengths(t *testing.T) {
+	g := NewGenerator(Config{Keys: 1000, Mix: MixScanOnly, ScanLen: 50, Seed: 2})
+	sum, n := 0, 20000
+	for i := 0; i < n; i++ {
+		req := g.Next()
+		if req.Op != OpScan {
+			t.Fatal("scan-only mix must emit scans")
+		}
+		if req.ScanCount < 1 || req.ScanCount >= 100 {
+			t.Fatalf("scan length %d out of [1,100)", req.ScanCount)
+		}
+		sum += req.ScanCount
+	}
+	mean := float64(sum) / float64(n)
+	if math.Abs(mean-50) > 2 {
+		t.Fatalf("mean scan length %v, want ≈50", mean)
+	}
+}
+
+func TestGeneratorKeysInKeyspace(t *testing.T) {
+	f := func(seedRaw uint32) bool {
+		g := NewGenerator(Config{Keys: 777, Theta: 0.99, Mix: MixYCSBA, Seed: uint64(seedRaw)})
+		for i := 0; i < 1000; i++ {
+			if g.Next().Key >= 777 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorHotKeysStable(t *testing.T) {
+	g := NewGenerator(Config{Keys: 100000, Theta: 0.99, Seed: 1})
+	h1 := g.HotKeys(10)
+	h2 := g.Clone().HotKeys(10)
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatal("hot keys must be configuration-determined")
+		}
+		if h1[i] >= 100000 {
+			t.Fatal("hot key outside keyspace")
+		}
+	}
+	// The hottest key must actually dominate the generated stream.
+	counts := map[uint64]int{}
+	for i := 0; i < 200000; i++ {
+		counts[g.Next().Key]++
+	}
+	if counts[h1[0]] < counts[h1[9]] {
+		t.Fatal("rank-0 key should be drawn at least as often as rank-9")
+	}
+}
+
+func TestGeneratorDefaultsAndPanics(t *testing.T) {
+	g := NewGenerator(Config{Keys: 10})
+	if g.Config().ValueSize.Mean() != 64 {
+		t.Fatal("default value size should be 64 B")
+	}
+	if g.Config().ScanLen != 50 {
+		t.Fatal("default scan length should be 50")
+	}
+	for _, cfg := range []Config{
+		{Keys: 0},
+		{Keys: 10, Mix: Mix{GetFrac: 0.9, ScanFrac: 0.2}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %+v", cfg)
+				}
+			}()
+			NewGenerator(cfg)
+		}()
+	}
+}
+
+func TestGeneratorFill(t *testing.T) {
+	g := NewGenerator(Config{Keys: 100, Mix: MixYCSBC, Seed: 4})
+	buf := make([]Request, 32)
+	out := g.Fill(buf)
+	if len(out) != 32 {
+		t.Fatal("Fill must fill the whole slice")
+	}
+	g2 := g.Clone()
+	for i := range out {
+		if out[i] != g2.Next() {
+			t.Fatal("Fill must match Next stream")
+		}
+	}
+}
+
+func TestETCSizeDistribution(t *testing.T) {
+	e := NewETCSize()
+	r := NewRNG(11)
+	var small, mid, big int
+	const n = 200000
+	for i := 0; i < n; i++ {
+		s := e.Sample(r)
+		switch {
+		case s >= 1 && s <= 13:
+			small++
+		case s >= 14 && s <= 300:
+			mid++
+		case s >= 301 && s <= 1024:
+			big++
+		default:
+			t.Fatalf("ETC size %d out of all ranges", s)
+		}
+	}
+	if f := float64(small) / n; math.Abs(f-0.40) > 0.01 {
+		t.Fatalf("small fraction %v, want 0.40", f)
+	}
+	if f := float64(mid) / n; math.Abs(f-0.55) > 0.01 {
+		t.Fatalf("mid fraction %v, want 0.55", f)
+	}
+	if f := float64(big) / n; math.Abs(f-0.05) > 0.005 {
+		t.Fatalf("big fraction %v, want 0.05", f)
+	}
+	if e.Mean() <= 0 {
+		t.Fatal("mean must be positive")
+	}
+}
+
+func TestTwitterClusterConfigs(t *testing.T) {
+	for _, c := range TwitterClusters() {
+		cfg := c.Config(1_000_000, 3)
+		g := NewGenerator(cfg)
+		var puts, total int
+		for i := 0; i < 100000; i++ {
+			if g.Next().Op == OpPut {
+				puts++
+			}
+			total++
+		}
+		got := float64(puts) / float64(total)
+		if math.Abs(got-c.PutRatio) > 0.01 {
+			t.Fatalf("%s: put ratio %v, want %v", c.Name, got, c.PutRatio)
+		}
+		if cfg.ValueSize.Mean() != float64(c.AvgValue) {
+			t.Fatalf("%s: value size mean mismatch", c.Name)
+		}
+		if cfg.Theta != c.ZipfAlpha {
+			t.Fatalf("%s: skew mismatch", c.Name)
+		}
+	}
+}
+
+func TestETCConfigGetRatios(t *testing.T) {
+	for _, ratio := range []float64{0.1, 0.5, 0.9} {
+		g := NewGenerator(ETCConfig(100000, ratio, 8))
+		gets := 0
+		const n = 100000
+		for i := 0; i < n; i++ {
+			if g.Next().Op == OpGet {
+				gets++
+			}
+		}
+		if got := float64(gets) / n; math.Abs(got-ratio) > 0.01 {
+			t.Fatalf("get ratio %v, want %v", got, ratio)
+		}
+	}
+}
+
+func TestOpTypeString(t *testing.T) {
+	want := map[OpType]string{OpGet: "get", OpPut: "put", OpDelete: "delete", OpScan: "scan"}
+	for op, s := range want {
+		if op.String() != s {
+			t.Fatalf("%v.String() = %q", op, op.String())
+		}
+	}
+}

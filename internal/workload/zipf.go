@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"math"
+	"sync"
+)
+
+// Zipfian draws ranks in [0, n) with P(rank k) ∝ 1/(k+1)^theta, using the
+// Gray et al. algorithm as popularised by YCSB. theta=0 degenerates to
+// uniform. Rank 0 is the most popular item.
+type Zipfian struct {
+	n            uint64
+	theta        float64
+	alpha        float64
+	zetan        float64
+	zeta2        float64
+	eta          float64
+	halfPowTheta float64
+}
+
+var zetaCache sync.Map // struct{n,theta} → float64
+
+type zetaKey struct {
+	n     uint64
+	theta float64
+}
+
+func zeta(n uint64, theta float64) float64 {
+	if v, ok := zetaCache.Load(zetaKey{n, theta}); ok {
+		return v.(float64)
+	}
+	sum := 0.0
+	for i := uint64(0); i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+	}
+	zetaCache.Store(zetaKey{n, theta}, sum)
+	return sum
+}
+
+// NewZipfian builds a Zipfian sampler over [0, n). It panics on n == 0 or
+// theta outside [0, 1) — the YCSB algorithm requires theta < 1.
+func NewZipfian(n uint64, theta float64) *Zipfian {
+	if n == 0 {
+		panic("workload: Zipfian over empty domain")
+	}
+	if theta < 0 || theta >= 1 {
+		panic("workload: Zipfian theta must be in [0,1)")
+	}
+	z := &Zipfian{n: n, theta: theta}
+	if theta == 0 {
+		return z
+	}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	z.halfPowTheta = 1 + math.Pow(0.5, theta)
+	return z
+}
+
+// Next draws a rank.
+func (z *Zipfian) Next(r *RNG) uint64 {
+	if z.theta == 0 {
+		return r.Uint64n(z.n)
+	}
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < z.halfPowTheta {
+		return 1
+	}
+	rank := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	return rank
+}
+
+// N returns the domain size.
+func (z *Zipfian) N() uint64 { return z.n }
+
+// Theta returns the skew parameter.
+func (z *Zipfian) Theta() float64 { return z.theta }
+
+// ProbOfRank returns the exact probability of rank k (0-based); useful for
+// tests and for analytic hot-set expectations.
+func (z *Zipfian) ProbOfRank(k uint64) float64 {
+	if z.theta == 0 {
+		return 1 / float64(z.n)
+	}
+	return 1 / (math.Pow(float64(k+1), z.theta) * z.zetan)
+}

@@ -1,0 +1,233 @@
+// Package mutps is a Go implementation of μTPS (SOSP 2025), a thread
+// architecture for in-memory key-value stores that splits request
+// processing into a cache-resident layer (request polling, hot-item
+// serving) and a memory-resident layer (full index and data), connected by
+// lock-free all-to-all rings, with reconfigurable RPC, a resizable hot-set
+// cache, and an auto-tuner.
+//
+// The package exposes two artifacts:
+//
+//   - a real, runnable key-value store (Open) built on goroutine worker
+//     pools arranged exactly as the paper describes — μTPS-H over a
+//     concurrent cuckoo hash table, μTPS-T over a concurrent B+-tree;
+//   - a deterministic evaluation substrate (internal/simkv, internal/bench,
+//     cmd/mutps-bench) that regenerates every table and figure of the
+//     paper's evaluation on a simulated cache hierarchy.
+package mutps
+
+import (
+	"time"
+
+	"mutps/internal/kvcore"
+	"mutps/internal/rpc"
+	"mutps/internal/tuner"
+	"mutps/internal/workload"
+)
+
+// Engine selects the index structure.
+type Engine int
+
+// Available engines, matching the paper's two stores.
+const (
+	// Hash is μTPS-H: a libcuckoo-style concurrent cuckoo hash table.
+	// Point queries only.
+	Hash Engine = iota
+	// Tree is μTPS-T: a concurrent B+-tree (the MassTree role). Point and
+	// range queries.
+	Tree
+)
+
+// Options configures a Store. The zero value of every optional field takes
+// a sensible default.
+type Options struct {
+	// Engine selects μTPS-H (Hash, default) or μTPS-T (Tree).
+	Engine Engine
+	// Workers is the total worker-goroutine count (default 4, minimum 2:
+	// at least one per layer).
+	Workers int
+	// CRWorkers is the initial cache-resident layer size (default
+	// Workers/4, at least 1). Adjust at runtime with SetSplit.
+	CRWorkers int
+	// HotItems is the hot-set cache target (default 4096; 0 disables the
+	// cache-resident hot path).
+	HotItems int
+	// BatchSize is the CR-MR queue batch (default 8, max 32).
+	BatchSize int
+	// RefreshInterval is the hot-set refresh period (default 100ms; set
+	// negative to disable the background refresher and drive
+	// RefreshHotSet manually).
+	RefreshInterval time.Duration
+	// CapacityHint pre-sizes the hash index.
+	CapacityHint int
+}
+
+// KV is one scan result entry.
+type KV struct {
+	Key   uint64
+	Value []byte
+}
+
+// Stats is a snapshot of store counters.
+type Stats struct {
+	Ops       uint64 // completed operations
+	CRHits    uint64 // served entirely at the cache-resident layer
+	Forwarded uint64 // forwarded over the CR-MR queue
+	Items     int    // indexed items
+	HotSize   int    // current hot-set view size
+}
+
+// Store is a running μTPS key-value store.
+type Store struct {
+	s *kvcore.Store
+}
+
+// Open starts a store with the given options.
+func Open(o Options) (*Store, error) {
+	if o.Workers == 0 {
+		o.Workers = 4
+	}
+	if o.CRWorkers == 0 {
+		o.CRWorkers = o.Workers / 4
+		if o.CRWorkers < 1 {
+			o.CRWorkers = 1
+		}
+	}
+	if o.HotItems == 0 {
+		o.HotItems = 4096
+	}
+	engine := kvcore.Hash
+	if o.Engine == Tree {
+		engine = kvcore.Tree
+	}
+	s, err := kvcore.Open(kvcore.Config{
+		Engine:       engine,
+		Workers:      o.Workers,
+		CRWorkers:    o.CRWorkers,
+		BatchSize:    o.BatchSize,
+		HotItems:     o.HotItems,
+		CapacityHint: o.CapacityHint,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{s: s}
+	if o.RefreshInterval >= 0 && o.HotItems > 0 {
+		iv := o.RefreshInterval
+		if iv == 0 {
+			iv = 100 * time.Millisecond
+		}
+		s.StartRefresher(iv)
+	}
+	return st, nil
+}
+
+// Close stops the store's workers. Drain outstanding calls first.
+func (st *Store) Close() { st.s.Close() }
+
+// Get fetches the value stored under key.
+func (st *Store) Get(key uint64) ([]byte, bool) { return st.s.Get(key) }
+
+// Put stores val under key (the value bytes are copied).
+func (st *Store) Put(key uint64, val []byte) { st.s.Put(key, val) }
+
+// Delete removes key, reporting whether it existed.
+func (st *Store) Delete(key uint64) bool { return st.s.Delete(key) }
+
+// GetBatch fetches several keys with one pipelined round trip: all
+// requests are in flight together, so the memory-resident layer can serve
+// them with a shared batched index traversal (the paper's batched
+// indexing). Results are positional.
+func (st *Store) GetBatch(keys []uint64) (vals [][]byte, found []bool) {
+	calls := make([]*rpc.Call, len(keys))
+	for i, k := range keys {
+		calls[i] = st.s.SendAsync(rpc.Message{Op: workload.OpGet, Key: k})
+	}
+	vals = make([][]byte, len(keys))
+	found = make([]bool, len(keys))
+	for i, c := range calls {
+		if c == nil {
+			continue
+		}
+		c.Wait()
+		vals[i], found[i] = c.Value, c.Found
+	}
+	return vals, found
+}
+
+// Scan returns up to count entries with keys >= start in ascending order.
+// Requires the Tree engine.
+func (st *Store) Scan(start uint64, count int) ([]KV, error) {
+	kvs, err := st.s.Scan(start, count)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]KV, len(kvs))
+	for i, kv := range kvs {
+		out[i] = KV{Key: kv.Key, Value: kv.Value}
+	}
+	return out, nil
+}
+
+// Preload inserts directly into the index, bypassing the RPC path; use it
+// for bulk population before serving.
+func (st *Store) Preload(key uint64, val []byte) {
+	v := make([]byte, len(val))
+	copy(v, val)
+	st.s.Preload(key, v)
+}
+
+// Split returns the current (cache-resident, memory-resident) worker
+// allocation.
+func (st *Store) Split() (nCR, nMR int) { return st.s.Split() }
+
+// SetSplit reassigns workers between the layers without blocking request
+// processing (§3.5's thread-reassignment protocol).
+func (st *Store) SetSplit(nCR int) error { return st.s.SetSplit(nCR) }
+
+// SetHotItems adjusts the hot-set cache target; it takes effect at the
+// next refresh.
+func (st *Store) SetHotItems(k int) { st.s.SetHotItems(k) }
+
+// RefreshHotSet rebuilds the hot-set view immediately and returns the
+// number of cached entries.
+func (st *Store) RefreshHotSet() int { return st.s.RefreshHotSet() }
+
+// TuneResult reports an Autotune run.
+type TuneResult struct {
+	CRWorkers int     // chosen cache-resident worker count
+	MRWorkers int     // chosen memory-resident worker count
+	HotItems  int     // chosen hot-set target
+	OpsPerSec float64 // throughput at the chosen configuration
+	Probes    int     // measurement windows spent searching
+}
+
+// Autotune runs the paper's hierarchical auto-tuner against the live store:
+// it explores worker splits (trisection) and hot-set sizes (linear probe),
+// measuring each candidate for the given window while the store keeps
+// serving, and leaves the best configuration applied. Call it under
+// representative load; with no traffic every configuration measures zero
+// and the result is arbitrary.
+func (st *Store) Autotune(window time.Duration, maxHotItems int) TuneResult {
+	tn := &kvcore.Tunable{S: st.s, Window: window, MaxCache: maxHotItems}
+	res := tuner.Optimize(tn)
+	nCR, nMR := st.s.Split()
+	return TuneResult{
+		CRWorkers: nCR,
+		MRWorkers: nMR,
+		HotItems:  st.s.HotItems(),
+		OpsPerSec: res.Score,
+		Probes:    res.Probes,
+	}
+}
+
+// Stats returns a snapshot of the store's counters.
+func (st *Store) Stats() Stats {
+	s := st.s.Stats()
+	return Stats{
+		Ops:       s.Ops,
+		CRHits:    s.CRHits,
+		Forwarded: s.Forwarded,
+		Items:     s.Items,
+		HotSize:   s.HotSize,
+	}
+}
