@@ -159,6 +159,7 @@ func benchStore(b *testing.B, engine Engine) *Store {
 
 func BenchmarkStoreGetHash(b *testing.B) {
 	s := benchStore(b, Hash)
+	b.ReportAllocs()
 	b.ResetTimer()
 	i := uint64(0)
 	for n := 0; n < b.N; n++ {
@@ -167,9 +168,25 @@ func BenchmarkStoreGetHash(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreGetIntoHash is the YCSB-C-style zero-alloc read path: the
+// caller threads one value buffer through every request.
+func BenchmarkStoreGetIntoHash(b *testing.B) {
+	s := benchStore(b, Hash)
+	b.ReportAllocs()
+	b.ResetTimer()
+	i := uint64(0)
+	buf := make([]byte, 0, 8)
+	for n := 0; n < b.N; n++ {
+		i = i*6364136223846793005 + 1
+		v, _ := s.GetInto(i%(1<<16), buf)
+		buf = v[:0]
+	}
+}
+
 func BenchmarkStorePutTree(b *testing.B) {
 	s := benchStore(b, Tree)
 	var v [8]byte
+	b.ReportAllocs()
 	b.ResetTimer()
 	i := uint64(0)
 	for n := 0; n < b.N; n++ {
@@ -180,6 +197,7 @@ func BenchmarkStorePutTree(b *testing.B) {
 
 func BenchmarkStoreScanTree(b *testing.B) {
 	s := benchStore(b, Tree)
+	b.ReportAllocs()
 	b.ResetTimer()
 	i := uint64(0)
 	for n := 0; n < b.N; n++ {

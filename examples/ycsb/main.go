@@ -62,11 +62,15 @@ func main() {
 					Seed:      uint64(c + 1),
 				})
 				buf := make([]byte, *valueSize)
+				// One value buffer per client, threaded through every get:
+				// the store's zero-allocation read path (GetInto).
+				getBuf := make([]byte, 0, *valueSize)
 				for i := 0; i < perClient; i++ {
 					req := gen.Next()
 					switch req.Op {
 					case workload.OpGet:
-						store.Get(req.Key)
+						v, _ := store.GetInto(req.Key, getBuf)
+						getBuf = v[:0]
 					case workload.OpPut:
 						store.Put(req.Key, buf)
 					}

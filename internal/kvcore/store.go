@@ -90,9 +90,14 @@ type Store struct {
 	cms     *hotset.CMS
 	slabs   []*slab
 	crp     []*crPersist
+	mrscr   []*mrScratch
 	mrcons  []*ring.Consumer
 
-	keyLocks [64]sync.Mutex // stripe for size-changing puts and deletes
+	// keyLocks stripes size-changing puts and deletes. The stripe count is
+	// a power of two derived from Config.Workers (≥64) so that write-heavy
+	// workloads on wide stores don't hit a fixed contention ceiling.
+	keyLocks []sync.Mutex
+	lockMask uint64
 
 	nCR       atomic.Int32
 	hotTarget atomic.Int32
@@ -127,6 +132,7 @@ func Open(cfg Config) (*Store, error) {
 	s.cms = hotset.NewCMS(4 * cfg.TrackRing * cfg.Workers)
 	s.slabs = make([]*slab, cfg.Workers)
 	s.crp = make([]*crPersist, cfg.Workers)
+	s.mrscr = make([]*mrScratch, cfg.Workers)
 	s.mrcons = make([]*ring.Consumer, cfg.Workers)
 	for i := range s.slabs {
 		s.slabs[i] = newSlab(cfg.SlabSize)
@@ -134,8 +140,15 @@ func Open(cfg Config) (*Store, error) {
 			prod: s.crmr.Producer(i, cfg.BatchSize),
 			cols: make([]crState, cfg.Workers),
 		}
+		s.mrscr[i] = &mrScratch{}
 		s.mrcons[i] = s.crmr.Consumer(i)
 	}
+	stripes := 64
+	for stripes < 16*cfg.Workers {
+		stripes <<= 1
+	}
+	s.keyLocks = make([]sync.Mutex, stripes)
+	s.lockMask = uint64(stripes - 1)
 	s.nCR.Store(int32(cfg.CRWorkers))
 	s.hotTarget.Store(int32(cfg.HotItems))
 
@@ -166,25 +179,41 @@ func (s *Store) Close() {
 
 // --- client API -----------------------------------------------------------
 
-// Get fetches the value for key over the store's RPC path.
+// Get fetches the value for key over the store's RPC path. The returned
+// slice is freshly allocated; use GetInto to reuse a caller-owned buffer.
 func (s *Store) Get(key uint64) ([]byte, bool) {
-	call := s.rpc.Send(rpc.Message{Op: workload.OpGet, Key: key})
-	if call == nil {
-		return nil, false
-	}
-	call.Wait()
-	return call.Value, call.Found
+	return s.GetInto(key, nil)
 }
 
-// Put stores val under key.
+// GetInto fetches the value for key, appending it into buf[:0]. When buf
+// has enough capacity the returned value aliases it and the whole request
+// lifecycle is allocation-free (pooled call, reused buffer); otherwise a
+// fresh slice is returned. On a miss it returns buf[:0] and false, so a
+// loop can keep threading one buffer (buf = v[:0]) regardless of outcome.
+// buf must not be touched by the caller while the request is in flight.
+func (s *Store) GetInto(key uint64, buf []byte) ([]byte, bool) {
+	call := s.rpc.Send(rpc.Message{Op: workload.OpGet, Key: key, Dst: buf})
+	if call == nil {
+		return buf[:0], false
+	}
+	call.Wait()
+	v, found := call.Value, call.Found
+	call.Release()
+	if v == nil {
+		v = buf[:0]
+	}
+	return v, found
+}
+
+// Put stores val under key. The value bytes are copied into the item
+// before Put returns, so the caller may immediately reuse val.
 func (s *Store) Put(key uint64, val []byte) {
-	v := make([]byte, len(val))
-	copy(v, val)
-	call := s.rpc.Send(rpc.Message{Op: workload.OpPut, Key: key, Value: v})
+	call := s.rpc.Send(rpc.Message{Op: workload.OpPut, Key: key, Value: val})
 	if call == nil {
 		return
 	}
 	call.Wait()
+	call.Release()
 }
 
 // Delete removes key, reporting whether it existed.
@@ -194,7 +223,9 @@ func (s *Store) Delete(key uint64) bool {
 		return false
 	}
 	call.Wait()
-	return call.Found
+	found := call.Found
+	call.Release()
+	return found
 }
 
 // KV is one scan result entry.
@@ -203,11 +234,19 @@ type KV struct {
 	Value []byte
 }
 
+// MaxScanCount is the largest per-scan entry count the compact 16-bit
+// CR-MR request encoding can carry (Fig. 6). Larger requests are rejected
+// at the facade rather than silently truncated.
+const MaxScanCount = 0xFFFF
+
 // Scan returns up to count entries with keys >= start in ascending order.
-// It requires the Tree engine.
+// It requires the Tree engine and count ≤ MaxScanCount.
 func (s *Store) Scan(start uint64, count int) ([]KV, error) {
 	if s.scanIdx == nil {
 		return nil, fmt.Errorf("kvcore: scan requires the tree engine")
+	}
+	if count > MaxScanCount {
+		return nil, fmt.Errorf("kvcore: scan count %d exceeds the maximum %d", count, MaxScanCount)
 	}
 	call := s.rpc.Send(rpc.Message{Op: workload.OpScan, Key: start, ScanCount: count})
 	if call == nil {
@@ -218,6 +257,7 @@ func (s *Store) Scan(start uint64, count int) ([]KV, error) {
 	for i := range out {
 		out[i] = KV{Key: call.ScanKeys[i], Value: call.ScanVals[i]}
 	}
+	call.Release()
 	return out, nil
 }
 

@@ -89,11 +89,30 @@ func (s *Store) worker(id int) {
 }
 
 // crState tracks per-destination in-flight batches so slab slots can be
-// recycled in FIFO order as the MR side commits them.
+// recycled in FIFO order as the MR side commits them. The FIFO is a
+// slice + head index rather than a re-sliced slice so that, once drained,
+// the backing array is reused instead of reallocated — steady-state
+// forwarding never grows it.
 type crState struct {
-	batches [][]uint32 // FIFO of slot lists per MR column
-	done    uint64     // batches known completed per column
+	batches [][]uint32 // FIFO of slot lists per MR column; live from head on
+	head    int
+	done    uint64 // batches known completed per column
 }
+
+func (c *crState) push(b []uint32) { c.batches = append(c.batches, b) }
+
+func (c *crState) pop() []uint32 {
+	b := c.batches[c.head]
+	c.batches[c.head] = nil
+	c.head++
+	if c.head == len(c.batches) {
+		c.batches = c.batches[:0]
+		c.head = 0
+	}
+	return b
+}
+
+func (c *crState) pending() int { return len(c.batches) - c.head }
 
 // crPersist is a worker's CR-side bookkeeping. It lives in the Store (not
 // on the runCR stack) because batches can still be in flight when the
@@ -104,6 +123,24 @@ type crPersist struct {
 	prod     *ring.Producer
 	cols     []crState
 	curBatch []uint32
+	inflight int        // batches pushed but not yet recycled, across all columns
+	spare    [][]uint32 // retired batch slot-lists, reused for curBatch
+}
+
+// newBatch returns an empty slot list, recycling a retired one when
+// possible so steady-state forwarding allocates nothing.
+func (p *crPersist) newBatch() []uint32 {
+	if n := len(p.spare); n > 0 {
+		b := p.spare[n-1]
+		p.spare[n-1] = nil
+		p.spare = p.spare[:n-1]
+		return b
+	}
+	return nil
+}
+
+func (p *crPersist) retireBatch(b []uint32) {
+	p.spare = append(p.spare, b[:0])
 }
 
 // runCR is the cache-resident layer FSM (§3.2.3). It returns when the
@@ -116,15 +153,21 @@ func (s *Store) runCR(id int) {
 	gate := idleGate{sleep: s.cfg.IdleSleep}
 
 	recycle := func() bool {
+		if st.inflight == 0 {
+			// Pure hit-path traffic: skip the O(nMR) column sweep entirely.
+			return false
+		}
 		progress := false
 		for m := range st.cols {
 			r := s.crmr.Ring(id, m)
 			d := r.Done()
-			for st.cols[m].done < d && len(st.cols[m].batches) > 0 {
-				for _, slot := range st.cols[m].batches[0] {
+			for st.cols[m].done < d && st.cols[m].pending() > 0 {
+				b := st.cols[m].pop()
+				for _, slot := range b {
 					sl.put(slot)
 				}
-				st.cols[m].batches = st.cols[m].batches[1:]
+				st.retireBatch(b)
+				st.inflight--
 				st.cols[m].done++
 				progress = true
 			}
@@ -136,8 +179,9 @@ func (s *Store) runCR(id int) {
 		nCR := int(s.nCR.Load())
 		nMR := s.cfg.Workers - nCR
 		if mr, fl := st.prod.Flush(nCR, nMR); fl {
-			st.cols[mr].batches = append(st.cols[mr].batches, st.curBatch)
-			st.curBatch = nil
+			st.cols[mr].push(st.curBatch)
+			st.inflight++
+			st.curBatch = st.newBatch()
 		}
 	}
 
@@ -196,8 +240,9 @@ func (s *Store) runCR(id int) {
 		st.curBatch = append(st.curBatch, slot)
 		nCR := int(s.nCR.Load())
 		if mr, fl := st.prod.Add(req, nCR, s.cfg.Workers-nCR); fl {
-			st.cols[mr].batches = append(st.cols[mr].batches, st.curBatch)
-			st.curBatch = nil
+			st.cols[mr].push(st.curBatch)
+			st.inflight++
+			st.curBatch = st.newBatch()
 		}
 		s.forwarded.Add(1)
 	}
@@ -205,13 +250,17 @@ func (s *Store) runCR(id int) {
 }
 
 // encodeRequest builds the compact 16-byte CR-MR representation (Fig. 6).
+// Scan counts are validated against MaxScanCount at the facade (Store.Scan)
+// before they reach this encoding; the clamp below is a backstop for raw
+// SendAsync callers (put sizes are informational — processMR reads the
+// value through the slab message, not through Size).
 func encodeRequest(m *rpc.Message, slot uint32) ring.Request {
 	size := len(m.Value)
 	if m.Op == workload.OpScan {
 		size = m.ScanCount
 	}
-	if size > 0xFFFF {
-		size = 0xFFFF
+	if size > MaxScanCount {
+		size = MaxScanCount
 	}
 	return ring.Request{
 		Key:  m.Key,
@@ -232,7 +281,7 @@ func (s *Store) tryServeHot(m *rpc.Message) bool {
 			return false
 		}
 		call := m.Call()
-		call.Value = it.Read(nil)
+		call.Value = it.Read(call.Dst[:0])
 		call.Found = true
 		call.Complete()
 		return true
@@ -267,6 +316,16 @@ func (s *Store) drainOwnColumn(id int) {
 	}
 }
 
+// mrScratch is a worker's persistent MR-side scratch state: the
+// batched-indexing buffers live in the Store (like crPersist) so role
+// switches reuse them instead of regrowing them on every runMR entry.
+type mrScratch struct {
+	keys  []uint64
+	pos   []int
+	items []*seqitem.Item
+	found []bool
+}
+
 // runMR is the memory-resident layer loop: it drains batches from the
 // CR-MR queue and processes them against the full index. It returns when
 // the split moves this worker to the CR layer (after draining its column)
@@ -274,10 +333,7 @@ func (s *Store) drainOwnColumn(id int) {
 func (s *Store) runMR(id int) {
 	cons := s.mrcons[id]
 	batched, _ := s.idx.(BatchIndex)
-	var keyBuf []uint64
-	var posBuf []int
-	var itemBuf []*seqitem.Item
-	var foundBuf []bool
+	scr := s.mrscr[id]
 	gate := idleGate{sleep: s.cfg.IdleSleep}
 	for !s.stop.Load() {
 		// Scan all rows: residual batches may exist from workers that have
@@ -295,19 +351,19 @@ func (s *Store) runMR(id int) {
 		if batched != nil && len(reqs) > 1 {
 			// Batched indexing (§3.3): serve the batch's gets with one
 			// shared index traversal; other ops take the per-request path.
-			keyBuf, posBuf = keyBuf[:0], posBuf[:0]
+			scr.keys, scr.pos = scr.keys[:0], scr.pos[:0]
 			for i := range reqs {
 				if workload.OpType(reqs[i].Type) == workload.OpGet {
-					keyBuf = append(keyBuf, reqs[i].Key)
-					posBuf = append(posBuf, i)
+					scr.keys = append(scr.keys, reqs[i].Key)
+					scr.pos = append(scr.pos, i)
 				}
 			}
-			if len(keyBuf) > 1 {
-				itemBuf, foundBuf = batched.GetBatch(keyBuf, itemBuf, foundBuf)
-				for j, i := range posBuf {
+			if len(scr.keys) > 1 {
+				scr.items, scr.found = batched.GetBatch(scr.keys, scr.items, scr.found)
+				for j, i := range scr.pos {
 					call := s.slabs[cr].msgs[reqs[i].Buf].Call()
-					if foundBuf[j] && !itemBuf[j].Dead() {
-						call.Value = itemBuf[j].Read(nil)
+					if scr.found[j] && !scr.items[j].Dead() {
+						call.Value = scr.items[j].Read(call.Dst[:0])
 						call.Found = true
 					}
 					call.Complete()
@@ -338,7 +394,7 @@ func (s *Store) processMR(cr int, req *ring.Request) {
 	switch workload.OpType(req.Type) {
 	case workload.OpGet:
 		if it, ok := s.idx.Get(req.Key); ok && !it.Dead() {
-			call.Value = it.Read(nil)
+			call.Value = it.Read(call.Dst[:0])
 			call.Found = true
 		}
 	case workload.OpPut:
@@ -359,7 +415,7 @@ func (s *Store) putMR(key uint64, val []byte) {
 	if it, ok := s.idx.Get(key); ok && !it.Dead() && it.Write(val) {
 		return
 	}
-	mu := &s.keyLocks[key&63]
+	mu := &s.keyLocks[key&s.lockMask]
 	mu.Lock()
 	defer mu.Unlock()
 	if it, ok := s.idx.Get(key); ok {
@@ -375,7 +431,7 @@ func (s *Store) putMR(key uint64, val []byte) {
 }
 
 func (s *Store) deleteMR(key uint64) bool {
-	mu := &s.keyLocks[key&63]
+	mu := &s.keyLocks[key&s.lockMask]
 	mu.Lock()
 	defer mu.Unlock()
 	it, ok := s.idx.Get(key)
@@ -387,13 +443,19 @@ func (s *Store) deleteMR(key uint64) bool {
 	return true
 }
 
+// scanMR fills the call's scan result slices. It appends into
+// call.ScanKeys[:0] / call.ScanVals[:0]: pooled calls keep those slices'
+// capacity across recycles, so repeated scans reuse the result arrays.
+// The value byte slices themselves are freshly read (callers may alias
+// them after Release), so a scan costs one allocation per returned entry
+// plus amortized-zero for the result arrays.
 func (s *Store) scanMR(req *ring.Request, call *rpc.Call) {
 	if s.scanIdx == nil {
 		return
 	}
 	count := int(req.Size)
-	keys := make([]uint64, 0, count)
-	vals := make([][]byte, 0, count)
+	keys := call.ScanKeys[:0]
+	vals := call.ScanVals[:0]
 	s.scanIdx.Scan(req.Key, count, func(k uint64, it *seqitem.Item) bool {
 		if it.Dead() {
 			return true

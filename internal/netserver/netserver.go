@@ -100,6 +100,18 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// connScratch is a connection's reusable frame storage: the request
+// payload, the get-value destination, and the scan response body are all
+// read into (or built in) buffers that persist across requests, so the
+// steady-state serve loop does not allocate per frame. Reuse is safe
+// because the store copies put payloads before returning and every
+// response is flushed to the bufio writer before the next frame is read.
+type connScratch struct {
+	payload []byte
+	val     []byte
+	body    []byte
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -111,6 +123,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	var hdr [13]byte
+	var cs connScratch
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			return
@@ -123,11 +136,14 @@ func (s *Server) serveConn(conn net.Conn) {
 			w.Flush()
 			return
 		}
-		payload := make([]byte, plen)
+		if uint32(cap(cs.payload)) < plen {
+			cs.payload = make([]byte, plen)
+		}
+		payload := cs.payload[:plen]
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return
 		}
-		if err := s.handle(w, op, key, payload); err != nil {
+		if err := s.handle(w, op, key, payload, &cs); err != nil {
 			return
 		}
 		if err := w.Flush(); err != nil {
@@ -136,10 +152,11 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-func (s *Server) handle(w *bufio.Writer, op byte, key uint64, payload []byte) error {
+func (s *Server) handle(w *bufio.Writer, op byte, key uint64, payload []byte, cs *connScratch) error {
 	switch op {
 	case OpGet:
-		if v, ok := s.store.Get(key); ok {
+		if v, ok := s.store.GetInto(key, cs.val[:0]); ok {
+			cs.val = v // keep any grown buffer for the next get
 			return writeResp(w, StatusFound, v)
 		}
 		return writeResp(w, StatusNotFound, nil)
@@ -153,26 +170,26 @@ func (s *Server) handle(w *bufio.Writer, op byte, key uint64, payload []byte) er
 		return writeResp(w, StatusNotFound, nil)
 	case OpStats:
 		st := s.store.Stats()
-		body := make([]byte, 40)
+		var body [40]byte
 		binary.LittleEndian.PutUint64(body[0:], st.Ops)
 		binary.LittleEndian.PutUint64(body[8:], st.CRHits)
 		binary.LittleEndian.PutUint64(body[16:], st.Forwarded)
 		binary.LittleEndian.PutUint64(body[24:], uint64(st.Items))
 		binary.LittleEndian.PutUint64(body[32:], uint64(st.HotSize))
-		return writeResp(w, StatusFound, body)
+		return writeResp(w, StatusFound, body[:])
 	case OpScan:
 		if len(payload) != 4 {
 			return writeResp(w, StatusError, []byte("scan payload must be a uint32 count"))
 		}
 		count := binary.LittleEndian.Uint32(payload)
-		if count > 1<<20 {
+		if count > kvcore.MaxScanCount {
 			return writeResp(w, StatusError, []byte("scan count too large"))
 		}
 		kvs, err := s.store.Scan(key, int(count))
 		if err != nil {
 			return writeResp(w, StatusError, []byte(err.Error()))
 		}
-		body := make([]byte, 4, 4+len(kvs)*16)
+		body := append(cs.body[:0], 0, 0, 0, 0)
 		binary.LittleEndian.PutUint32(body, uint32(len(kvs)))
 		var tmp [12]byte
 		for _, kv := range kvs {
@@ -181,6 +198,7 @@ func (s *Server) handle(w *bufio.Writer, op byte, key uint64, payload []byte) er
 			body = append(body, tmp[:]...)
 			body = append(body, kv.Value...)
 		}
+		cs.body = body
 		return writeResp(w, StatusFound, body)
 	default:
 		return writeResp(w, StatusError, []byte(fmt.Sprintf("unknown op %d", op)))

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // PipelineClient keeps many requests in flight on one connection: sends
@@ -28,19 +30,75 @@ type PipelineClient struct {
 	closed    chan struct{}
 }
 
-// Future is a pending pipelined response.
+// Future completion states, mirroring rpc.Call: pending until the reader
+// fills it in, parked while a waiter blocks on the park channel, done once
+// the result fields are valid.
+const (
+	futPending uint32 = iota
+	futParked
+	futDone
+)
+
+// futWaitSpins is the Wait spin budget before parking.
+const futWaitSpins = 128
+
+// Future is a pending pipelined response. Futures are pooled: Send draws
+// from a sync.Pool and Release returns the future — and its response-body
+// buffer — for reuse, so a pipelined client in steady state allocates
+// nothing per request on the client side.
+//
+// Protocol rules: one goroutine Waits per future; Release at most once,
+// only after Wait has returned; neither the future nor the body slice
+// returned by Wait may be touched after Release (copy the body first if
+// it must outlive the future). Release is optional — an unreleased future
+// is simply collected by the GC and its buffer is not reused.
 type Future struct {
-	done   chan struct{}
+	state atomic.Uint32
+	park  chan struct{} // cap 1; reused across recycles
+
 	status byte
 	body   []byte
 	err    error
 }
 
+var futurePool = sync.Pool{New: func() any {
+	return &Future{park: make(chan struct{}, 1)}
+}}
+
+func newFuture() *Future {
+	f := futurePool.Get().(*Future)
+	f.state.Store(futPending)
+	f.status = 0
+	f.err = nil
+	f.body = f.body[:0] // keep capacity: the read loop fills it in place
+	return f
+}
+
+// complete publishes the result fields and wakes a parked waiter.
+func (f *Future) complete() {
+	if f.state.Swap(futDone) == futParked {
+		f.park <- struct{}{}
+	}
+}
+
 // Wait blocks until the response arrives and returns status and payload.
+// The payload is only valid until Release.
 func (f *Future) Wait() (status byte, body []byte, err error) {
-	<-f.done
+	for i := 0; i < futWaitSpins; i++ {
+		if f.state.Load() == futDone {
+			return f.status, f.body, f.err
+		}
+		runtime.Gosched()
+	}
+	if f.state.CompareAndSwap(futPending, futParked) {
+		<-f.park
+	}
 	return f.status, f.body, f.err
 }
+
+// Release recycles the future and its body buffer; see the type comment
+// for the rules.
+func (f *Future) Release() { futurePool.Put(f) }
 
 // DialPipeline opens a pipelined connection with the given maximum number
 // of in-flight requests (≥1; it bounds memory, not correctness).
@@ -76,7 +134,7 @@ func (c *PipelineClient) readLoop() {
 				select {
 				case f := <-c.pending:
 					f.err = errors.New("netserver: pipeline closed")
-					close(f.done)
+					f.complete()
 				default:
 					return
 				}
@@ -85,21 +143,25 @@ func (c *PipelineClient) readLoop() {
 		var hdr [5]byte
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			f.err = err
-			close(f.done)
+			f.complete()
 			c.failRemaining(err)
 			return
 		}
 		plen := binary.LittleEndian.Uint32(hdr[1:5])
 		if plen > maxPayload {
 			f.err = errors.New("netserver: oversized response")
-			close(f.done)
+			f.complete()
 			c.failRemaining(f.err)
 			return
 		}
-		body := make([]byte, plen)
+		body := f.body[:0] // recycled capacity from a released future
+		if uint32(cap(body)) < plen {
+			body = make([]byte, plen)
+		}
+		body = body[:plen]
 		if _, err := io.ReadFull(r, body); err != nil {
 			f.err = err
-			close(f.done)
+			f.complete()
 			c.failRemaining(err)
 			return
 		}
@@ -108,7 +170,7 @@ func (c *PipelineClient) readLoop() {
 		if hdr[0] == StatusError {
 			f.err = fmt.Errorf("netserver: %s", body)
 		}
-		close(f.done)
+		f.complete()
 	}
 }
 
@@ -117,7 +179,7 @@ func (c *PipelineClient) failRemaining(err error) {
 		select {
 		case f := <-c.pending:
 			f.err = err
-			close(f.done)
+			f.complete()
 		default:
 			return
 		}
@@ -129,11 +191,12 @@ func (c *PipelineClient) failRemaining(err error) {
 // before waiting on the final futures of a burst, or the last requests may
 // sit in the client buffer while their futures wait forever.
 func (c *PipelineClient) Send(op byte, key uint64, payload []byte) (*Future, error) {
-	f := &Future{done: make(chan struct{})}
+	f := newFuture()
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
 	select {
 	case <-c.closed:
+		f.Release() // never enqueued: no reader will ever touch it
 		return nil, errors.New("netserver: pipeline closed")
 	case c.pending <- f:
 	default:
@@ -141,10 +204,12 @@ func (c *PipelineClient) Send(op byte, key uint64, payload []byte) (*Future, err
 		// wire before we block, or the reader would wait for responses to
 		// requests the server never saw — a self-deadlock.
 		if err := c.w.Flush(); err != nil {
+			f.Release()
 			return nil, err
 		}
 		select {
 		case <-c.closed:
+			f.Release()
 			return nil, errors.New("netserver: pipeline closed")
 		case c.pending <- f:
 		}

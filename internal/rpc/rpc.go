@@ -17,6 +17,7 @@ package rpc
 import (
 	"errors"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"mutps/internal/workload"
@@ -26,29 +27,110 @@ import (
 type Message struct {
 	Op        workload.OpType
 	Key       uint64
-	Value     []byte // put payload; ownership passes to the server
+	Value     []byte // put payload; not retained after the call completes
 	ScanCount int
+
+	// Dst is an optional caller-owned destination buffer for get results:
+	// the server appends the value into Dst[:0] when its capacity suffices,
+	// so a correctly sized buffer makes the whole get path allocation-free.
+	// The caller must not touch Dst between Send and Wait.
+	Dst []byte
 
 	call *Call
 }
 
-// Call is the client-side future for a response.
-type Call struct {
-	done chan struct{}
+// Call state machine. A call is pending from Send until Complete; a waiter
+// that exhausts its spin budget CASes pending→parked and blocks on the
+// park channel, which Complete signals. done is terminal until the call is
+// recycled.
+const (
+	callPending uint32 = iota
+	callParked
+	callDone
+)
 
-	// Results, valid after Wait returns.
-	Value    []byte   // get result (nil if missing)
+// waitSpins is how many Gosched-yielding polls Wait makes before parking.
+// The common case — server completes while the client is still spinning —
+// then costs one atomic load and no channel operation at all.
+const waitSpins = 128
+
+// Call is the client-side future for a response. Calls are pooled: Send
+// draws from a sync.Pool and Release returns the call for reuse, making
+// the steady-state request lifecycle allocation-free.
+//
+// Protocol rules (violations corrupt the pool):
+//   - exactly one goroutine Waits on a call (Wait may be called again
+//     after it has returned, but never concurrently);
+//   - the server Completes each call exactly once per Send;
+//   - Release may be called at most once, only after Wait has returned,
+//     and the call and its result fields must not be touched afterwards.
+//
+// Release is optional — an unreleased call is simply collected by the GC.
+type Call struct {
+	state atomic.Uint32
+	park  chan struct{} // cap 1; reused across recycles
+
+	// Results, valid after Wait returns and until Release.
+	Value    []byte   // get result (nil if missing); aliases Dst when it fit
 	Found    bool     // get/delete outcome
 	ScanKeys []uint64 // keys returned by a scan, ascending
 	ScanVals [][]byte // values parallel to ScanKeys
 	Err      error
+
+	// Dst is the caller's destination buffer, copied from Message.Dst by
+	// Send; servers read values with it.Read(call.Dst[:0]).
+	Dst []byte
 }
 
-// Wait blocks until the server completes the call.
-func (c *Call) Wait() { <-c.done }
+var callPool = sync.Pool{New: func() any {
+	return &Call{park: make(chan struct{}, 1)}
+}}
 
-// Complete finishes the call; servers call it exactly once.
-func (c *Call) Complete() { close(c.done) }
+// newCall draws a recycled (or fresh) pending call from the pool.
+func newCall() *Call {
+	c := callPool.Get().(*Call)
+	c.state.Store(callPending)
+	return c
+}
+
+// Wait blocks until the server completes the call: a brief spin (the
+// common, already-completed case costs one atomic load), then park.
+func (c *Call) Wait() {
+	for i := 0; i < waitSpins; i++ {
+		if c.state.Load() == callDone {
+			return
+		}
+		runtime.Gosched()
+	}
+	if c.state.CompareAndSwap(callPending, callParked) {
+		<-c.park
+		return
+	}
+	// CAS failed: Complete won the race and the state is already done.
+}
+
+// Complete finishes the call; servers call it exactly once per Send.
+func (c *Call) Complete() {
+	if c.state.Swap(callDone) == callParked {
+		c.park <- struct{}{}
+	}
+}
+
+// Release recycles the call into the pool. Call it after Wait, once, and
+// only if no other goroutine still holds the call; see the type comment.
+// ScanKeys/ScanVals capacity is retained so scans reuse result slices.
+func (c *Call) Release() {
+	c.Value = nil
+	c.Dst = nil
+	c.Found = false
+	c.Err = nil
+	c.ScanKeys = c.ScanKeys[:0]
+	for i := range c.ScanVals {
+		c.ScanVals[i] = nil // drop value refs; keep the slice's capacity
+	}
+	c.ScanVals = c.ScanVals[:0]
+	callPool.Put(c)
+}
 
 // ErrClosed is reported by Send after Close.
 var ErrClosed = errors.New("rpc: server closed")
@@ -163,12 +245,16 @@ func (s *Server) Send(m Message) *Call {
 	if s.closed.Load() {
 		return nil
 	}
-	call := &Call{done: make(chan struct{})}
+	call := newCall()
+	call.Dst = m.Dst
 	m.call = call
 	pos := s.ticket.Add(1) - 1
 	sl := &s.slots[pos&s.capMask]
 	for sl.seq.Load() != pos {
 		if s.closed.Load() {
+			// The slot was never published, so no server will ever touch
+			// this call again; recycle it directly.
+			call.Release()
 			return nil
 		}
 		runtime.Gosched() // ring full: wait for the owner to free the slot

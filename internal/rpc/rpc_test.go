@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"mutps/internal/workload"
 )
@@ -414,5 +415,98 @@ func TestSchedulePruning(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("request lost after heavy reconfiguration")
+	}
+}
+
+// --- pooled-call protocol ------------------------------------------------
+
+// TestCallCompleteBeforeWait exercises the fast path: when the server
+// completes before the client waits, Wait returns after a single atomic
+// load and never touches the park channel.
+func TestCallCompleteBeforeWait(t *testing.T) {
+	s := NewServer(8, 2, 1)
+	call := s.Send(Message{Op: workload.OpGet, Key: 1})
+	m, ok, _ := s.Poll(0)
+	if !ok {
+		t.Fatal("missing message")
+	}
+	m.Call().Found = true
+	m.Call().Complete()
+	call.Wait()
+	call.Wait() // Wait after completion must be idempotent
+	if !call.Found {
+		t.Fatal("results must be visible after Wait")
+	}
+	call.Release()
+}
+
+// TestCallParkWakeup forces the slow path: the waiter parks (the server
+// is deliberately slow) and Complete must wake it exactly once.
+func TestCallParkWakeup(t *testing.T) {
+	s := NewServer(8, 2, 1)
+	call := s.Send(Message{Op: workload.OpGet, Key: 1})
+	go func() {
+		time.Sleep(2 * time.Millisecond) // let the waiter exhaust its spins
+		m, ok, _ := s.Poll(0)
+		if !ok {
+			panic("missing message")
+		}
+		m.Call().Found = true
+		m.Call().Complete()
+	}()
+	call.Wait()
+	if !call.Found {
+		t.Fatal("parked waiter must observe results after wakeup")
+	}
+	call.Release()
+}
+
+// TestCallReleaseRecycles checks that a released call comes back from the
+// pool reset: no stale results, scan slices emptied but retaining their
+// backing capacity.
+func TestCallReleaseRecycles(t *testing.T) {
+	c := newCall()
+	c.Found = true
+	c.Value = []byte{1}
+	c.Err = ErrClosed
+	c.ScanKeys = append(c.ScanKeys, 1, 2, 3)
+	c.ScanVals = append(c.ScanVals, []byte{1}, []byte{2})
+	keysCap := cap(c.ScanKeys)
+	c.Complete()
+	c.Wait()
+	c.Release()
+
+	// The pool is per-P, so the same goroutine gets the same object back.
+	c2 := newCall()
+	if c2.Found || c2.Value != nil || c2.Err != nil || c2.Dst != nil {
+		t.Fatalf("recycled call carries stale results: %+v", c2)
+	}
+	if len(c2.ScanKeys) != 0 || len(c2.ScanVals) != 0 {
+		t.Fatal("recycled call carries stale scan results")
+	}
+	if c2 == c && cap(c2.ScanKeys) != keysCap {
+		t.Fatal("recycling must retain scan slice capacity")
+	}
+	c2.Complete()
+	c2.Wait()
+	c2.Release()
+}
+
+// TestSendReusesPooledCalls verifies that the steady-state Send→Complete→
+// Wait→Release cycle allocates nothing.
+func TestSendReusesPooledCalls(t *testing.T) {
+	s := NewServer(8, 2, 1)
+	avg := testing.AllocsPerRun(200, func() {
+		call := s.Send(Message{Op: workload.OpGet, Key: 9})
+		m, ok, _ := s.Poll(0)
+		if !ok {
+			t.Fatal("missing message")
+		}
+		m.Call().Complete()
+		call.Wait()
+		call.Release()
+	})
+	if avg != 0 {
+		t.Fatalf("pooled call cycle allocates %.2f times per op, want 0", avg)
 	}
 }

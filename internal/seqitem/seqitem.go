@@ -136,6 +136,13 @@ func (it *Item) Write(val []byte) bool {
 
 // Read copies the current value into buf (growing it if needed) and returns
 // the filled slice: the paper's lock-free read protocol.
+//
+// The contract is append-style and is what makes the store's zero-alloc
+// get path possible: when cap(buf) >= Size the returned slice is
+// buf[:Size] — same backing array, no allocation — so callers that thread
+// a caller-owned buffer through (rpc.Call.Dst, Store.GetInto) read values
+// without touching the allocator. Read never retains buf and never
+// returns a slice longer than Size.
 func (it *Item) Read(buf []byte) []byte {
 	it = it.Latest()
 	n := it.size

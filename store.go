@@ -67,6 +67,11 @@ type KV struct {
 	Value []byte
 }
 
+// MaxScanCount is the largest count accepted by Scan; larger requests are
+// rejected with an error (the inter-layer request encoding carries scan
+// counts in 16 bits).
+const MaxScanCount = kvcore.MaxScanCount
+
 // Stats is a snapshot of store counters.
 type Stats struct {
 	Ops       uint64 // completed operations
@@ -124,10 +129,24 @@ func Open(o Options) (*Store, error) {
 // Close stops the store's workers. Drain outstanding calls first.
 func (st *Store) Close() { st.s.Close() }
 
-// Get fetches the value stored under key.
+// Get fetches the value stored under key. The returned slice is freshly
+// allocated; use GetInto on hot paths to reuse a caller-owned buffer.
 func (st *Store) Get(key uint64) ([]byte, bool) { return st.s.Get(key) }
 
-// Put stores val under key (the value bytes are copied).
+// GetInto fetches the value stored under key, appending it into buf[:0].
+// When buf has enough capacity the returned value aliases it and the
+// request completes without allocating; otherwise a fresh slice is
+// returned. On a miss it returns buf[:0] and false. buf must not be
+// touched while the request is in flight, and the typical calling pattern
+// reuses the returned slice:
+//
+//	buf, _ = st.GetInto(key, buf)
+func (st *Store) GetInto(key uint64, buf []byte) ([]byte, bool) {
+	return st.s.GetInto(key, buf)
+}
+
+// Put stores val under key. The value bytes are copied into the store
+// before Put returns, so the caller may immediately reuse val.
 func (st *Store) Put(key uint64, val []byte) { st.s.Put(key, val) }
 
 // Delete removes key, reporting whether it existed.
@@ -150,12 +169,13 @@ func (st *Store) GetBatch(keys []uint64) (vals [][]byte, found []bool) {
 		}
 		c.Wait()
 		vals[i], found[i] = c.Value, c.Found
+		c.Release() // values are freshly allocated, safe to keep past release
 	}
 	return vals, found
 }
 
 // Scan returns up to count entries with keys >= start in ascending order.
-// Requires the Tree engine.
+// Requires the Tree engine and count ≤ MaxScanCount.
 func (st *Store) Scan(start uint64, count int) ([]KV, error) {
 	kvs, err := st.s.Scan(start, count)
 	if err != nil {
