@@ -1,0 +1,88 @@
+// Command mutps-server runs a network-attached μTPS key-value store.
+//
+// Usage:
+//
+//	mutps-server -addr :7070 -engine tree -workers 8 -cr 2
+//	mutps-server -addr :7070 -metrics-addr :9090   # Prometheus on :9090/metrics
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"mutps/internal/kvcore"
+	"mutps/internal/netserver"
+	"mutps/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	engine := flag.String("engine", "hash", "index engine: hash (μTPS-H) or tree (μTPS-T)")
+	workers := flag.Int("workers", 4, "total worker goroutines")
+	cr := flag.Int("cr", 1, "initial cache-resident workers")
+	hot := flag.Int("hot", 4096, "hot-set cache target (0 disables)")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve Prometheus text on /metrics and the tuner decision trace on /trace at this address (empty disables)")
+	flag.Parse()
+
+	eng := kvcore.Hash
+	switch *engine {
+	case "hash":
+	case "tree":
+		eng = kvcore.Tree
+	default:
+		log.Fatalf("unknown engine %q (want hash or tree)", *engine)
+	}
+
+	store, err := kvcore.Open(kvcore.Config{
+		Engine:    eng,
+		Workers:   *workers,
+		CRWorkers: *cr,
+		HotItems:  *hot,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *hot > 0 {
+		// Without the refresher the hot set never populates and the
+		// cache-resident layer serves nothing (mutps_hotset_hit_ratio
+		// pins at 0).
+		store.StartRefresher(100 * time.Millisecond)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := netserver.Serve(store, ln)
+	log.Printf("μTPS-%s serving on %s (%d workers, %d at CR layer, hot=%d)",
+		map[kvcore.Engine]string{kvcore.Hash: "H", kvcore.Tree: "T"}[eng],
+		srv.Addr(), *workers, *cr, *hot)
+
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(store.Metrics()))
+		mux.Handle("/trace", obs.TraceHandler(store.Trace()))
+		go func() {
+			if err := http.Serve(mln, mux); err != nil {
+				log.Printf("metrics endpoint: %v", err)
+			}
+		}()
+		log.Printf("metrics on http://%s/metrics, decision trace on /trace", mln.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("shutting down; stats: %+v", store.Stats())
+	srv.Close()
+	store.Close()
+}

@@ -157,7 +157,8 @@ func (emptyView) Len() int                            { return 0 }
 // all workers to leave the old view when it must be quiesced, e.g. during
 // thread reassignment).
 type Cache struct {
-	v atomic.Pointer[viewBox]
+	v        atomic.Pointer[viewBox]
+	installs atomic.Uint64
 }
 
 type viewBox struct{ View }
@@ -178,7 +179,14 @@ func (c *Cache) Lookup(key uint64) (*seqitem.Item, bool) {
 func (c *Cache) View() View { return c.v.Load().View }
 
 // Install atomically publishes a new snapshot.
-func (c *Cache) Install(v View) { c.v.Store(&viewBox{v}) }
+func (c *Cache) Install(v View) {
+	c.v.Store(&viewBox{v})
+	c.installs.Add(1)
+}
+
+// Installs returns how many views have been published — the epoch-switch
+// count the observability layer exports.
+func (c *Cache) Installs() uint64 { return c.installs.Load() }
 
 // Len returns the current snapshot's size.
 func (c *Cache) Len() int { return c.v.Load().Len() }

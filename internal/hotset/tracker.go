@@ -11,6 +11,7 @@ type Tracker struct {
 	ringSize    int
 	rings       [][]atomic.Uint64 // per-worker sampled keys (key+1; 0 = empty)
 	pos         []counterPad
+	snapshots   atomic.Uint64
 }
 
 type counterPad struct {
@@ -52,6 +53,7 @@ func (t *Tracker) Record(w int, key uint64) {
 // sampled keys. The sketch is reset first, so each snapshot reflects only
 // the most recent window of samples.
 func (t *Tracker) Snapshot(cms *CMS, k int) []HotKey {
+	t.snapshots.Add(1)
 	cms.Reset()
 	top := NewTopK(k)
 	for w := range t.rings {
@@ -67,3 +69,6 @@ func (t *Tracker) Snapshot(cms *CMS, k int) []HotKey {
 	}
 	return top.Hottest()
 }
+
+// Snapshots returns how many sketch refreshes have run.
+func (t *Tracker) Snapshots() uint64 { return t.snapshots.Load() }

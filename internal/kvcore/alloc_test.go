@@ -214,4 +214,3 @@ func TestCallPoolingAcrossSetSplit(t *testing.T) {
 		c.Release()
 	}
 }
-

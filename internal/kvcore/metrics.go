@@ -1,0 +1,139 @@
+package kvcore
+
+import (
+	"mutps/internal/obs"
+	"mutps/internal/workload"
+)
+
+// opNames renders operation labels in workload.OpType order.
+var opNames = [4]string{`op="get"`, `op="put"`, `op="delete"`, `op="scan"`}
+
+// storeMetrics is the store's instrument set. Hot-path instruments are
+// sharded per worker (or, at the client-facing facade, by key) so no
+// request ever bounces a shared cache line; everything derived from state
+// lower layers already keep (ring stalls, queue depth, hot-set epochs) is
+// registered as a collection-time func metric instead of being counted
+// twice.
+type storeMetrics struct {
+	reg *obs.Registry
+
+	ops       [4]*obs.Counter // completed operations by op type
+	crHit     *obs.Counter    // served entirely at the CR layer
+	crMiss    *obs.Counter    // consulted the hot set and missed
+	crBypass  *obs.Counter    // never eligible for the hot set (delete/scan)
+	forwarded *obs.Counter    // crossed the CR-MR queue
+	roleSwap  *obs.Counter    // worker layer transitions (§3.5)
+
+	batchSize *obs.Histogram    // CR→MR requests per flushed batch
+	lat       [4]*obs.Histogram // facade-observed latency by op type, ns
+}
+
+func newStoreMetrics(workers int) *storeMetrics {
+	r := obs.NewRegistry()
+	m := &storeMetrics{reg: r}
+	for op, l := range opNames {
+		m.ops[op] = r.Counter("mutps_ops_total", l,
+			"Completed operations by type.", workers)
+		m.lat[op] = r.Histogram("mutps_op_latency_nanoseconds", l,
+			"Request latency observed at the store facade, in nanoseconds.", workers)
+	}
+	m.crHit = r.Counter("mutps_cr_requests_total", `result="hit"`,
+		"Cache-resident layer outcomes: hit = served from the hot set, miss = looked up and forwarded, bypass = op type never served hot (delete/scan).", workers)
+	m.crMiss = r.Counter("mutps_cr_requests_total", `result="miss"`, "", workers)
+	m.crBypass = r.Counter("mutps_cr_requests_total", `result="bypass"`, "", workers)
+	m.forwarded = r.Counter("mutps_forwarded_total", "",
+		"Requests forwarded over the CR-MR queue.", workers)
+	m.roleSwap = r.Counter("mutps_role_switches_total", "",
+		"Worker layer transitions (including each worker's initial role settling).", workers)
+	m.batchSize = r.Histogram("mutps_crmr_batch_size", "",
+		"Requests per flushed CR-MR batch.", workers)
+	return m
+}
+
+// opsTotal merges the per-op completion counters — the monotonic feedback
+// signal the auto-tuner's monitor differentiates.
+func (m *storeMetrics) opsTotal() uint64 {
+	var t uint64
+	for _, c := range m.ops {
+		t += c.Value()
+	}
+	return t
+}
+
+// registerDerived exposes the state lower layers already track — receive
+// ring, CR-MR queue, hot set, index — as collection-time func metrics.
+// Called once from Open, after every substructure exists.
+func (s *Store) registerDerived() {
+	r := s.met.reg
+	r.GaugeFunc("mutps_rx_queue_depth", "",
+		"Receive-ring occupancy (published requests not yet consumed).",
+		func() float64 { return float64(s.rpc.Depth()) })
+	r.CounterFunc("mutps_reconfigurations_total", "",
+		"RPC schedule changes applied by thread reassignment.",
+		func() float64 { return float64(s.rpc.Reconfigurations()) })
+	r.CounterFunc("mutps_ring_push_stalls_total", "",
+		"CR-MR pushes that found the target ring full.",
+		func() float64 {
+			var t uint64
+			for _, p := range s.crp {
+				t += p.prod.Stalls()
+			}
+			return float64(t)
+		})
+	r.CounterFunc("mutps_ring_pop_stalls_total", "",
+		"CR-MR polls that found every scanned ring empty.",
+		func() float64 {
+			var t uint64
+			for _, c := range s.mrcons {
+				t += c.EmptyPolls()
+			}
+			return float64(t)
+		})
+	r.GaugeFunc("mutps_crmr_occupancy", "",
+		"Batches published to the CR-MR queue and not yet committed.",
+		func() float64 { return float64(s.crmr.Occupancy()) })
+	r.CounterFunc("mutps_hotset_installs_total", "",
+		"Hot-set view epoch switches (atomic view installs).",
+		func() float64 { return float64(s.cache.Installs()) })
+	r.CounterFunc("mutps_hotset_refreshes_total", "",
+		"Tracker sketch refreshes (CMS + top-k snapshots).",
+		func() float64 { return float64(s.tracker.Snapshots()) })
+	r.GaugeFunc("mutps_hotset_size", "",
+		"Entries in the current hot-set view.",
+		func() float64 { return float64(s.cache.Len()) })
+	r.GaugeFunc("mutps_hotset_hit_ratio", "",
+		"CR hits over hot-set-eligible requests (gets and puts).",
+		func() float64 {
+			hit := float64(s.met.crHit.Value())
+			total := hit + float64(s.met.crMiss.Value())
+			if total == 0 {
+				return 0
+			}
+			return hit / total
+		})
+	r.GaugeFunc("mutps_items", "",
+		"Items in the main index.",
+		func() float64 { return float64(s.idx.Len()) })
+	r.GaugeFunc("mutps_workers", `layer="cr"`,
+		"Workers currently assigned per layer.",
+		func() float64 { return float64(s.nCR.Load()) })
+	r.GaugeFunc("mutps_workers", `layer="mr"`,
+		"", func() float64 { return float64(s.cfg.Workers - int(s.nCR.Load())) })
+}
+
+// Metrics returns the store's metric registry, ready to mount behind
+// obs.Handler on a /metrics endpoint or to flatten into the netserver
+// stats payload.
+func (s *Store) Metrics() *obs.Registry { return s.met.reg }
+
+// Trace returns the store's decision trace: every SetSplit/SetHotItems
+// reconfiguration and every tuner trigger/retune outcome lands here.
+func (s *Store) Trace() *obs.DecisionTrace { return s.trace }
+
+// opIndex clamps an op type into the metrics arrays.
+func opIndex(op workload.OpType) int {
+	if int(op) >= len(opNames) {
+		return len(opNames) - 1
+	}
+	return int(op)
+}

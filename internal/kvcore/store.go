@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mutps/internal/hotset"
+	"mutps/internal/obs"
 	"mutps/internal/ring"
 	"mutps/internal/rpc"
 	"mutps/internal/seqitem"
@@ -107,10 +108,10 @@ type Store struct {
 	refreshWG sync.WaitGroup
 	refreshCh chan struct{}
 
-	// Counters for the throughput monitor and stats.
-	ops       atomic.Uint64
-	crHits    atomic.Uint64
-	forwarded atomic.Uint64
+	// met holds every instrument (sharded counters, latency histograms,
+	// derived gauges); trace records reconfiguration decisions.
+	met   *storeMetrics
+	trace *obs.DecisionTrace
 }
 
 // Open validates cfg, builds the store, and starts its workers.
@@ -119,6 +120,8 @@ func Open(cfg Config) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{cfg: cfg}
+	s.met = newStoreMetrics(cfg.Workers)
+	s.trace = obs.NewDecisionTrace(256)
 	if cfg.Engine == Tree {
 		ti := newTreeIndex()
 		s.idx, s.scanIdx = ti, ti
@@ -151,6 +154,7 @@ func Open(cfg Config) (*Store, error) {
 	s.lockMask = uint64(stripes - 1)
 	s.nCR.Store(int32(cfg.CRWorkers))
 	s.hotTarget.Store(int32(cfg.HotItems))
+	s.registerDerived()
 
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -192,6 +196,10 @@ func (s *Store) Get(key uint64) ([]byte, bool) {
 // loop can keep threading one buffer (buf = v[:0]) regardless of outcome.
 // buf must not be touched by the caller while the request is in flight.
 func (s *Store) GetInto(key uint64, buf []byte) ([]byte, bool) {
+	var start time.Time
+	if !obs.Disabled {
+		start = time.Now()
+	}
 	call := s.rpc.Send(rpc.Message{Op: workload.OpGet, Key: key, Dst: buf})
 	if call == nil {
 		return buf[:0], false
@@ -202,22 +210,36 @@ func (s *Store) GetInto(key uint64, buf []byte) ([]byte, bool) {
 	if v == nil {
 		v = buf[:0]
 	}
+	if !obs.Disabled {
+		s.met.lat[workload.OpGet].Record(int(key), uint64(time.Since(start)))
+	}
 	return v, found
 }
 
 // Put stores val under key. The value bytes are copied into the item
 // before Put returns, so the caller may immediately reuse val.
 func (s *Store) Put(key uint64, val []byte) {
+	var start time.Time
+	if !obs.Disabled {
+		start = time.Now()
+	}
 	call := s.rpc.Send(rpc.Message{Op: workload.OpPut, Key: key, Value: val})
 	if call == nil {
 		return
 	}
 	call.Wait()
 	call.Release()
+	if !obs.Disabled {
+		s.met.lat[workload.OpPut].Record(int(key), uint64(time.Since(start)))
+	}
 }
 
 // Delete removes key, reporting whether it existed.
 func (s *Store) Delete(key uint64) bool {
+	var start time.Time
+	if !obs.Disabled {
+		start = time.Now()
+	}
 	call := s.rpc.Send(rpc.Message{Op: workload.OpDelete, Key: key})
 	if call == nil {
 		return false
@@ -225,6 +247,9 @@ func (s *Store) Delete(key uint64) bool {
 	call.Wait()
 	found := call.Found
 	call.Release()
+	if !obs.Disabled {
+		s.met.lat[workload.OpDelete].Record(int(key), uint64(time.Since(start)))
+	}
 	return found
 }
 
@@ -248,6 +273,10 @@ func (s *Store) Scan(start uint64, count int) ([]KV, error) {
 	if count > MaxScanCount {
 		return nil, fmt.Errorf("kvcore: scan count %d exceeds the maximum %d", count, MaxScanCount)
 	}
+	var t0 time.Time
+	if !obs.Disabled {
+		t0 = time.Now()
+	}
 	call := s.rpc.Send(rpc.Message{Op: workload.OpScan, Key: start, ScanCount: count})
 	if call == nil {
 		return nil, rpc.ErrClosed
@@ -258,6 +287,9 @@ func (s *Store) Scan(start uint64, count int) ([]KV, error) {
 		out[i] = KV{Key: call.ScanKeys[i], Value: call.ScanVals[i]}
 	}
 	call.Release()
+	if !obs.Disabled {
+		s.met.lat[workload.OpScan].Record(int(start), uint64(time.Since(t0)))
+	}
 	return out, nil
 }
 
@@ -287,6 +319,8 @@ func (s *Store) SetSplit(nCR int) error {
 		return nil
 	}
 	s.rpc.Reconfigure(nCR)
+	s.trace.Record(obs.Decision{Event: "split",
+		OldSplit: old, NewSplit: nCR, OldCache: -1, NewCache: -1})
 	return nil
 }
 
@@ -296,7 +330,11 @@ func (s *Store) SetHotItems(k int) {
 	if k < 0 {
 		k = 0
 	}
-	s.hotTarget.Store(int32(k))
+	old := int(s.hotTarget.Swap(int32(k)))
+	if old != k {
+		s.trace.Record(obs.Decision{Event: "cache",
+			OldSplit: -1, NewSplit: -1, OldCache: old, NewCache: k})
+	}
 }
 
 // HotItems returns the hot-set target size.
@@ -357,12 +395,14 @@ type Stats struct {
 	HotSize   int    // current hot-set view size
 }
 
-// Stats returns a snapshot of the store's counters.
+// Stats returns a snapshot of the store's counters. (Merged from the
+// sharded obs instruments; under the obs_off measurement build these all
+// read zero.)
 func (s *Store) Stats() Stats {
 	return Stats{
-		Ops:       s.ops.Load(),
-		CRHits:    s.crHits.Load(),
-		Forwarded: s.forwarded.Load(),
+		Ops:       s.met.opsTotal(),
+		CRHits:    s.met.crHit.Value(),
+		Forwarded: s.met.forwarded.Value(),
 		Items:     s.idx.Len(),
 		HotSize:   s.cache.Len(),
 	}
@@ -370,7 +410,7 @@ func (s *Store) Stats() Stats {
 
 // Ops returns the completed-operation counter (monotonic), the feedback
 // signal the auto-tuner's monitor differentiates.
-func (s *Store) Ops() uint64 { return s.ops.Load() }
+func (s *Store) Ops() uint64 { return s.met.opsTotal() }
 
 // preloadItem inserts directly into the index, bypassing the RPC path; used
 // for bulk pre-population before serving.

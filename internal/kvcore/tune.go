@@ -3,6 +3,7 @@ package kvcore
 import (
 	"time"
 
+	"mutps/internal/obs"
 	"mutps/internal/tuner"
 )
 
@@ -24,6 +25,7 @@ type Tunable struct {
 	CacheStep int
 
 	lastWays int
+	sampler  *obs.WindowSampler
 }
 
 // Bounds implements tuner.Reconfigurable.
@@ -61,14 +63,12 @@ func (t *Tunable) Measure(c tuner.Config) float64 {
 	if w == 0 {
 		w = 10 * time.Millisecond
 	}
-	before := t.S.Ops()
-	start := time.Now()
-	time.Sleep(w)
-	elapsed := time.Since(start).Seconds()
-	if elapsed <= 0 {
-		return 0
+	if t.sampler == nil {
+		t.sampler = obs.NewWindowSampler(t.S.Ops)
 	}
-	return float64(t.S.Ops()-before) / elapsed
+	t.sampler.Reset()
+	time.Sleep(w)
+	return t.sampler.Rate()
 }
 
 var _ tuner.Reconfigurable = (*Tunable)(nil)

@@ -84,7 +84,11 @@ func (s *Store) worker(id int) {
 		if s.stop.Load() {
 			return
 		}
+		s.met.roleSwap.Inc(id) // CR stint over, moving to the MR layer
 		s.runMR(id)
+		if !s.stop.Load() {
+			s.met.roleSwap.Inc(id) // reassigned back to the CR layer
+		}
 	}
 }
 
@@ -178,7 +182,9 @@ func (s *Store) runCR(id int) {
 	flush := func() {
 		nCR := int(s.nCR.Load())
 		nMR := s.cfg.Workers - nCR
+		n := st.prod.PendingLocal()
 		if mr, fl := st.prod.Flush(nCR, nMR); fl {
+			s.met.batchSize.Record(id, uint64(n))
 			st.cols[mr].push(st.curBatch)
 			st.inflight++
 			st.curBatch = st.newBatch()
@@ -219,9 +225,14 @@ func (s *Store) runCR(id int) {
 		}
 		s.tracker.Record(id, m.Key)
 		if s.tryServeHot(&m) {
-			s.crHits.Add(1)
-			s.ops.Add(1)
+			s.met.crHit.Inc(id)
+			s.met.ops[opIndex(m.Op)].Inc(id)
 			continue
+		}
+		if m.Op == workload.OpGet || m.Op == workload.OpPut {
+			s.met.crMiss.Inc(id) // consulted the hot set, wasn't there
+		} else {
+			s.met.crBypass.Inc(id) // deletes/scans never serve hot
 		}
 		// Miss path: forward over the CR-MR queue.
 		slot, okSlot := sl.get()
@@ -240,11 +251,12 @@ func (s *Store) runCR(id int) {
 		st.curBatch = append(st.curBatch, slot)
 		nCR := int(s.nCR.Load())
 		if mr, fl := st.prod.Add(req, nCR, s.cfg.Workers-nCR); fl {
+			s.met.batchSize.Record(id, uint64(s.cfg.BatchSize))
 			st.cols[mr].push(st.curBatch)
 			st.inflight++
 			st.curBatch = st.newBatch()
 		}
-		s.forwarded.Add(1)
+		s.met.forwarded.Inc(id)
 	}
 	flush()
 }
@@ -310,7 +322,7 @@ func (s *Store) drainOwnColumn(id int) {
 			return
 		}
 		for i := range reqs {
-			s.processMR(cr, &reqs[i])
+			s.processMR(id, cr, &reqs[i])
 		}
 		rg.Commit()
 	}
@@ -367,11 +379,11 @@ func (s *Store) runMR(id int) {
 						call.Found = true
 					}
 					call.Complete()
-					s.ops.Add(1)
 				}
+				s.met.ops[workload.OpGet].Add(id, uint64(len(scr.pos)))
 				for i := range reqs {
 					if workload.OpType(reqs[i].Type) != workload.OpGet {
-						s.processMR(cr, &reqs[i])
+						s.processMR(id, cr, &reqs[i])
 					}
 				}
 				rg.Commit()
@@ -379,16 +391,17 @@ func (s *Store) runMR(id int) {
 			}
 		}
 		for i := range reqs {
-			s.processMR(cr, &reqs[i])
+			s.processMR(id, cr, &reqs[i])
 		}
 		rg.Commit() // piggybacked completion: slab slots recyclable
 	}
 }
 
 // processMR executes one forwarded request against the full index and
-// completes its call. The slab entry is read-only here; the owning CR
-// worker recycles it after the ring commit.
-func (s *Store) processMR(cr int, req *ring.Request) {
+// completes its call; w is the executing worker (the completion-counter
+// shard). The slab entry is read-only here; the owning CR worker recycles
+// it after the ring commit.
+func (s *Store) processMR(w, cr int, req *ring.Request) {
 	m := &s.slabs[cr].msgs[req.Buf]
 	call := m.Call()
 	switch workload.OpType(req.Type) {
@@ -404,8 +417,9 @@ func (s *Store) processMR(cr int, req *ring.Request) {
 	case workload.OpScan:
 		s.scanMR(req, call)
 	}
+	op := opIndex(workload.OpType(req.Type))
 	call.Complete()
-	s.ops.Add(1)
+	s.met.ops[op].Inc(w)
 }
 
 // putMR first tries the in-place same-size write (no locks beyond the

@@ -8,9 +8,14 @@
 //	request:  op(1) key(8) len(4) payload[len]
 //	          op: 0=get 1=put 2=delete 3=scan (payload = count uint32)
 //	              4=stats (no payload; response = 5 × uint64 counters)
+//	              5=stats2 (no payload; versioned named-pair response)
 //	response: status(1) len(4) payload[len]
 //	          status: 0=found/ok 1=not found 2=error (payload = message)
 //	          scan payload: count(4) then count × { key(8) vlen(4) val }
+//	          stats2 payload: count(4) then count × { nlen(2) name
+//	          float64bits(8) } — self-describing, so servers may add
+//	          metrics without breaking old clients, and new clients fall
+//	          back to op 4 when an old server rejects op 5
 package netserver
 
 import (
@@ -19,10 +24,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mutps/internal/kvcore"
+	"mutps/internal/obs"
 )
 
 // Op codes on the wire.
@@ -32,6 +41,7 @@ const (
 	OpDelete
 	OpScan
 	OpStats
+	OpStats2
 )
 
 // Status codes on the wire.
@@ -45,6 +55,10 @@ const (
 // from exhausting memory.
 const maxPayload = 16 << 20
 
+// latShards bounds the per-connection latency histogram's shard set;
+// connections hash onto shards by arrival order.
+const latShards = 16
+
 // Server serves a kvcore store over TCP.
 type Server struct {
 	store *kvcore.Store
@@ -54,11 +68,28 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	nextConn  atomic.Uint64
+	openConns *obs.Gauge
+	lat       [4]*obs.Histogram // wire op 0..3 latency, ns
 }
 
-// Serve starts accepting connections on ln and returns immediately.
+// netOpLabels renders wire-op labels in op-code order.
+var netOpLabels = [4]string{`op="get"`, `op="put"`, `op="delete"`, `op="scan"`}
+
+// Serve starts accepting connections on ln and returns immediately. The
+// server registers its connection gauge and per-op latency histograms into
+// the store's metric registry; registration is idempotent, so several
+// servers over one store share series.
 func Serve(store *kvcore.Store, ln net.Listener) *Server {
 	s := &Server{store: store, ln: ln, conns: map[net.Conn]struct{}{}}
+	reg := store.Metrics()
+	s.openConns = reg.Gauge("mutps_net_connections", "", "Open client connections.")
+	for op, l := range netOpLabels {
+		s.lat[op] = reg.Histogram("mutps_net_op_latency_nanoseconds", l,
+			"Per-request service time observed at the network server (read to reply), in nanoseconds.",
+			latShards)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -114,7 +145,10 @@ type connScratch struct {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	connID := int(s.nextConn.Add(1))
+	s.openConns.Add(1)
 	defer func() {
+		s.openConns.Add(-1)
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -143,8 +177,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return
 		}
+		var t0 time.Time
+		if !obs.Disabled {
+			t0 = time.Now()
+		}
 		if err := s.handle(w, op, key, payload, &cs); err != nil {
 			return
+		}
+		if !obs.Disabled && op < OpStats {
+			s.lat[op].Record(connID, uint64(time.Since(t0)))
 		}
 		if err := w.Flush(); err != nil {
 			return
@@ -177,6 +218,10 @@ func (s *Server) handle(w *bufio.Writer, op byte, key uint64, payload []byte, cs
 		binary.LittleEndian.PutUint64(body[24:], uint64(st.Items))
 		binary.LittleEndian.PutUint64(body[32:], uint64(st.HotSize))
 		return writeResp(w, StatusFound, body[:])
+	case OpStats2:
+		body := s.appendStats2(cs.body[:0])
+		cs.body = body
+		return writeResp(w, StatusFound, body)
 	case OpScan:
 		if len(payload) != 4 {
 			return writeResp(w, StatusError, []byte("scan payload must be a uint32 count"))
@@ -203,6 +248,43 @@ func (s *Server) handle(w *bufio.Writer, op byte, key uint64, payload []byte, cs
 	default:
 		return writeResp(w, StatusError, []byte(fmt.Sprintf("unknown op %d", op)))
 	}
+}
+
+// legacyStatNames are the five counters the fixed-layout op 4 frame
+// carries, re-exported under stable names in the stats2 payload so
+// consumers can drop the legacy op without losing any field.
+var legacyStatNames = [5]string{"ops", "cr_hits", "forwarded", "items", "hot_size"}
+
+// appendStats2 builds the versioned stats payload: the five legacy
+// counters under their stable names, then every sample the store's metric
+// registry exports.
+func (s *Server) appendStats2(body []byte) []byte {
+	st := s.store.Stats()
+	legacy := [5]float64{
+		float64(st.Ops), float64(st.CRHits), float64(st.Forwarded),
+		float64(st.Items), float64(st.HotSize),
+	}
+	samples := s.store.Metrics().Snapshot()
+
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(legacy)+len(samples)))
+	body = append(body, n[:]...)
+	appendPair := func(name string, v float64) {
+		var hdr [2]byte
+		binary.LittleEndian.PutUint16(hdr[:], uint16(len(name)))
+		body = append(body, hdr[:]...)
+		body = append(body, name...)
+		var val [8]byte
+		binary.LittleEndian.PutUint64(val[:], math.Float64bits(v))
+		body = append(body, val[:]...)
+	}
+	for i, name := range legacyStatNames {
+		appendPair(name, legacy[i])
+	}
+	for _, smp := range samples {
+		appendPair(smp.Name, smp.Value)
+	}
+	return body
 }
 
 func writeResp(w *bufio.Writer, status byte, payload []byte) error {
@@ -311,6 +393,59 @@ func (c *Client) Stats() (kvcore.Stats, error) {
 		Items:     int(binary.LittleEndian.Uint64(body[24:])),
 		HotSize:   int(binary.LittleEndian.Uint64(body[32:])),
 	}, nil
+}
+
+// StatsMap fetches the server's versioned stats payload: every metric the
+// server exports, keyed by series name, including the five legacy
+// counters under "ops", "cr_hits", "forwarded", "items", "hot_size".
+// Against a server predating the stats2 op it falls back to the legacy
+// fixed frame (the old server rejects the unknown op with a status-error
+// response, leaving the connection usable), so the map then carries just
+// the five legacy keys.
+func (c *Client) StatsMap() (map[string]float64, error) {
+	st, body, err := c.roundTrip(OpStats2, 0, nil)
+	if err != nil {
+		if st != StatusError {
+			return nil, err // transport failure, not an old server
+		}
+		legacy, lerr := c.Stats()
+		if lerr != nil {
+			return nil, lerr
+		}
+		return map[string]float64{
+			"ops":       float64(legacy.Ops),
+			"cr_hits":   float64(legacy.CRHits),
+			"forwarded": float64(legacy.Forwarded),
+			"items":     float64(legacy.Items),
+			"hot_size":  float64(legacy.HotSize),
+		}, nil
+	}
+	return decodeStats2(body)
+}
+
+// decodeStats2 parses a stats2 payload into a name→value map.
+func decodeStats2(body []byte) (map[string]float64, error) {
+	if len(body) < 4 {
+		return nil, errors.New("netserver: short stats2 response")
+	}
+	n := binary.LittleEndian.Uint32(body)
+	body = body[4:]
+	out := make(map[string]float64, n)
+	for i := uint32(0); i < n; i++ {
+		if len(body) < 2 {
+			return nil, errors.New("netserver: truncated stats2 entry")
+		}
+		nlen := binary.LittleEndian.Uint16(body)
+		body = body[2:]
+		if len(body) < int(nlen)+8 {
+			return nil, errors.New("netserver: truncated stats2 entry")
+		}
+		name := string(body[:nlen])
+		body = body[nlen:]
+		out[name] = math.Float64frombits(binary.LittleEndian.Uint64(body))
+		body = body[8:]
+	}
+	return out, nil
 }
 
 // Scan returns up to count entries with keys >= start.

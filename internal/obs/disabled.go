@@ -1,0 +1,10 @@
+//go:build obs_off
+
+package obs
+
+// Disabled is the constant true under the obs_off build tag: every record
+// path folds to a no-op and the compiler deletes the instrumentation,
+// which is how CI measures the overhead of the enabled build. obs_off is
+// a measurement build only — snapshots, Stats, and the tuner's feedback
+// signal all read as zero under it.
+const Disabled = true

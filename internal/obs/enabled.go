@@ -1,0 +1,8 @@
+//go:build !obs_off
+
+package obs
+
+// Disabled reports whether instrumentation is compiled out. In the normal
+// build it is the constant false, so `if Disabled { return }` guards cost
+// nothing and the record paths are live.
+const Disabled = false

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram. Bucket 0 holds
+// the value 0; bucket i (1 ≤ i ≤ 62) holds values whose bit length is i,
+// i.e. [2^(i-1), 2^i − 1]; bucket 63 is the overflow bucket for
+// everything ≥ 2^62. Nanosecond latencies up to ~146 years therefore land
+// in a regular bucket.
+const NumBuckets = 64
+
+// histShard is one worker's private bucket array. At 64×8 bytes the
+// buckets span eight cache lines of their own; sum and max share the
+// ninth, and the trailing pad keeps the next shard off it.
+type histShard struct {
+	buckets [NumBuckets]atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	_       [48]byte
+}
+
+// Histogram is a sharded fixed-bucket log₂ histogram. Record is lock-free
+// and allocation-free: one bit-length, two atomic adds, and a max update
+// on the caller's shard. Snapshots merge the shards and answer quantile
+// queries with within-bucket linear interpolation.
+type Histogram struct {
+	shards []histShard
+	mask   uint32
+}
+
+// NewHistogram creates a histogram with at least the given shard count
+// (rounded up to a power of two).
+func NewHistogram(shards int) *Histogram {
+	n := shardCount(shards)
+	return &Histogram{shards: make([]histShard, n), mask: uint32(n - 1)}
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v uint64) int {
+	b := bits.Len64(v)
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i, and
+// math.MaxUint64 for the overflow bucket (rendered as +Inf by the
+// Prometheus exporter).
+func BucketUpper(i int) uint64 {
+	if i >= NumBuckets-1 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// bucketLower returns the inclusive lower bound of bucket i.
+func bucketLower(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	return 1 << uint(i-1)
+}
+
+// Record adds one observation on the caller's shard.
+func (h *Histogram) Record(shard int, v uint64) {
+	if Disabled {
+		return
+	}
+	s := &h.shards[uint32(shard)&h.mask]
+	s.buckets[bucketOf(v)].Add(1)
+	s.sum.Add(v)
+	for {
+		m := s.max.Load()
+		if v <= m || s.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a merged, immutable view of a histogram, usable on its
+// own (Quantile, Merge) and by the exporters.
+type HistSnapshot struct {
+	Counts [NumBuckets]uint64
+	Count  uint64 // total observations
+	Sum    uint64 // sum of observed values
+	Max    uint64 // largest observed value
+}
+
+// Snapshot merges all shards. Concurrent Records may or may not be
+// included — each bucket is read once atomically, so the snapshot is a
+// consistent-enough view for monitoring, never a torn read.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := 0; b < NumBuckets; b++ {
+			n := sh.buckets[b].Load()
+			s.Counts[b] += n
+			s.Count += n
+		}
+		s.Sum += sh.sum.Load()
+		if m := sh.max.Load(); m > s.Max {
+			s.Max = m
+		}
+	}
+	return s
+}
+
+// Merge folds another snapshot into s (for aggregating per-client or
+// per-store histograms).
+func (s *HistSnapshot) Merge(o *HistSnapshot) {
+	for b := 0; b < NumBuckets; b++ {
+		s.Counts[b] += o.Counts[b]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+}
+
+// Quantile estimates the p-quantile (0 ≤ p ≤ 1) of the recorded values:
+// it walks to the bucket holding the target rank and interpolates
+// linearly inside it, clamping to the observed maximum, so the estimate
+// is always within one power-of-two bucket of the exact order statistic.
+// It returns 0 on an empty snapshot.
+func (s *HistSnapshot) Quantile(p float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	// Rank of the target order statistic, 1-based.
+	rank := uint64(math.Ceil(p * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for b := 0; b < NumBuckets; b++ {
+		n := s.Counts[b]
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo, hi := bucketLower(b), BucketUpper(b)
+			if hi > s.Max {
+				hi = s.Max // the top occupied bucket never extends past max
+			}
+			if hi <= lo {
+				return lo
+			}
+			frac := float64(rank-cum) / float64(n)
+			return lo + uint64(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	return s.Max
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

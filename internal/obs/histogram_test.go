@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{255, 8}, {256, 9}, {1 << 40, 41}, {1 << 62, 63}, {math.MaxUint64, 63},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+	}
+	// Every non-overflow bucket's bounds must be consistent with bucketOf.
+	for b := 0; b < NumBuckets-1; b++ {
+		if bucketOf(bucketLower(b)) != b || bucketOf(BucketUpper(b)) != b {
+			t.Errorf("bucket %d bounds [%d, %d] not self-consistent", b, bucketLower(b), BucketUpper(b))
+		}
+	}
+}
+
+// exactQuantile returns the order statistic the histogram estimates:
+// the ceil(p*n)-th smallest value.
+func exactQuantile(sorted []uint64, p float64) uint64 {
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// checkQuantiles records vals into a histogram and asserts each estimated
+// quantile lands within the log₂ bucket of the exact order statistic —
+// the histogram's documented accuracy bound.
+func checkQuantiles(t *testing.T, name string, vals []uint64) {
+	t.Helper()
+	h := NewHistogram(4)
+	for i, v := range vals {
+		h.Record(i, v)
+	}
+	snap := h.Snapshot()
+	if snap.Count != uint64(len(vals)) {
+		t.Fatalf("%s: Count = %d, want %d", name, snap.Count, len(vals))
+	}
+	sorted := append([]uint64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if snap.Max != sorted[len(sorted)-1] {
+		t.Fatalf("%s: Max = %d, want %d", name, snap.Max, sorted[len(sorted)-1])
+	}
+	for _, p := range []float64{0.50, 0.90, 0.95, 0.99, 1.0} {
+		est := snap.Quantile(p)
+		exact := exactQuantile(sorted, p)
+		b := bucketOf(exact)
+		lo, hi := bucketLower(b), BucketUpper(b)
+		if est < lo || est > hi {
+			t.Errorf("%s: Quantile(%.2f) = %d outside exact value %d's bucket [%d, %d]",
+				name, p, est, exact, lo, hi)
+		}
+	}
+}
+
+func TestQuantileAccuracyUniform(t *testing.T) {
+	// Uniform over [1, 1M]: a deterministic LCG stream.
+	vals := make([]uint64, 50000)
+	x := uint64(12345)
+	for i := range vals {
+		x = x*6364136223846793005 + 1442695040888963407
+		vals[i] = x%1_000_000 + 1
+	}
+	checkQuantiles(t, "uniform", vals)
+}
+
+func TestQuantileAccuracyBimodal(t *testing.T) {
+	// A latency-shaped distribution: a tight fast mode around 1µs with a
+	// 1% slow tail around 1ms — the regime P99 reporting exists for.
+	vals := make([]uint64, 0, 20000)
+	x := uint64(99)
+	for i := 0; i < 20000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		if i%100 == 0 {
+			vals = append(vals, 1_000_000+x%500_000) // ~1ms tail
+		} else {
+			vals = append(vals, 800+x%700) // ~1µs mode
+		}
+	}
+	checkQuantiles(t, "bimodal", vals)
+}
+
+func TestQuantileAccuracyPowers(t *testing.T) {
+	// Exact powers of two land on bucket boundaries — the worst case for
+	// off-by-one bucket indexing.
+	var vals []uint64
+	for e := 0; e < 30; e++ {
+		for r := 0; r < 10; r++ {
+			vals = append(vals, 1<<uint(e))
+		}
+	}
+	checkQuantiles(t, "powers", vals)
+}
+
+func TestQuantileInterpolationUniform(t *testing.T) {
+	// With values uniform over one wide bucket, interpolation should get
+	// much closer than the factor-2 bucket bound: assert 10% relative
+	// error at the median.
+	vals := make([]uint64, 0, 1<<18)
+	for v := uint64(1 << 18); v < 1<<19; v += 4 {
+		vals = append(vals, v)
+	}
+	h := NewHistogram(1)
+	for _, v := range vals {
+		h.Record(0, v)
+	}
+	snap := h.Snapshot()
+	est := float64(snap.Quantile(0.5))
+	exact := float64(vals[len(vals)/2-1])
+	if rel := math.Abs(est-exact) / exact; rel > 0.10 {
+		t.Fatalf("interpolated median %f vs exact %f: %.1f%% error, want ≤10%%", est, exact, rel*100)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistSnapshot
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty snapshot quantile must be 0")
+	}
+	h := NewHistogram(1)
+	h.Record(0, 7)
+	snap := h.Snapshot()
+	for _, p := range []float64{-1, 0, 0.5, 1, 2} {
+		if q := snap.Quantile(p); q < 4 || q > 7 {
+			t.Fatalf("single-value Quantile(%f) = %d, want within bucket [4,7]", p, q)
+		}
+	}
+	if snap.Quantile(1) != 7 {
+		t.Fatalf("Quantile(1) = %d, want the max 7", snap.Quantile(1))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(1), NewHistogram(1)
+	for v := uint64(1); v <= 100; v++ {
+		a.Record(0, v)
+		b.Record(0, v*1000)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(&sb)
+	if sa.Count != 200 {
+		t.Fatalf("merged Count = %d, want 200", sa.Count)
+	}
+	if sa.Max != 100_000 {
+		t.Fatalf("merged Max = %d, want 100000", sa.Max)
+	}
+	if sum := sa.Sum; sum != 5050+5050*1000 {
+		t.Fatalf("merged Sum = %d, want %d", sum, 5050+5050*1000)
+	}
+}
+
+// TestConcurrentRecordSnapshot drives recorders and snapshotters together;
+// under -race this is the lock-freedom gate, and the final snapshot must
+// account for every record.
+func TestConcurrentRecordSnapshot(t *testing.T) {
+	h := NewHistogram(8)
+	const workers, each = 8, 20000
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			x := uint64(w + 1)
+			for i := 0; i < each; i++ {
+				x = x*6364136223846793005 + 1
+				h.Record(w, x%1_000_000)
+			}
+		}(w)
+	}
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		var last uint64
+		for !stop.Load() {
+			s := h.Snapshot()
+			if s.Count < last {
+				t.Errorf("snapshot Count went backwards: %d after %d", s.Count, last)
+				return
+			}
+			// Counts must always sum to Count (no torn view of totals).
+			var sum uint64
+			for _, n := range s.Counts {
+				sum += n
+			}
+			if sum != s.Count {
+				t.Errorf("bucket sum %d != Count %d", sum, s.Count)
+				return
+			}
+			last = s.Count
+		}
+	}()
+	wg.Wait()
+	stop.Store(true)
+	snapWG.Wait()
+	if s := h.Snapshot(); s.Count != workers*each {
+		t.Fatalf("final Count = %d, want %d", s.Count, workers*each)
+	}
+}
+
+func TestMeanAndSum(t *testing.T) {
+	h := NewHistogram(2)
+	for v := uint64(1); v <= 10; v++ {
+		h.Record(int(v), v)
+	}
+	s := h.Snapshot()
+	if s.Sum != 55 || s.Mean() != 5.5 {
+		t.Fatalf("Sum/Mean = %d/%f, want 55/5.5", s.Sum, s.Mean())
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram(8)
+	b.ReportAllocs()
+	x := uint64(1)
+	for n := 0; n < b.N; n++ {
+		x = x*6364136223846793005 + 1
+		h.Record(int(x>>32), bits.RotateLeft64(x, 7)%1_000_000)
+	}
+}

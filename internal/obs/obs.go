@@ -1,0 +1,108 @@
+// Package obs is the store's allocation-free observability substrate:
+// sharded cache-line-padded counters, lock-free log₂ latency histograms,
+// a registry that merges per-worker shards into named snapshots, and two
+// exporters (Prometheus text over HTTP, and the versioned stats payload
+// internal/netserver serves over the store's own wire protocol).
+//
+// Design rules, in priority order:
+//
+//  1. The record path never allocates and never touches a shared cache
+//     line: every hot instrument is sharded per worker (or per
+//     connection), each shard padded to its own line, and updates are
+//     single atomic adds. AllocsPerRun tests gate this.
+//  2. Reads are merge-on-demand: Value and Snapshot sum the shards, so
+//     scraping /metrics costs the scraper, not the workers.
+//  3. The whole package compiles away under the obs_off build tag
+//     (Disabled is a constant, so the compiler removes the guarded
+//     branches), which is how the CI overhead guard measures the cost of
+//     instrumentation itself.
+package obs
+
+import "sync/atomic"
+
+// cell is one counter shard padded to a 64-byte cache line so per-worker
+// increments never bounce a line between cores.
+type cell struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// shardCount rounds n up to a power of two (minimum 1) so shard selection
+// is a mask, never a modulo, and any int (worker id, key hash, connection
+// id) is a valid shard argument.
+func shardCount(n int) int {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// Counter is a monotonically increasing sharded counter. Writers pick a
+// shard (their worker id, or any cheap per-goroutine value); readers sum
+// all shards. The zero Counter is not usable; call NewCounter.
+type Counter struct {
+	shards []cell
+	mask   uint32
+}
+
+// NewCounter creates a counter with at least the given shard count
+// (rounded up to a power of two).
+func NewCounter(shards int) *Counter {
+	n := shardCount(shards)
+	return &Counter{shards: make([]cell, n), mask: uint32(n - 1)}
+}
+
+// Inc adds one to the counter on the caller's shard.
+func (c *Counter) Inc(shard int) {
+	if Disabled {
+		return
+	}
+	c.shards[uint32(shard)&c.mask].v.Add(1)
+}
+
+// Add adds n to the counter on the caller's shard.
+func (c *Counter) Add(shard int, n uint64) {
+	if Disabled {
+		return
+	}
+	c.shards[uint32(shard)&c.mask].v.Add(n)
+}
+
+// Value merges the shards.
+func (c *Counter) Value() uint64 {
+	var total uint64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// Gauge is a settable instantaneous value (queue depth, connection
+// count). Gauges are updated off the per-request hot path, so one atomic
+// without sharding suffices.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// NewGauge creates a gauge at zero.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set stores the current value.
+func (g *Gauge) Set(v int64) {
+	if Disabled {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (use negative deltas to decrease).
+func (g *Gauge) Add(delta int64) {
+	if Disabled {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterShardingAndMerge(t *testing.T) {
+	c := NewCounter(3) // rounds up to 4 shards
+	if len(c.shards) != 4 {
+		t.Fatalf("shards = %d, want 4", len(c.shards))
+	}
+	c.Inc(0)
+	c.Add(1, 10)
+	c.Inc(5) // masked onto shard 1
+	c.Add(7, 100)
+	if got := c.Value(); got != 112 {
+		t.Fatalf("Value = %d, want 112", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := NewCounter(8)
+	const workers, each = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc(w)
+			}
+		}(w)
+	}
+	// Concurrent readers must see monotonically plausible sums.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var last uint64
+		for i := 0; i < 1000; i++ {
+			v := c.Value()
+			if v < last {
+				t.Errorf("Value went backwards: %d after %d", v, last)
+				return
+			}
+			last = v
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Value(); got != workers*each {
+		t.Fatalf("Value = %d, want %d", got, workers*each)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := NewGauge()
+	g.Set(42)
+	g.Add(-2)
+	if got := g.Value(); got != 40 {
+		t.Fatalf("Value = %d, want 40", got)
+	}
+}
+
+// TestRecordPathsAllocFree is the package-level alloc gate: the hot-path
+// instruments (Counter.Inc/Add, Histogram.Record, Gauge.Add) must not
+// touch the allocator.
+func TestRecordPathsAllocFree(t *testing.T) {
+	c := NewCounter(4)
+	g := NewGauge()
+	h := NewHistogram(4)
+	if avg := testing.AllocsPerRun(500, func() {
+		c.Inc(1)
+		c.Add(2, 3)
+		g.Add(1)
+		h.Record(3, 12345)
+	}); avg != 0 {
+		t.Fatalf("record paths allocate %.2f times per op, want 0", avg)
+	}
+}
+
+func TestWindowSampler(t *testing.T) {
+	var n uint64
+	s := NewWindowSampler(func() uint64 { return n })
+	n = 1000
+	if r := s.Rate(); r <= 0 {
+		t.Fatalf("Rate = %f, want > 0", r)
+	}
+	// No progress: the next window must read ~0.
+	if r := s.Rate(); r != 0 {
+		t.Fatalf("Rate with no progress = %f, want 0", r)
+	}
+	n += 500
+	s.Reset()
+	if r := s.Rate(); r != 0 {
+		t.Fatalf("Rate right after Reset = %f, want 0 (window re-opened)", r)
+	}
+}
+
+func TestDecisionTraceRingEviction(t *testing.T) {
+	tr := NewDecisionTrace(16)
+	for i := 0; i < 40; i++ {
+		tr.Record(Decision{Event: "trigger", Rate: float64(i)})
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 16 {
+		t.Fatalf("retained %d decisions, want 16", len(snap))
+	}
+	if tr.Total() != 40 {
+		t.Fatalf("Total = %d, want 40", tr.Total())
+	}
+	for i, d := range snap {
+		if want := uint64(24 + i); d.Seq != want {
+			t.Fatalf("snap[%d].Seq = %d, want %d (oldest-first, newest retained)", i, d.Seq, want)
+		}
+		if d.Time.IsZero() {
+			t.Fatalf("snap[%d].Time not stamped", i)
+		}
+	}
+}
+
+func TestDecisionTraceConcurrent(t *testing.T) {
+	tr := NewDecisionTrace(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Record(Decision{Event: "split", OldSplit: 1, NewSplit: 2})
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		tr.Snapshot()
+	}
+	wg.Wait()
+	if tr.Total() != 2000 {
+		t.Fatalf("Total = %d, want 2000", tr.Total())
+	}
+}

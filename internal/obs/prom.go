@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// promKind maps metric kinds to Prometheus TYPE strings.
+func promKind(kind int) string {
+	switch kind {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE header per family, then each
+// series; histograms as cumulative `_bucket{le="..."}` series plus _sum
+// and _count. Buckets above the highest occupied one are elided (the
+// cumulative encoding keeps the exposition exact).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, promKind(f.kind))
+		for _, s := range f.series {
+			switch s.kind {
+			case kindCounter:
+				writeSample(bw, f.name, s.labels, "", float64(s.c.Value()))
+			case kindGauge:
+				writeSample(bw, f.name, s.labels, "", float64(s.g.Value()))
+			case kindCounterFunc, kindGaugeFunc:
+				writeSample(bw, f.name, s.labels, "", s.fn())
+			case kindHistogram:
+				writeHistogram(bw, f.name, s.labels, s.h.Snapshot())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one series line, splicing an extra label (the
+// histogram `le`) after any static labels.
+func writeSample(w *bufio.Writer, name, labels, extra string, v float64) {
+	w.WriteString(name)
+	if labels != "" || extra != "" {
+		w.WriteByte('{')
+		w.WriteString(labels)
+		if labels != "" && extra != "" {
+			w.WriteByte(',')
+		}
+		w.WriteString(extra)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	w.WriteByte('\n')
+}
+
+func writeHistogram(w *bufio.Writer, name, labels string, s HistSnapshot) {
+	top := 0
+	for b := 0; b < NumBuckets; b++ {
+		if s.Counts[b] != 0 {
+			top = b
+		}
+	}
+	var cum uint64
+	for b := 0; b <= top && b < NumBuckets-1; b++ {
+		cum += s.Counts[b]
+		le := `le="` + strconv.FormatUint(BucketUpper(b), 10) + `"`
+		writeSample(w, name+"_bucket", labels, le, float64(cum))
+	}
+	writeSample(w, name+"_bucket", labels, `le="+Inf"`, float64(s.Count))
+	writeSample(w, name+"_sum", labels, "", float64(s.Sum))
+	writeSample(w, name+"_count", labels, "", float64(s.Count))
+}
+
+// Handler returns an http.Handler serving the registry at any path —
+// mount it at /metrics. Standard library only; the content type is the
+// Prometheus text exposition format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

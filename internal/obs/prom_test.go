@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func testRegistry() *Registry {
+	r := NewRegistry()
+	hits := r.Counter("mutps_cr_requests_total", `result="hit"`, "CR-layer request outcomes.", 4)
+	miss := r.Counter("mutps_cr_requests_total", `result="miss"`, "CR-layer request outcomes.", 4)
+	depth := r.Gauge("mutps_rx_queue_depth", "", "Receive-ring occupancy.")
+	r.GaugeFunc("mutps_hotset_hit_ratio", "", "CR hit fraction.", func() float64 { return 0.75 })
+	lat := r.Histogram("mutps_op_latency_nanoseconds", `op="get"`, "Per-op latency.", 4)
+	hits.Add(0, 30)
+	miss.Add(1, 10)
+	depth.Set(7)
+	for v := uint64(100); v < 5000; v += 100 {
+		lat.Record(0, v)
+	}
+	return r
+}
+
+var (
+	sampleRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN)$`)
+	helpRe   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$`)
+	typeRe   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$`)
+)
+
+// validatePromText is a minimal Prometheus text-format (0.0.4) checker:
+// every line is a valid HELP, TYPE, or sample line; every sample's base
+// name was introduced by a preceding TYPE; histogram buckets are
+// cumulative and end at le="+Inf" equal to _count.
+func validatePromText(t *testing.T, text string) {
+	t.Helper()
+	typed := map[string]string{}
+	lastBucket := map[string]float64{} // series (with static labels) → last cumulative
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP") {
+			if !helpRe.MatchString(line) {
+				t.Fatalf("bad HELP line: %q", line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE") {
+			if !typeRe.MatchString(line) {
+				t.Fatalf("bad TYPE line: %q", line)
+			}
+			f := strings.Fields(line)
+			typed[f[2]] = f[3]
+			continue
+		}
+		if !sampleRe.MatchString(line) {
+			t.Fatalf("bad sample line: %q", line)
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if bt := strings.TrimSuffix(name, suf); bt != name && typed[bt] == "histogram" {
+				base = bt
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Fatalf("sample %q has no preceding TYPE", line)
+		}
+		if typed[base] == "histogram" && strings.HasSuffix(name, "_bucket") {
+			val, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+			if err != nil {
+				t.Fatalf("bad bucket value in %q: %v", line, err)
+			}
+			key := base + stripLe(line)
+			if val < lastBucket[key] {
+				t.Fatalf("bucket counts not cumulative at %q (%f after %f)", line, val, lastBucket[key])
+			}
+			lastBucket[key] = val
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stripLe isolates the non-le labels of a bucket line so cumulative
+// checks track one series at a time.
+func stripLe(line string) string {
+	open := strings.IndexByte(line, '{')
+	close := strings.IndexByte(line, '}')
+	if open < 0 || close < 0 {
+		return ""
+	}
+	var keep []string
+	for _, pair := range strings.Split(line[open+1:close], ",") {
+		if !strings.HasPrefix(pair, `le="`) {
+			keep = append(keep, pair)
+		}
+	}
+	return strings.Join(keep, ",")
+}
+
+func TestMetricsEndpointServesValidPrometheusText(t *testing.T) {
+	r := testRegistry()
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	validatePromText(t, text)
+
+	for _, want := range []string{
+		`mutps_cr_requests_total{result="hit"} 30`,
+		`mutps_cr_requests_total{result="miss"} 10`,
+		`mutps_rx_queue_depth 7`,
+		`mutps_hotset_hit_ratio 0.75`,
+		`mutps_op_latency_nanoseconds_bucket{op="get",le="+Inf"} 49`,
+		`mutps_op_latency_nanoseconds_count{op="get"} 49`,
+		"# TYPE mutps_op_latency_nanoseconds histogram",
+		"# TYPE mutps_cr_requests_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n--- got:\n%s", want, text)
+		}
+	}
+	// The two counter series must share exactly one HELP/TYPE header.
+	if n := strings.Count(text, "# TYPE mutps_cr_requests_total"); n != 1 {
+		t.Errorf("family header emitted %d times, want 1", n)
+	}
+}
+
+func TestRegistrySnapshotFlattening(t *testing.T) {
+	r := testRegistry()
+	m := r.SnapshotMap()
+	if m[`mutps_cr_requests_total{result="hit"}`] != 30 {
+		t.Fatalf("snapshot hit counter = %f, want 30", m[`mutps_cr_requests_total{result="hit"}`])
+	}
+	if m[`mutps_op_latency_nanoseconds_count{op="get"}`] != 49 {
+		t.Fatalf("histogram count sample = %f, want 49", m[`mutps_op_latency_nanoseconds_count{op="get"}`])
+	}
+	p99 := m[`mutps_op_latency_nanoseconds_p99{op="get"}`]
+	if p99 < 2048 || p99 > 4900 {
+		t.Fatalf("p99 sample = %f, want within the top recorded bucket", p99)
+	}
+	if m[`mutps_op_latency_nanoseconds_max{op="get"}`] != 4900 {
+		t.Fatalf("max sample = %f, want 4900", m[`mutps_op_latency_nanoseconds_max{op="get"}`])
+	}
+}
+
+// TestRegistryIdempotentRegistration: the same (name, labels) pair must
+// return the same instrument, so layers constructed twice share series.
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", "", 1)
+	b := r.Counter("x_total", "", "", 8)
+	if a != b {
+		t.Fatal("re-registration returned a distinct counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	r.Gauge("x_total", "", "")
+}

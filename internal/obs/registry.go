@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// metric kinds.
+const (
+	kindCounter = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+// series is one labelled instrument inside a family.
+type series struct {
+	labels string // rendered label pairs, e.g. `op="get"`; "" for none
+	kind   int
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64
+}
+
+// family groups the series sharing a metric name, so the text exporter
+// emits one HELP/TYPE header per name as the exposition format requires.
+type family struct {
+	name   string
+	help   string
+	kind   int
+	series []*series
+}
+
+// Registry is a named collection of instruments. Registration is
+// idempotent: asking for a (name, labels) pair that already exists
+// returns the existing instrument, so layers that may be constructed
+// twice against one store (e.g. two netservers) share series instead of
+// colliding. Registration takes a lock; the instruments themselves are
+// the lock-free types above.
+type Registry struct {
+	mu    sync.Mutex
+	fams  []*family
+	byKey map[string]*series
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: map[string]*series{}}
+}
+
+// lookup finds or creates the (name, labels) series of the given kind.
+func (r *Registry) lookup(name, labels, help string, kind int) (*series, bool) {
+	key := name + "{" + labels + "}"
+	if s, ok := r.byKey[key]; ok {
+		if s.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered with a different kind", key))
+		}
+		return s, true
+	}
+	var fam *family
+	for _, f := range r.fams {
+		if f.name == name {
+			fam = f
+			break
+		}
+	}
+	if fam == nil {
+		fam = &family{name: name, help: help, kind: kind}
+		r.fams = append(r.fams, fam)
+	} else if fam.kind != kind {
+		panic(fmt.Sprintf("obs: metric family %s holds mixed kinds", name))
+	}
+	s := &series{labels: labels, kind: kind}
+	fam.series = append(fam.series, s)
+	r.byKey[key] = s
+	return s, false
+}
+
+// Counter registers (or retrieves) a sharded counter.
+func (r *Registry) Counter(name, labels, help string, shards int) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.lookup(name, labels, help, kindCounter)
+	if !ok {
+		s.c = NewCounter(shards)
+	}
+	return s.c
+}
+
+// Gauge registers (or retrieves) a gauge.
+func (r *Registry) Gauge(name, labels, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.lookup(name, labels, help, kindGauge)
+	if !ok {
+		s.g = NewGauge()
+	}
+	return s.g
+}
+
+// Histogram registers (or retrieves) a sharded histogram.
+func (r *Registry) Histogram(name, labels, help string, shards int) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.lookup(name, labels, help, kindHistogram)
+	if !ok {
+		s.h = NewHistogram(shards)
+	}
+	return s.h
+}
+
+// CounterFunc registers a computed cumulative metric: fn is called at
+// collection time (scrapes and snapshots), never on the hot path. Useful
+// for counters a lower layer already keeps as plain atomics.
+func (r *Registry) CounterFunc(name, labels, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.lookup(name, labels, help, kindCounterFunc); !ok {
+		s.fn = fn
+	}
+}
+
+// GaugeFunc registers a computed instantaneous metric (queue depth,
+// occupancy, hit ratio), called at collection time.
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.lookup(name, labels, help, kindGaugeFunc); !ok {
+		s.fn = fn
+	}
+}
+
+// Sample is one flattened scalar in a registry snapshot: counters and
+// gauges keep their value; each histogram contributes _count, _p50, _p99,
+// and _max series so wire consumers get tails without shipping buckets.
+type Sample struct {
+	Name  string // full series name including labels, e.g. `x_total{op="get"}`
+	Value float64
+}
+
+// seriesName renders the full series name.
+func seriesName(fam string, labels string) string {
+	if labels == "" {
+		return fam
+	}
+	return fam + "{" + labels + "}"
+}
+
+// Snapshot flattens every registered metric into name/value samples, in
+// registration order (histogram-derived samples sorted within a series).
+// This is the payload the versioned netserver stats op serves.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Sample
+	for _, f := range r.fams {
+		for _, s := range f.series {
+			n := seriesName(f.name, s.labels)
+			switch s.kind {
+			case kindCounter:
+				out = append(out, Sample{n, float64(s.c.Value())})
+			case kindGauge:
+				out = append(out, Sample{n, float64(s.g.Value())})
+			case kindCounterFunc, kindGaugeFunc:
+				out = append(out, Sample{n, s.fn()})
+			case kindHistogram:
+				snap := s.h.Snapshot()
+				out = append(out,
+					Sample{seriesName(f.name+"_count", s.labels), float64(snap.Count)},
+					Sample{seriesName(f.name+"_p50", s.labels), float64(snap.Quantile(0.50))},
+					Sample{seriesName(f.name+"_p99", s.labels), float64(snap.Quantile(0.99))},
+					Sample{seriesName(f.name+"_max", s.labels), float64(snap.Max)},
+				)
+			}
+		}
+	}
+	return out
+}
+
+// SnapshotMap returns the same flattening as a map for lookup-style
+// consumers (tests, the CLI).
+func (r *Registry) SnapshotMap() map[string]float64 {
+	m := map[string]float64{}
+	for _, s := range r.Snapshot() {
+		m[s.Name] = s.Value
+	}
+	return m
+}
+
+// Names returns the sorted registered family names (diagnostics).
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, len(r.fams))
+	for i, f := range r.fams {
+		names[i] = f.name
+	}
+	sort.Strings(names)
+	return names
+}

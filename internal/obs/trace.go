@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Decision is one entry in the tuner's decision trace: what fired, what
+// the configuration was before and after, and what the feedback monitor
+// saw. Not every field is meaningful for every event; unset ints are -1
+// so renderers can elide them.
+type Decision struct {
+	Seq   uint64    // monotonically increasing, assigned by the trace
+	Time  time.Time // assigned by the trace when zero
+	Event string    // "trigger" | "retune" | "split" | "cache" | ...
+	Rate  float64   // ops/sec the monitor observed (0 when n/a)
+
+	OldSplit, NewSplit int // CR workers before/after (-1 when n/a)
+	OldCache, NewCache int // hot-set target before/after (-1 when n/a)
+
+	Score  float64 // throughput at the chosen configuration (retune)
+	Probes int     // Measure calls the search spent (retune)
+}
+
+// DecisionTrace is a bounded ring buffer of Decisions. Recording is
+// mutex-guarded — decisions happen at reconfiguration frequency, not
+// request frequency — and Snapshot returns oldest-first copies, so
+// readers never alias the ring.
+type DecisionTrace struct {
+	mu    sync.Mutex
+	buf   []Decision
+	total uint64 // decisions ever recorded
+}
+
+// NewDecisionTrace creates a trace retaining the last capacity decisions
+// (minimum 16).
+func NewDecisionTrace(capacity int) *DecisionTrace {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &DecisionTrace{buf: make([]Decision, 0, capacity)}
+}
+
+// Record appends a decision, stamping Seq and (when zero) Time, and
+// evicting the oldest entry once the ring is full.
+func (t *DecisionTrace) Record(d Decision) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d.Seq = t.total
+	t.total++
+	if d.Time.IsZero() {
+		d.Time = time.Now()
+	}
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, d)
+		return
+	}
+	copy(t.buf, t.buf[1:])
+	t.buf[len(t.buf)-1] = d
+}
+
+// Snapshot returns the retained decisions, oldest first.
+func (t *DecisionTrace) Snapshot() []Decision {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Decision, len(t.buf))
+	copy(out, t.buf)
+	return out
+}
+
+// Total returns how many decisions were ever recorded (retained or
+// evicted).
+func (t *DecisionTrace) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// TraceHandler serves the decision trace as human-readable text, one
+// decision per line — mount it next to /metrics (e.g. at /trace).
+func TraceHandler(t *DecisionTrace) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		bw := bufio.NewWriter(w)
+		for _, d := range t.Snapshot() {
+			fmt.Fprintf(bw, "#%d %s %s", d.Seq, d.Time.Format(time.RFC3339Nano), d.Event)
+			if d.Rate != 0 {
+				fmt.Fprintf(bw, " rate=%.0f", d.Rate)
+			}
+			if d.OldSplit >= 0 || d.NewSplit >= 0 {
+				fmt.Fprintf(bw, " split=%d→%d", d.OldSplit, d.NewSplit)
+			}
+			if d.OldCache >= 0 || d.NewCache >= 0 {
+				fmt.Fprintf(bw, " cache=%d→%d", d.OldCache, d.NewCache)
+			}
+			if d.Score != 0 {
+				fmt.Fprintf(bw, " score=%.0f", d.Score)
+			}
+			if d.Probes != 0 {
+				fmt.Fprintf(bw, " probes=%d", d.Probes)
+			}
+			bw.WriteByte('\n')
+		}
+		bw.Flush()
+	})
+}

@@ -1,0 +1,40 @@
+package obs
+
+import "time"
+
+// WindowSampler turns a monotonic counter into a windowed rate — the
+// feedback signal the auto-tuner's monitor consumes (the paper's 10 ms
+// throughput windows). It is single-consumer: each Rate call closes the
+// window opened by the previous one.
+type WindowSampler struct {
+	read  func() uint64
+	lastN uint64
+	lastT time.Time
+}
+
+// NewWindowSampler starts a sampler over the given counter reader (e.g.
+// Store.Ops, or an obs.Counter's Value bound with a closure). The first
+// window opens immediately.
+func NewWindowSampler(read func() uint64) *WindowSampler {
+	return &WindowSampler{read: read, lastN: read(), lastT: time.Now()}
+}
+
+// Rate closes the current window and returns its average rate per
+// second, then opens the next window. A zero-length window reports 0.
+func (s *WindowSampler) Rate() float64 {
+	n, now := s.read(), time.Now()
+	dn := n - s.lastN
+	dt := now.Sub(s.lastT).Seconds()
+	s.lastN, s.lastT = n, now
+	if dt <= 0 {
+		return 0
+	}
+	return float64(dn) / dt
+}
+
+// Reset re-opens the window at the counter's current value without
+// reporting a rate (call after a reconfiguration so the next window
+// reflects only the new configuration).
+func (s *WindowSampler) Reset() {
+	s.lastN, s.lastT = s.read(), time.Now()
+}

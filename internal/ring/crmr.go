@@ -1,6 +1,9 @@
 package ring
 
-import "runtime"
+import (
+	"runtime"
+	"sync/atomic"
+)
 
 // CRMR is the all-to-all CR-MR queue: rings[c][m] is the dedicated SPSC
 // ring from CR worker c to MR worker m. CR workers spread batches across MR
@@ -47,6 +50,11 @@ type Producer struct {
 	next  int // round-robin cursor over MR workers
 	batch []Request
 	limit int
+
+	// stalls counts failed Push attempts (target ring full, §3.4's
+	// backpressure signal). Written only by the producer, read by the
+	// observability scraper, hence atomic.
+	stalls atomic.Uint64
 }
 
 // Producer creates the handle for CR worker c with the given batch size
@@ -90,6 +98,7 @@ func (p *Producer) Flush(mrBase, nMR int) (mr int, flushed bool) {
 		// Ring full: the MR worker is behind. On pinned dedicated cores
 		// this would be a pure spin; under the Go scheduler we must yield
 		// so the consumer goroutine can run.
+		p.stalls.Add(1)
 		runtime.Gosched()
 	}
 	p.batch = p.batch[:0]
@@ -100,12 +109,20 @@ func (p *Producer) Flush(mrBase, nMR int) (mr int, flushed bool) {
 // pushed).
 func (p *Producer) PendingLocal() int { return len(p.batch) }
 
+// Stalls returns how many Push attempts found the target ring full.
+func (p *Producer) Stalls() uint64 { return p.stalls.Load() }
+
 // Consumer is MR worker m's receiving handle: it scans the rings of all
 // active CR workers for new batches.
 type Consumer struct {
 	q    *CRMR
 	mr   int
 	next int // scan cursor over CR workers for fairness
+
+	// emptyPolls counts Polls that found every scanned ring empty — the
+	// pop-side stall signal. Single writer (the consumer), atomic for the
+	// scraper.
+	emptyPolls atomic.Uint64
 }
 
 // Consumer creates the handle for MR worker m.
@@ -129,8 +146,12 @@ func (c *Consumer) Poll(nCR int) (cr int, reqs []Request, r *SPSC) {
 			return idx, batch, ring
 		}
 	}
+	c.emptyPolls.Add(1)
 	return -1, nil, nil
 }
+
+// EmptyPolls returns how many Polls came back empty-handed.
+func (c *Consumer) EmptyPolls() uint64 { return c.emptyPolls.Load() }
 
 // ColumnEmpty reports whether every ring feeding MR worker m is drained —
 // used during thread reassignment to ensure no residual requests.
@@ -141,6 +162,24 @@ func (q *CRMR) ColumnEmpty(m int) bool {
 		}
 	}
 	return true
+}
+
+// Occupancy returns the total batches currently published but not yet
+// committed across the whole matrix — the queue's instantaneous depth in
+// slots, read at scrape time.
+func (q *CRMR) Occupancy() uint64 {
+	var occ uint64
+	for c := range q.rings {
+		for m := range q.rings[c] {
+			r := q.rings[c][m]
+			// Done first: reading Pushed afterwards guarantees the later
+			// value is ≥ the earlier one even against concurrent commits,
+			// so the difference never underflows.
+			done := r.Done()
+			occ += r.Pushed() - done
+		}
+	}
+	return occ
 }
 
 // RowEmpty reports whether CR worker c's outgoing rings are all drained.

@@ -190,6 +190,8 @@ type Server struct {
 	sched  atomic.Pointer[schedule]
 	closed atomic.Bool
 
+	reconfigs atomic.Uint64 // schedule changes applied (observability)
+
 	cursors    []cursorPad // per-worker next owned index (private to the worker)
 	maxWorkers int
 }
@@ -340,6 +342,7 @@ func (s *Server) Reconfigure(newN int) uint64 {
 		if s.sched.CompareAndSwap(old, &schedule{phases: phases}) {
 			// Parked workers re-derive their position from the new
 			// schedule on their next Poll; nothing else to do.
+			s.reconfigs.Add(1)
 			return sw
 		}
 	}
@@ -359,6 +362,43 @@ func (s *Server) minCursor() uint64 {
 
 // PhaseCount reports the live schedule length (for tests and diagnostics).
 func (s *Server) PhaseCount() int { return len(s.sched.Load().phases) }
+
+// Reconfigurations returns how many schedule changes have been applied.
+func (s *Server) Reconfigurations() uint64 { return s.reconfigs.Load() }
+
+// Depth estimates the receive ring's occupancy: published requests not
+// yet consumed by the slowest worker that will still consume. A parked
+// cursor counts at the position it would resume from under the current
+// schedule (Poll's un-park derivation); workers the schedule retired are
+// excluded — their frozen cursors say nothing about pending work. It is a
+// scrape-time diagnostic — cursors move while it reads, so the value is
+// approximate — clamped to [0, capacity].
+func (s *Server) Depth() int {
+	ticket := s.ticket.Load()
+	sched := s.sched.Load()
+	frontier := ^uint64(0)
+	for w := range s.cursors {
+		c := s.cursors[w].v.Load()
+		if c&parkedBit != 0 {
+			next, ok := sched.nextOwned(c&^parkedBit, w)
+			if !ok {
+				continue
+			}
+			c = next
+		}
+		if c < frontier {
+			frontier = c
+		}
+	}
+	if frontier == ^uint64(0) || ticket <= frontier {
+		return 0
+	}
+	d := ticket - frontier
+	if d > uint64(len(s.slots)) {
+		d = uint64(len(s.slots))
+	}
+	return int(d)
+}
 
 // PendingBefore reports whether worker w still owns unconsumed slots below
 // the given switch index (used to confirm drain during reassignment).

@@ -510,3 +510,48 @@ func TestSendReusesPooledCalls(t *testing.T) {
 		t.Fatalf("pooled call cycle allocates %.2f times per op, want 0", avg)
 	}
 }
+
+func TestDepthTracksOccupancy(t *testing.T) {
+	// maxWorkers > n: workers 1..3 stay parked forever and must not drag
+	// the depth frontier down to zero.
+	s := NewServer(8, 4, 1)
+	if _, _, retired := s.Poll(1); !retired {
+		t.Fatal("worker 1 must retire under a 1-worker schedule")
+	}
+	if d := s.Depth(); d != 0 {
+		t.Fatalf("idle depth = %d, want 0", d)
+	}
+	var calls []*Call
+	for i := 0; i < 3; i++ {
+		calls = append(calls, s.Send(Message{Op: workload.OpGet, Key: uint64(i)}))
+	}
+	if d := s.Depth(); d != 3 {
+		t.Fatalf("depth after 3 sends = %d, want 3", d)
+	}
+	for range calls {
+		m, ok, _ := s.Poll(0)
+		if !ok {
+			t.Fatal("expected a message")
+		}
+		m.Call().Complete()
+	}
+	if d := s.Depth(); d != 0 {
+		t.Fatalf("depth after drain = %d, want 0", d)
+	}
+	for _, c := range calls {
+		c.Wait()
+		c.Release()
+	}
+}
+
+func TestReconfigurationsCounter(t *testing.T) {
+	s := NewServer(8, 4, 1)
+	if s.Reconfigurations() != 0 {
+		t.Fatal("fresh server must report zero reconfigurations")
+	}
+	s.Reconfigure(3)
+	s.Reconfigure(2)
+	if got := s.Reconfigurations(); got != 2 {
+		t.Fatalf("reconfigurations = %d, want 2", got)
+	}
+}

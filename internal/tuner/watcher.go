@@ -1,0 +1,61 @@
+package tuner
+
+import "mutps/internal/obs"
+
+// Watcher wires the feedback monitor to live telemetry: each Tick closes
+// one throughput window from the sampler, feeds it to the Monitor, and —
+// when the load shift is significant — records a "trigger" decision in the
+// trace so operators can see why the auto-tuner ran. The caller owns the
+// Tick cadence (the paper samples every 10 ms) and reacts to a true return
+// by scheduling a retune, whose outcome it reports via RecordRetune.
+type Watcher struct {
+	Monitor *Monitor
+	Sampler *obs.WindowSampler
+	Trace   *obs.DecisionTrace
+}
+
+// NewWatcher builds a watcher over a monotonic completed-ops reader (e.g.
+// Store.Ops). Monitor parameters keep their documented defaults.
+func NewWatcher(read func() uint64, trace *obs.DecisionTrace) *Watcher {
+	return &Watcher{
+		Monitor: &Monitor{},
+		Sampler: obs.NewWindowSampler(read),
+		Trace:   trace,
+	}
+}
+
+// Tick closes the current window and returns whether the monitor flagged a
+// significant load change. The window's rate is returned either way so
+// callers can log or export it. On a trigger, a Decision with Event
+// "trigger" and the observed rate lands in the trace.
+func (w *Watcher) Tick() (rate float64, triggered bool) {
+	rate = w.Sampler.Rate()
+	triggered = w.Monitor.Observe(rate)
+	if triggered && w.Trace != nil {
+		w.Trace.Record(obs.Decision{
+			Event:    "trigger",
+			Rate:     rate,
+			OldSplit: -1, NewSplit: -1,
+			OldCache: -1, NewCache: -1,
+		})
+	}
+	return rate, triggered
+}
+
+// RecordRetune logs the outcome of a tuning run into the trace and resets
+// the monitor and sampler so the next windows reflect the new
+// configuration, not the transient rates observed during probing.
+func (w *Watcher) RecordRetune(oldSplit, oldCache int, res Result) {
+	if w.Trace != nil {
+		w.Trace.Record(obs.Decision{
+			Event:    "retune",
+			Rate:     res.Score,
+			OldSplit: oldSplit, NewSplit: res.Best.MRThreads,
+			OldCache: oldCache, NewCache: res.Best.CacheItems,
+			Score:  res.Score,
+			Probes: res.Probes,
+		})
+	}
+	w.Monitor.Reset()
+	w.Sampler.Reset()
+}

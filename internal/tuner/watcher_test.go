@@ -1,0 +1,105 @@
+package tuner
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mutps/internal/obs"
+)
+
+// TestWatcherTriggerAndTrace drives the watcher with a synthetic counter:
+// a steady rate through warmup, then a large step. The monitor must stay
+// quiet during warmup, fire exactly once on the shift, and the trigger must
+// land in the decision trace.
+func TestWatcherTriggerAndTrace(t *testing.T) {
+	var ops atomic.Uint64
+	trace := obs.NewDecisionTrace(16)
+	w := NewWatcher(ops.Load, trace)
+
+	advance := func(n uint64) {
+		ops.Add(n)
+		time.Sleep(2 * time.Millisecond) // non-zero window so Rate is finite
+	}
+
+	// Warmup windows at a steady rate: no triggers.
+	for i := 0; i < 5; i++ {
+		advance(1000)
+		if _, trig := w.Tick(); trig {
+			t.Fatalf("spurious trigger during steady load (window %d)", i)
+		}
+	}
+
+	// Load collapses: one trigger.
+	advance(10)
+	rate, trig := w.Tick()
+	if !trig {
+		t.Fatalf("no trigger after load shift (rate %.0f, baseline %.0f)",
+			rate, w.Monitor.Baseline())
+	}
+
+	ds := trace.Snapshot()
+	if len(ds) != 1 {
+		t.Fatalf("trace has %d decisions, want 1", len(ds))
+	}
+	if ds[0].Event != "trigger" {
+		t.Fatalf("decision event = %q, want trigger", ds[0].Event)
+	}
+	if ds[0].Rate != rate {
+		t.Fatalf("decision rate = %v, want %v", ds[0].Rate, rate)
+	}
+	if ds[0].NewSplit != -1 || ds[0].NewCache != -1 {
+		t.Fatalf("trigger decision should not carry config: %+v", ds[0])
+	}
+}
+
+// TestWatcherRecordRetune checks the retune outcome lands in the trace and
+// resets the feedback loop.
+func TestWatcherRecordRetune(t *testing.T) {
+	var ops atomic.Uint64
+	trace := obs.NewDecisionTrace(16)
+	w := NewWatcher(ops.Load, trace)
+
+	for i := 0; i < 4; i++ {
+		ops.Add(500)
+		time.Sleep(time.Millisecond)
+		w.Tick()
+	}
+	if w.Monitor.Baseline() == 0 {
+		t.Fatal("baseline not established before retune")
+	}
+
+	res := Result{
+		Best:   Config{CacheItems: 4096, MRThreads: 3},
+		Score:  123456,
+		Probes: 17,
+	}
+	w.RecordRetune(2, 1024, res)
+
+	ds := trace.Snapshot()
+	d := ds[len(ds)-1]
+	if d.Event != "retune" {
+		t.Fatalf("last decision = %q, want retune", d.Event)
+	}
+	if d.OldSplit != 2 || d.NewSplit != 3 || d.OldCache != 1024 || d.NewCache != 4096 {
+		t.Fatalf("retune config not recorded: %+v", d)
+	}
+	if d.Score != 123456 || d.Probes != 17 {
+		t.Fatalf("retune outcome not recorded: %+v", d)
+	}
+	if w.Monitor.Baseline() != 0 {
+		t.Fatal("monitor not reset after retune")
+	}
+}
+
+// TestWatcherNilTrace ensures a watcher without a trace still works.
+func TestWatcherNilTrace(t *testing.T) {
+	var ops atomic.Uint64
+	w := NewWatcher(ops.Load, nil)
+	for i := 0; i < 6; i++ {
+		ops.Add(100 * uint64(i*i+1))
+		time.Sleep(time.Millisecond)
+		w.Tick()
+	}
+	w.RecordRetune(1, 0, Result{Best: Config{MRThreads: 1}})
+}

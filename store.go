@@ -16,9 +16,12 @@
 package mutps
 
 import (
+	"io"
+	"net/http"
 	"time"
 
 	"mutps/internal/kvcore"
+	"mutps/internal/obs"
 	"mutps/internal/rpc"
 	"mutps/internal/tuner"
 	"mutps/internal/workload"
@@ -228,9 +231,19 @@ type TuneResult struct {
 // representative load; with no traffic every configuration measures zero
 // and the result is arbitrary.
 func (st *Store) Autotune(window time.Duration, maxHotItems int) TuneResult {
+	oldCR, _ := st.s.Split()
+	oldHot := st.s.HotItems()
 	tn := &kvcore.Tunable{S: st.s, Window: window, MaxCache: maxHotItems}
 	res := tuner.Optimize(tn)
 	nCR, nMR := st.s.Split()
+	st.s.Trace().Record(obs.Decision{
+		Event:    "retune",
+		Rate:     res.Score,
+		OldSplit: oldCR, NewSplit: nCR,
+		OldCache: oldHot, NewCache: st.s.HotItems(),
+		Score:  res.Score,
+		Probes: res.Probes,
+	})
 	return TuneResult{
 		CRWorkers: nCR,
 		MRWorkers: nMR,
@@ -251,3 +264,23 @@ func (st *Store) Stats() Stats {
 		HotSize:   s.HotSize,
 	}
 }
+
+// WriteMetrics writes every registered metric — per-op throughput and
+// latency histograms, CR hit/miss counters, ring and queue health, hot-set
+// state — in Prometheus text exposition format.
+func (st *Store) WriteMetrics(w io.Writer) error {
+	return st.s.Metrics().WritePrometheus(w)
+}
+
+// MetricsHandler returns an http.Handler serving WriteMetrics — mount it
+// at /metrics to scrape an embedded store.
+func (st *Store) MetricsHandler() http.Handler { return obs.Handler(st.s.Metrics()) }
+
+// Decision is one reconfiguration event: a manual SetSplit/SetHotItems, a
+// tuner trigger, or a completed Autotune, oldest first in Decisions.
+// Negative ints mean "not applicable to this event".
+type Decision = obs.Decision
+
+// Decisions returns the retained reconfiguration history (a bounded ring;
+// older entries are evicted).
+func (st *Store) Decisions() []Decision { return st.s.Trace().Snapshot() }
