@@ -178,7 +178,7 @@ func BenchmarkStoreGetIntoHash(b *testing.B) {
 	buf := make([]byte, 0, 8)
 	for n := 0; n < b.N; n++ {
 		i = i*6364136223846793005 + 1
-		v, _ := s.GetInto(i%(1<<16), buf)
+		v, _, _ := s.GetInto(i%(1<<16), buf)
 		buf = v[:0]
 	}
 }

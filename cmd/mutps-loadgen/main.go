@@ -10,17 +10,28 @@ package main
 
 import (
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mutps/internal/netserver"
 	"mutps/internal/obs"
 	"mutps/internal/workload"
 )
+
+// backlogged counts requests the server shed with a retryable
+// StatusBacklogged reply: retried on the synchronous path, skipped on the
+// pipelined path, reported either way so overload is visible in the run
+// summary instead of aborting it.
+var backlogged atomic.Uint64
+
+// backloggedRetryDelay is the backoff before retrying a shed request.
+const backloggedRetryDelay = 200 * time.Microsecond
 
 func main() {
 	addr := flag.String("addr", "localhost:7070", "server address")
@@ -33,6 +44,8 @@ func main() {
 	depth := flag.Int("depth", 1, "requests in flight per connection (>1 uses the pipelined client)")
 	load := flag.Bool("load", true, "pre-populate the keyspace first")
 	traceFile := flag.String("trace", "", "replay a CSV trace instead of YCSB")
+	opTimeout := flag.Duration("op-timeout", 0,
+		"per-operation deadline on synchronous connections; a timed-out connection is abandoned (0 disables)")
 	flag.Parse()
 
 	mixes := map[string]workload.Mix{
@@ -59,15 +72,24 @@ func main() {
 	}
 
 	if *load && trace == nil {
-		cli, err := netserver.Dial(*addr)
+		cli, err := netserver.DialTimeout(*addr, 0, *opTimeout)
 		if err != nil {
 			log.Fatal(err)
 		}
 		val := make([]byte, *valueSize)
 		start := time.Now()
 		for k := uint64(0); k < *keys; k++ {
-			if err := cli.Put(k, val); err != nil {
-				log.Fatal(err)
+			for {
+				err := cli.Put(k, val)
+				if errors.Is(err, netserver.ErrBacklogged) {
+					backlogged.Add(1)
+					time.Sleep(backloggedRetryDelay)
+					continue
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+				break
 			}
 		}
 		cli.Close()
@@ -98,7 +120,7 @@ func main() {
 				runPipelined(c, *addr, *depth, *valueSize, perClient, gen, hist)
 				return
 			}
-			cli, err := netserver.Dial(*addr)
+			cli, err := netserver.DialTimeout(*addr, 0, *opTimeout)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -107,23 +129,31 @@ func main() {
 			for i := 0; i < perClient; i++ {
 				req := gen.Next()
 				t0 := time.Now()
-				var err error
-				switch req.Op {
-				case workload.OpGet:
-					_, _, err = cli.Get(req.Key)
-				case workload.OpPut:
-					v := buf
-					if req.ValueSize > 0 && req.ValueSize != len(buf) {
-						v = make([]byte, req.ValueSize)
+				for {
+					var err error
+					switch req.Op {
+					case workload.OpGet:
+						_, _, err = cli.Get(req.Key)
+					case workload.OpPut:
+						v := buf
+						if req.ValueSize > 0 && req.ValueSize != len(buf) {
+							v = make([]byte, req.ValueSize)
+						}
+						err = cli.Put(req.Key, v)
+					case workload.OpDelete:
+						_, err = cli.Delete(req.Key)
+					case workload.OpScan:
+						_, err = cli.Scan(req.Key, req.ScanCount)
 					}
-					err = cli.Put(req.Key, v)
-				case workload.OpDelete:
-					_, err = cli.Delete(req.Key)
-				case workload.OpScan:
-					_, err = cli.Scan(req.Key, req.ScanCount)
-				}
-				if err != nil {
-					log.Fatalf("client %d: %v", c, err)
+					if errors.Is(err, netserver.ErrBacklogged) {
+						backlogged.Add(1)
+						time.Sleep(backloggedRetryDelay)
+						continue
+					}
+					if err != nil {
+						log.Fatalf("client %d: %v", c, err)
+					}
+					break
 				}
 				hist.Record(c, uint64(time.Since(t0)))
 			}
@@ -139,6 +169,9 @@ func main() {
 	fmt.Printf("latency: P50 %v  P95 %v  P99 %v  max %v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), time.Duration(snap.Max).Round(time.Microsecond))
+	if n := backlogged.Load(); n > 0 {
+		fmt.Printf("backpressure: server shed %d requests (retried synchronously, skipped when pipelined)\n", n)
+	}
 }
 
 // runPipelined drives one connection with depth requests in flight using
@@ -163,10 +196,16 @@ func runPipelined(c int, addr string, depth, valueSize, ops int,
 	window := make([]inflight, 0, depth)
 	drainOldest := func() {
 		f := window[0]
-		if _, _, err := f.fut.Wait(); err != nil {
+		switch _, _, err := f.fut.Wait(); {
+		case err == nil:
+			hist.Record(c, uint64(time.Since(f.t0)))
+		case errors.Is(err, netserver.ErrBacklogged):
+			// The stream stays in sync on a shed request; resending here
+			// would reorder the FIFO window, so count it and move on.
+			backlogged.Add(1)
+		default:
 			log.Fatalf("client %d: %v", c, err)
 		}
-		hist.Record(c, uint64(time.Since(f.t0)))
 		f.fut.Release()
 		window = append(window[:0], window[1:]...)
 	}

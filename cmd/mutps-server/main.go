@@ -28,6 +28,10 @@ func main() {
 	hot := flag.Int("hot", 4096, "hot-set cache target (0 disables)")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve Prometheus text on /metrics and the tuner decision trace on /trace at this address (empty disables)")
+	idleTimeout := flag.Duration("idle-timeout", 0,
+		"close connections idle for this long (0 disables)")
+	maxConns := flag.Int("max-conns", 0,
+		"cap on concurrently served connections; over-cap clients get a graceful error reply (0 = unlimited)")
 	flag.Parse()
 
 	eng := kvcore.Hash
@@ -58,7 +62,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := netserver.Serve(store, ln)
+	srv := netserver.ServeConfig(store, ln, netserver.Config{
+		IdleTimeout: *idleTimeout,
+		MaxConns:    *maxConns,
+	})
 	log.Printf("μTPS-%s serving on %s (%d workers, %d at CR layer, hot=%d)",
 		map[kvcore.Engine]string{kvcore.Hash: "H", kvcore.Tree: "T"}[eng],
 		srv.Addr(), *workers, *cr, *hot)

@@ -23,11 +23,11 @@ func main() {
 	store.Put(1, []byte("alpha"))
 	store.Put(2, []byte("beta"))
 	store.Put(3, []byte("gamma"))
-	if v, ok := store.Get(2); ok {
+	if v, ok, _ := store.Get(2); ok {
 		fmt.Printf("get(2) = %s\n", v)
 	}
 	store.Delete(2)
-	if _, ok := store.Get(2); !ok {
+	if _, ok, _ := store.Get(2); !ok {
 		fmt.Println("get(2) after delete = not found")
 	}
 

@@ -69,7 +69,7 @@ func main() {
 					req := gen.Next()
 					switch req.Op {
 					case workload.OpGet:
-						v, _ := store.GetInto(req.Key, getBuf)
+						v, _, _ := store.GetInto(req.Key, getBuf)
 						getBuf = v[:0]
 					case workload.OpPut:
 						store.Put(req.Key, buf)

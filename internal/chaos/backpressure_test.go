@@ -1,0 +1,62 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mutps/internal/rpc"
+	"mutps/internal/workload"
+)
+
+// TestSlowConsumerBackpressureBounded is the slow-consumer scenario: the
+// ring fills because nothing polls it, and Send must shed with
+// ErrBacklogged within its bounded spin budget instead of spinning
+// forever (the pre-PR behaviour). The published-but-never-polled calls
+// then drain with ErrClosed at Close, so even a wedged server never
+// strands a waiter.
+func TestSlowConsumerBackpressureBounded(t *testing.T) {
+	s := rpc.NewServer(4, 1, 1) // no goroutine ever polls: a fully stalled consumer
+	pending := make([]*rpc.Call, 0, s.Cap())
+	sawBacklog := false
+	for i := 0; i < s.Cap()+2; i++ {
+		t0 := time.Now()
+		call, err := s.Send(rpc.Message{Op: workload.OpGet, Key: uint64(i)})
+		if err == nil {
+			pending = append(pending, call)
+			continue
+		}
+		if !errors.Is(err, rpc.ErrBacklogged) {
+			t.Fatalf("send %d: err = %v, want ErrBacklogged", i, err)
+		}
+		// The budget is ~20ms of spins and naps; 10s is the "bounded at
+		// all, not unbounded" line that held the pre-PR hang.
+		if d := time.Since(t0); d > 10*time.Second {
+			t.Fatalf("send %d: backpressure budget took %v, want bounded", i, d)
+		}
+		sawBacklog = true
+	}
+	if !sawBacklog {
+		t.Fatalf("ring of %d slots accepted %d sends without backpressure", s.Cap(), s.Cap()+2)
+	}
+	if len(pending) != s.Cap() {
+		t.Fatalf("accepted %d sends, want exactly the ring capacity %d", len(pending), s.Cap())
+	}
+	if s.Backlogged() == 0 {
+		t.Fatal("backlogged counter did not move")
+	}
+
+	WithinDeadline(t, 10*time.Second, "rpc.Close with a full ring", s.Close)
+	if n := s.DrainStranded(); n != len(pending) {
+		t.Fatalf("DrainStranded = %d, want %d", n, len(pending))
+	}
+	for i, call := range pending {
+		if !call.WaitTimeout(time.Second) {
+			t.Fatalf("call %d still pending after drain", i)
+		}
+		if !errors.Is(call.Err, rpc.ErrClosed) {
+			t.Fatalf("call %d: Err = %v, want ErrClosed", i, call.Err)
+		}
+		call.Release()
+	}
+}

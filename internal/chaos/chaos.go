@@ -1,0 +1,56 @@
+// Package chaos is the fault-injection harness for the lifecycle edges of
+// the store: shutdown under load, overload shedding, stalled peers, and
+// killed connections. The scenarios live in this package's tests; the
+// exported helpers — a goroutine-leak assertion and a deadline-bounded
+// runner — are the reusable pieces, so any package can turn "this must not
+// hang or leak" into a failing test instead of a stalled CI job.
+package chaos
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakSettle is how long VerifyNoLeaks waits for exiting goroutines to
+// unwind before declaring a leak.
+const leakSettle = 5 * time.Second
+
+// VerifyNoLeaks asserts the goroutine count has returned to at most
+// before (a count taken ahead of the scenario), retrying while exiting
+// goroutines unwind. On failure it dumps every live stack — the parked
+// frame of the leaked goroutine is the thing that names the bug.
+func VerifyNoLeaks(t testing.TB, before int) {
+	t.Helper()
+	deadline := time.Now().Add(leakSettle)
+	n := runtime.NumGoroutine()
+	for n > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	if n <= before {
+		return
+	}
+	buf := make([]byte, 1<<20)
+	m := runtime.Stack(buf, true)
+	t.Fatalf("goroutine leak: %d live, want <= %d\n%s", n, before, buf[:m])
+}
+
+// WithinDeadline runs fn and fails the test if it has not returned within
+// d, dumping all goroutine stacks so a hang pinpoints the stuck frame
+// instead of tripping the package timeout with no context.
+func WithinDeadline(t testing.TB, d time.Duration, what string, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("%s still running after %v\n%s", what, d, buf[:n])
+	}
+}

@@ -1,0 +1,277 @@
+package chaos
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"mutps/internal/kvcore"
+	"mutps/internal/netserver"
+)
+
+// fakeServer runs a minimal protocol peer for client-side fault injection:
+// it accepts one connection, reads request frames, and hands each to
+// reply; a nil reply stalls forever (reads but never answers). The
+// goroutine exits when the connection or listener dies.
+func fakeServer(t *testing.T, reply func(w *bufio.Writer, op byte, key uint64) error) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		w := bufio.NewWriter(conn)
+		var hdr [13]byte
+		for {
+			if _, err := io.ReadFull(r, hdr[:]); err != nil {
+				return
+			}
+			plen := binary.LittleEndian.Uint32(hdr[9:13])
+			if _, err := io.CopyN(io.Discard, r, int64(plen)); err != nil {
+				return
+			}
+			if reply == nil {
+				continue // stalled server: swallow the request
+			}
+			if err := reply(w, hdr[0], binary.LittleEndian.Uint64(hdr[1:9])); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}()
+	return ln
+}
+
+// TestClientOpTimeoutOnStalledServer is the stalled-server scenario: the
+// peer accepts and reads but never replies. The per-op deadline must turn
+// the hang into a timeout error, and the desynchronized connection must be
+// marked broken so later calls fail fast instead of blocking again.
+func TestClientOpTimeoutOnStalledServer(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ln := fakeServer(t, nil)
+
+	c, err := netserver.DialTimeout(ln.Addr().String(), time.Second, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	_, _, err = c.Get(1)
+	if err == nil {
+		t.Fatal("get against a stalled server returned nil error")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("err = %v, want a net timeout", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("timeout took %v, want ~150ms", d)
+	}
+
+	// The stream is out of sync; the client must not wait out another
+	// deadline, it must refuse immediately.
+	start = time.Now()
+	if _, _, err := c.Get(2); err == nil {
+		t.Fatal("get on a broken connection returned nil error")
+	} else if !strings.Contains(err.Error(), "broken") {
+		t.Fatalf("err = %v, want broken-connection failure", err)
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("broken connection failed in %v, want fail-fast", d)
+	}
+
+	c.Close()
+	ln.Close()
+	VerifyNoLeaks(t, before)
+}
+
+// TestBackloggedStatusOnWire checks the overload wire contract end to end
+// against a peer that sheds everything: both clients must surface
+// ErrBacklogged, and because the reply is in-protocol the connection stays
+// usable for the retry.
+func TestBackloggedStatusOnWire(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ln := fakeServer(t, func(w *bufio.Writer, op byte, key uint64) error {
+		var hdr [5]byte
+		hdr[0] = netserver.StatusBacklogged
+		_, err := w.Write(hdr[:])
+		return err
+	})
+
+	c, err := netserver.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // every retry works: the connection is not poisoned
+		if _, _, err := c.Get(uint64(i)); !errors.Is(err, netserver.ErrBacklogged) {
+			t.Fatalf("get %d: err = %v, want ErrBacklogged", i, err)
+		}
+	}
+	c.Close()
+
+	ln2 := fakeServer(t, func(w *bufio.Writer, op byte, key uint64) error {
+		var hdr [5]byte
+		hdr[0] = netserver.StatusBacklogged
+		_, err := w.Write(hdr[:])
+		return err
+	})
+	p, err := netserver.DialPipeline(ln2.Addr().String(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	futs := make([]*netserver.Future, 0, 8)
+	for i := 0; i < 8; i++ {
+		f, err := p.Send(netserver.OpGet, uint64(i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range futs {
+		st, _, err := f.Wait()
+		if st != netserver.StatusBacklogged || !errors.Is(err, netserver.ErrBacklogged) {
+			t.Fatalf("future %d: status %d err %v, want backlogged", i, st, err)
+		}
+		f.Release()
+	}
+	p.Close()
+	ln.Close()
+	ln2.Close()
+	VerifyNoLeaks(t, before)
+}
+
+// TestServerReapsIdleAndKilledConns is the connection-kill scenario run
+// against a real server: an idle connection is reaped by the idle
+// deadline, a connection killed mid-frame is cleaned up, and neither
+// disturbs other clients or leaks a serve goroutine through Close.
+func TestServerReapsIdleAndKilledConns(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, err := kvcore.Open(kvcore.Config{Engine: kvcore.Hash, Workers: 2, CRWorkers: 1, HotItems: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Preload(1, []byte("one"))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := netserver.ServeConfig(s, ln, netserver.Config{IdleTimeout: 100 * time.Millisecond})
+	addr := srv.Addr().String()
+
+	// An idle raw connection: the server must hang up on its own.
+	idle, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	WithinDeadline(t, 10*time.Second, "server reaping the idle connection", func() {
+		var b [1]byte
+		if _, err := idle.Read(b[:]); err == nil {
+			t.Error("idle connection read returned data, want server-side close")
+		}
+	})
+	idle.Close()
+
+	// A connection killed mid-frame: write half a request header and slam
+	// the connection shut.
+	for i := 0; i < 4; i++ {
+		kill, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kill.Write([]byte{netserver.OpGet, 1, 2, 3})
+		kill.Close()
+	}
+
+	// A well-behaved client is unaffected by the carnage.
+	c, err := netserver.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := c.Get(1); err != nil || !ok || string(v) != "one" {
+		t.Fatalf("get(1) = %q, %v, %v", v, ok, err)
+	}
+	c.Close()
+
+	WithinDeadline(t, 10*time.Second, "netserver.Close", func() { srv.Close() })
+	WithinDeadline(t, 10*time.Second, "store.Close", s.Close)
+	VerifyNoLeaks(t, before)
+}
+
+// TestMaxConnsGracefulReject checks the connection cap: the connection
+// over the cap gets an in-protocol "connection limit reached" error, not
+// a silent drop, and a slot freed by a disconnect is reusable.
+func TestMaxConnsGracefulReject(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, err := kvcore.Open(kvcore.Config{Engine: kvcore.Hash, Workers: 2, CRWorkers: 1, HotItems: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Preload(1, []byte("one"))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := netserver.ServeConfig(s, ln, netserver.Config{MaxConns: 1})
+	addr := srv.Addr().String()
+
+	c1, err := netserver.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c1.Get(1); err != nil || !ok {
+		t.Fatalf("first connection get = %v, %v", ok, err)
+	}
+
+	c2, err := netserver.Dial(addr)
+	if err != nil {
+		t.Fatal(err) // TCP connect succeeds; the rejection is in-protocol
+	}
+	_, _, err = c2.Get(1)
+	if err == nil || !strings.Contains(err.Error(), "connection limit reached") {
+		t.Fatalf("over-cap get err = %v, want connection limit reached", err)
+	}
+	c2.Close()
+
+	// Freeing the slot readmits new connections.
+	c1.Close()
+	var c3 *netserver.Client
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c3, err = netserver.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := c3.Get(1); err == nil && ok {
+			break
+		}
+		c3.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("freed connection slot never became reusable")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c3.Close()
+
+	WithinDeadline(t, 10*time.Second, "netserver.Close", func() { srv.Close() })
+	WithinDeadline(t, 10*time.Second, "store.Close", s.Close)
+	VerifyNoLeaks(t, before)
+}

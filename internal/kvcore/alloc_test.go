@@ -52,7 +52,7 @@ func TestCRHitPathAllocFree(t *testing.T) {
 		t.Fatal("hot set empty after warm-up")
 	}
 	before := s.Stats()
-	if v, ok := s.Get(3); !ok || binary.LittleEndian.Uint64(v) != 3 {
+	if v, ok, _ := s.Get(3); !ok || binary.LittleEndian.Uint64(v) != 3 {
 		t.Fatalf("get(3) = %v, %v", v, ok)
 	}
 	if after := s.Stats(); after.CRHits == before.CRHits {
@@ -61,7 +61,7 @@ func TestCRHitPathAllocFree(t *testing.T) {
 
 	buf := make([]byte, 0, 8)
 	avg := testing.AllocsPerRun(200, func() {
-		v, ok := s.GetInto(3, buf)
+		v, ok, _ := s.GetInto(3, buf)
 		if !ok || len(v) != 8 {
 			t.Fatalf("GetInto(3) = %v, %v", v, ok)
 		}
@@ -81,7 +81,7 @@ func TestMRGetPathAllocs(t *testing.T) {
 	preloadKeys(s, 16)
 
 	before := s.Stats()
-	if v, ok := s.Get(5); !ok || binary.LittleEndian.Uint64(v) != 5 {
+	if v, ok, _ := s.Get(5); !ok || binary.LittleEndian.Uint64(v) != 5 {
 		t.Fatalf("get(5) = %v, %v", v, ok)
 	}
 	after := s.Stats()
@@ -91,7 +91,7 @@ func TestMRGetPathAllocs(t *testing.T) {
 
 	buf := make([]byte, 0, 8)
 	avg := testing.AllocsPerRun(200, func() {
-		v, ok := s.GetInto(5, buf)
+		v, ok, _ := s.GetInto(5, buf)
 		if !ok || len(v) != 8 {
 			t.Fatalf("GetInto(5) = %v, %v", v, ok)
 		}
@@ -117,7 +117,7 @@ func TestPutInPlaceAllocFree(t *testing.T) {
 	if avg > 1 {
 		t.Fatalf("in-place put allocates %.2f times per op, want <= 1", avg)
 	}
-	if v, ok := s.Get(7); !ok || binary.LittleEndian.Uint64(v) != 42 {
+	if v, ok, _ := s.Get(7); !ok || binary.LittleEndian.Uint64(v) != 42 {
 		t.Fatalf("get(7) after puts = %v, %v", v, ok)
 	}
 }
@@ -158,7 +158,7 @@ func TestCallPoolingAcrossSetSplit(t *testing.T) {
 				k := uint64((c*opsPerClient + i) % 256)
 				switch i % 4 {
 				case 0, 1, 2:
-					v, ok := s.GetInto(k, buf)
+					v, ok, _ := s.GetInto(k, buf)
 					if !ok || binary.LittleEndian.Uint64(v) != k {
 						errCh <- fmt.Errorf("client %d: get(%d) = %x, %v", c, k, v, ok)
 						return
@@ -204,7 +204,11 @@ func TestCallPoolingAcrossSetSplit(t *testing.T) {
 	// The raw async path must keep working through the churn too.
 	calls := make([]*rpc.Call, 0, 64)
 	for i := uint64(0); i < 64; i++ {
-		calls = append(calls, s.SendAsync(rpc.Message{Op: workload.OpGet, Key: i}))
+		c, err := s.SendAsync(rpc.Message{Op: workload.OpGet, Key: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls = append(calls, c)
 	}
 	for i, c := range calls {
 		c.Wait()

@@ -71,6 +71,9 @@ func (s *Store) registerDerived() {
 	r.CounterFunc("mutps_reconfigurations_total", "",
 		"RPC schedule changes applied by thread reassignment.",
 		func() float64 { return float64(s.rpc.Reconfigurations()) })
+	r.CounterFunc("mutps_rpc_backlogged_total", "",
+		"Sends rejected with ErrBacklogged because the receive ring stayed full for the whole backpressure budget.",
+		func() float64 { return float64(s.rpc.Backlogged()) })
 	r.CounterFunc("mutps_ring_push_stalls_total", "",
 		"CR-MR pushes that found the target ring full.",
 		func() float64 {

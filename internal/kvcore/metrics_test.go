@@ -72,6 +72,9 @@ func TestStoreMetricsMoveWithTraffic(t *testing.T) {
 		t.Fatalf("worker gauges do not sum to the pool: cr=%v mr=%v",
 			m[`mutps_workers{layer="cr"}`], m[`mutps_workers{layer="mr"}`])
 	}
+	if v, ok := m[`mutps_rpc_backlogged_total`]; !ok || v != 0 {
+		t.Fatalf("backpressure counter = %v, %v; want registered and 0 without overload", v, ok)
+	}
 
 	// Stats() is now derived from the same instruments.
 	st := s.Stats()

@@ -103,6 +103,7 @@ type Store struct {
 	nCR       atomic.Int32
 	hotTarget atomic.Int32
 	stop      atomic.Bool
+	crDone    atomic.Int32 // workers retired from the terminal RPC schedule
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 	refreshWG sync.WaitGroup
@@ -166,18 +167,30 @@ func Open(cfg Config) (*Store, error) {
 // Engine returns the configured index engine.
 func (s *Store) Engine() Engine { return s.cfg.Engine }
 
-// Close stops all workers; it is idempotent. Callers must have drained
-// their outstanding calls first; requests still in flight are not
-// guaranteed a response.
+// Close drains and stops the store; it is idempotent and safe to call
+// under concurrent load. Every request accepted before Close completes
+// with its result; concurrent and later requests fail with rpc.ErrClosed.
+// No accepted call is ever stranded (§3.5's residual-request guarantee,
+// extended to shutdown).
 func (s *Store) Close() {
 	s.closeOnce.Do(func() {
-		s.stop.Store(true)
+		// Order matters: close the RPC ring first so new Sends fail and a
+		// terminal schedule phase retires each worker only after it has
+		// consumed every slot it owns; then wait for the workers, so none
+		// exits while it still owns live slots. stop is set only after the
+		// drain completes — it is a backstop for out-of-band stoppers, not
+		// the shutdown signal.
 		s.rpc.Close()
 		if s.refreshCh != nil {
 			close(s.refreshCh)
 			s.refreshWG.Wait()
 		}
 		s.wg.Wait()
+		s.stop.Store(true)
+		// Under the graceful drain above this finds nothing; it is the
+		// safety net that turns any future drain bug into failed calls
+		// instead of hung callers.
+		s.rpc.DrainStranded()
 	})
 }
 
@@ -185,72 +198,87 @@ func (s *Store) Close() {
 
 // Get fetches the value for key over the store's RPC path. The returned
 // slice is freshly allocated; use GetInto to reuse a caller-owned buffer.
-func (s *Store) Get(key uint64) ([]byte, bool) {
+// The error is rpc.ErrClosed after Close and rpc.ErrBacklogged (retryable)
+// when the receive ring is saturated.
+func (s *Store) Get(key uint64) ([]byte, bool, error) {
 	return s.GetInto(key, nil)
 }
 
 // GetInto fetches the value for key, appending it into buf[:0]. When buf
 // has enough capacity the returned value aliases it and the whole request
 // lifecycle is allocation-free (pooled call, reused buffer); otherwise a
-// fresh slice is returned. On a miss it returns buf[:0] and false, so a
-// loop can keep threading one buffer (buf = v[:0]) regardless of outcome.
-// buf must not be touched by the caller while the request is in flight.
-func (s *Store) GetInto(key uint64, buf []byte) ([]byte, bool) {
+// fresh slice is returned. On a miss (and on error) it returns buf[:0] and
+// false, so a loop can keep threading one buffer (buf = v[:0]) regardless
+// of outcome. buf must not be touched by the caller while the request is
+// in flight.
+func (s *Store) GetInto(key uint64, buf []byte) ([]byte, bool, error) {
 	var start time.Time
 	if !obs.Disabled {
 		start = time.Now()
 	}
-	call := s.rpc.Send(rpc.Message{Op: workload.OpGet, Key: key, Dst: buf})
-	if call == nil {
-		return buf[:0], false
+	call, err := s.rpc.Send(rpc.Message{Op: workload.OpGet, Key: key, Dst: buf})
+	if err != nil {
+		return buf[:0], false, err
 	}
 	call.Wait()
-	v, found := call.Value, call.Found
+	v, found, err := call.Value, call.Found, call.Err
 	call.Release()
+	if err != nil {
+		return buf[:0], false, err
+	}
 	if v == nil {
 		v = buf[:0]
 	}
 	if !obs.Disabled {
 		s.met.lat[workload.OpGet].Record(int(key), uint64(time.Since(start)))
 	}
-	return v, found
+	return v, found, nil
 }
 
 // Put stores val under key. The value bytes are copied into the item
-// before Put returns, so the caller may immediately reuse val.
-func (s *Store) Put(key uint64, val []byte) {
+// before Put returns, so the caller may immediately reuse val. A non-nil
+// error (rpc.ErrClosed, rpc.ErrBacklogged) means the put did not execute.
+func (s *Store) Put(key uint64, val []byte) error {
 	var start time.Time
 	if !obs.Disabled {
 		start = time.Now()
 	}
-	call := s.rpc.Send(rpc.Message{Op: workload.OpPut, Key: key, Value: val})
-	if call == nil {
-		return
+	call, err := s.rpc.Send(rpc.Message{Op: workload.OpPut, Key: key, Value: val})
+	if err != nil {
+		return err
 	}
 	call.Wait()
+	err = call.Err
 	call.Release()
+	if err != nil {
+		return err
+	}
 	if !obs.Disabled {
 		s.met.lat[workload.OpPut].Record(int(key), uint64(time.Since(start)))
 	}
+	return nil
 }
 
 // Delete removes key, reporting whether it existed.
-func (s *Store) Delete(key uint64) bool {
+func (s *Store) Delete(key uint64) (bool, error) {
 	var start time.Time
 	if !obs.Disabled {
 		start = time.Now()
 	}
-	call := s.rpc.Send(rpc.Message{Op: workload.OpDelete, Key: key})
-	if call == nil {
-		return false
+	call, err := s.rpc.Send(rpc.Message{Op: workload.OpDelete, Key: key})
+	if err != nil {
+		return false, err
 	}
 	call.Wait()
-	found := call.Found
+	found, err := call.Found, call.Err
 	call.Release()
+	if err != nil {
+		return false, err
+	}
 	if !obs.Disabled {
 		s.met.lat[workload.OpDelete].Record(int(key), uint64(time.Since(start)))
 	}
-	return found
+	return found, nil
 }
 
 // KV is one scan result entry.
@@ -277,11 +305,15 @@ func (s *Store) Scan(start uint64, count int) ([]KV, error) {
 	if !obs.Disabled {
 		t0 = time.Now()
 	}
-	call := s.rpc.Send(rpc.Message{Op: workload.OpScan, Key: start, ScanCount: count})
-	if call == nil {
-		return nil, rpc.ErrClosed
+	call, err := s.rpc.Send(rpc.Message{Op: workload.OpScan, Key: start, ScanCount: count})
+	if err != nil {
+		return nil, err
 	}
 	call.Wait()
+	if err := call.Err; err != nil {
+		call.Release()
+		return nil, err
+	}
 	out := make([]KV, len(call.ScanKeys))
 	for i := range out {
 		out[i] = KV{Key: call.ScanKeys[i], Value: call.ScanVals[i]}
@@ -294,8 +326,10 @@ func (s *Store) Scan(start uint64, count int) ([]KV, error) {
 }
 
 // SendAsync exposes the raw asynchronous RPC path for benchmarks and load
-// generators (many requests in flight per client goroutine).
-func (s *Store) SendAsync(m rpc.Message) *rpc.Call { return s.rpc.Send(m) }
+// generators (many requests in flight per client goroutine). On error
+// (rpc.ErrClosed, rpc.ErrBacklogged) no request was enqueued and the call
+// is nil; a non-nil call always completes, possibly with call.Err set.
+func (s *Store) SendAsync(m rpc.Message) (*rpc.Call, error) { return s.rpc.Send(m) }
 
 // --- manager operations ----------------------------------------------------
 
@@ -313,6 +347,9 @@ func (s *Store) Split() (nCR, nMR int) {
 func (s *Store) SetSplit(nCR int) error {
 	if nCR < 1 || nCR >= s.cfg.Workers {
 		return fmt.Errorf("kvcore: nCR must be in [1, Workers-1], got %d", nCR)
+	}
+	if s.rpc.Closed() {
+		return rpc.ErrClosed
 	}
 	old := int(s.nCR.Swap(int32(nCR)))
 	if old == nCR {

@@ -53,33 +53,36 @@ func TestBasicOpsBothEngines(t *testing.T) {
 	for _, engine := range []Engine{Hash, Tree} {
 		t.Run(engine.String(), func(t *testing.T) {
 			s := openTest(t, engine, nil)
-			if _, ok := s.Get(1); ok {
+			if _, ok, _ := s.Get(1); ok {
 				t.Fatal("empty store must miss")
 			}
 			s.Put(1, []byte("hello"))
-			v, ok := s.Get(1)
+			v, ok, _ := s.Get(1)
 			if !ok || string(v) != "hello" {
 				t.Fatalf("Get = %q, %v", v, ok)
 			}
 			// Same-size overwrite (in-place path).
 			s.Put(1, []byte("world"))
-			if v, _ := s.Get(1); string(v) != "world" {
+			if v, _, _ := s.Get(1); string(v) != "world" {
 				t.Fatal("same-size put must replace")
 			}
 			// Size-changing overwrite (replacement path).
 			s.Put(1, []byte("a much longer value than before"))
-			if v, _ := s.Get(1); string(v) != "a much longer value than before" {
+			if v, _, _ := s.Get(1); string(v) != "a much longer value than before" {
 				t.Fatal("size-changing put must replace")
 			}
-			if !s.Delete(1) || s.Delete(1) {
-				t.Fatal("delete semantics")
+			if found, _ := s.Delete(1); !found {
+				t.Fatal("delete of a live key must report true")
 			}
-			if _, ok := s.Get(1); ok {
+			if found, _ := s.Delete(1); found {
+				t.Fatal("second delete must report false")
+			}
+			if _, ok, _ := s.Get(1); ok {
 				t.Fatal("deleted key visible")
 			}
 			// Put after delete resurrects the key.
 			s.Put(1, []byte("back"))
-			if v, ok := s.Get(1); !ok || string(v) != "back" {
+			if v, ok, _ := s.Get(1); !ok || string(v) != "back" {
 				t.Fatal("put after delete must resurrect")
 			}
 		})
@@ -91,7 +94,7 @@ func TestEightByteFastPath(t *testing.T) {
 	val := make([]byte, 8)
 	binary.LittleEndian.PutUint64(val, 0xDEADBEEF)
 	s.Put(42, val)
-	got, ok := s.Get(42)
+	got, ok, _ := s.Get(42)
 	if !ok || binary.LittleEndian.Uint64(got) != 0xDEADBEEF {
 		t.Fatal("8-byte value round-trip failed")
 	}
@@ -132,7 +135,7 @@ func TestPreload(t *testing.T) {
 	if st := s.Stats(); st.Items != 1000 {
 		t.Fatalf("Items = %d", st.Items)
 	}
-	if v, ok := s.Get(999); !ok || v[0] != byte(999%256) {
+	if v, ok, _ := s.Get(999); !ok || v[0] != byte(999%256) {
 		t.Fatal("preloaded item must be readable via RPC path")
 	}
 }
@@ -157,7 +160,7 @@ func TestHotSetServesAtCRLayer(t *testing.T) {
 	}
 	before := s.Stats()
 	for i := 0; i < 100; i++ {
-		if v, ok := s.Get(7); !ok || string(v) != "valuesz8" {
+		if v, ok, _ := s.Get(7); !ok || string(v) != "valuesz8" {
 			t.Fatal("hot get wrong")
 		}
 	}
@@ -167,18 +170,18 @@ func TestHotSetServesAtCRLayer(t *testing.T) {
 	}
 	// Hot put, same size: served at CR, visible everywhere.
 	s.Put(7, []byte("newvals8"))
-	if v, _ := s.Get(7); string(v) != "newvals8" {
+	if v, _, _ := s.Get(7); string(v) != "newvals8" {
 		t.Fatal("hot put lost")
 	}
 	// Size-changing put on a hot key: falls through to MR, old holders
 	// must converge on the new record.
 	s.Put(7, []byte("a longer value now"))
-	if v, _ := s.Get(7); string(v) != "a longer value now" {
+	if v, _, _ := s.Get(7); string(v) != "a longer value now" {
 		t.Fatal("size-changing hot put lost")
 	}
 	// Delete a hot key: subsequent hot lookups must miss.
 	s.Delete(7)
-	if _, ok := s.Get(7); ok {
+	if _, ok, _ := s.Get(7); ok {
 		t.Fatal("deleted hot key still visible")
 	}
 }
@@ -217,7 +220,7 @@ func TestConcurrentClients(t *testing.T) {
 					binary.LittleEndian.PutUint64(v, k)
 					s.Put(k, v)
 				case 2:
-					if v, ok := s.Get(k); ok {
+					if v, ok, _ := s.Get(k); ok {
 						if binary.LittleEndian.Uint64(v) != k {
 							panic(fmt.Sprintf("key %d corrupt", k))
 						}
@@ -259,7 +262,7 @@ func TestSetSplitUnderLoad(t *testing.T) {
 				}
 				seed = seed*48271 + 11
 				k := seed % 256
-				if v, ok := s.Get(k); ok && v[0] != byte(k) {
+				if v, ok, _ := s.Get(k); ok && v[0] != byte(k) {
 					errs <- fmt.Errorf("key %d corrupt during reassignment", k)
 					return
 				}
@@ -309,15 +312,19 @@ func TestAsyncPipeline(t *testing.T) {
 	for i := 0; i < n; i++ {
 		v := make([]byte, 8)
 		binary.LittleEndian.PutUint64(v, uint64(i))
-		calls = append(calls, s.SendAsync(rpc.Message{
+		c, err := s.SendAsync(rpc.Message{
 			Op: workload.OpPut, Key: uint64(i), Value: v,
-		}))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls = append(calls, c)
 	}
 	for _, c := range calls {
 		c.Wait()
 	}
 	for i := 0; i < n; i++ {
-		v, ok := s.Get(uint64(i))
+		v, ok, _ := s.Get(uint64(i))
 		if !ok || binary.LittleEndian.Uint64(v) != uint64(i) {
 			t.Fatalf("async put %d lost", i)
 		}
@@ -328,14 +335,14 @@ func TestLargeValuesAcrossPaths(t *testing.T) {
 	s := openTest(t, Tree, nil)
 	big := bytes.Repeat([]byte{0xAB}, 4096)
 	s.Put(5, big)
-	v, ok := s.Get(5)
+	v, ok, _ := s.Get(5)
 	if !ok || !bytes.Equal(v, big) {
 		t.Fatal("4 KB value round-trip failed")
 	}
 	// In-place same-size update of the large value.
 	big2 := bytes.Repeat([]byte{0xCD}, 4096)
 	s.Put(5, big2)
-	if v, _ := s.Get(5); !bytes.Equal(v, big2) {
+	if v, _, _ := s.Get(5); !bytes.Equal(v, big2) {
 		t.Fatal("large in-place update failed")
 	}
 }
@@ -364,8 +371,17 @@ func TestCloseIsIdempotent(t *testing.T) {
 	s.Put(1, []byte("x"))
 	s.Close()
 	s.Close() // must not panic or deadlock
-	if call := s.SendAsync(rpc.Message{Op: workload.OpGet, Key: 1}); call != nil {
-		t.Fatal("sends after Close must fail")
+	if call, err := s.SendAsync(rpc.Message{Op: workload.OpGet, Key: 1}); err != rpc.ErrClosed || call != nil {
+		t.Fatalf("send after Close = (%v, %v), want (nil, ErrClosed)", call, err)
+	}
+	if err := s.Put(2, []byte("y")); err != rpc.ErrClosed {
+		t.Fatalf("Put after Close = %v, want ErrClosed", err)
+	}
+	if _, _, err := s.Get(1); err != rpc.ErrClosed {
+		t.Fatalf("Get after Close = %v, want ErrClosed", err)
+	}
+	if err := s.SetSplit(1); err != rpc.ErrClosed {
+		t.Fatalf("SetSplit after Close = %v, want ErrClosed", err)
 	}
 }
 
@@ -382,7 +398,11 @@ func TestBatchedGetsMatchSerial(t *testing.T) {
 	for i := uint64(0); i < 256; i++ {
 		k := (i * 7) % 512
 		keys = append(keys, k)
-		calls = append(calls, s.SendAsync(rpc.Message{Op: workload.OpGet, Key: k}))
+		c, err := s.SendAsync(rpc.Message{Op: workload.OpGet, Key: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls = append(calls, c)
 	}
 	for i, c := range calls {
 		c.Wait()
@@ -405,7 +425,11 @@ func TestDeleteVisibleToBatchedGets(t *testing.T) {
 	s.Delete(9)
 	calls := make([]*rpc.Call, 0, 64)
 	for i := uint64(0); i < 64; i++ {
-		calls = append(calls, s.SendAsync(rpc.Message{Op: workload.OpGet, Key: i}))
+		c, err := s.SendAsync(rpc.Message{Op: workload.OpGet, Key: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls = append(calls, c)
 	}
 	for i, c := range calls {
 		c.Wait()

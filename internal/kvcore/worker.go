@@ -81,15 +81,29 @@ func (s *Store) worker(id int) {
 	defer s.wg.Done()
 	for !s.stop.Load() {
 		s.runCR(id)
-		if s.stop.Load() {
+		if s.drainExit(id) || s.stop.Load() {
 			return
 		}
 		s.met.roleSwap.Inc(id) // CR stint over, moving to the MR layer
 		s.runMR(id)
+		if s.drainExit(id) {
+			return
+		}
 		if !s.stop.Load() {
 			s.met.roleSwap.Inc(id) // reassigned back to the CR layer
 		}
 	}
+}
+
+// drainExit reports whether worker id may exit under the shutdown drain:
+// every worker has retired from the terminal RPC schedule with its final
+// batch pushed (crDone), and this worker's own CR-MR column — which only it
+// may consume — is empty. Together these mean no call this worker could
+// ever complete is still pending.
+func (s *Store) drainExit(id int) bool {
+	return s.rpc.Closed() &&
+		s.crDone.Load() >= int32(s.cfg.Workers) &&
+		s.crmr.ColumnEmpty(id)
 }
 
 // crState tracks per-destination in-flight batches so slab slots can be
@@ -129,6 +143,12 @@ type crPersist struct {
 	curBatch []uint32
 	inflight int        // batches pushed but not yet recycled, across all columns
 	spare    [][]uint32 // retired batch slot-lists, reused for curBatch
+
+	// terminalDone is set (once, by the owning worker) when the worker has
+	// consumed every RPC slot the terminal shutdown schedule assigns it and
+	// pushed its final batch; the store-wide crDone counter mirrors it. It
+	// is never reset: the terminal phase is final.
+	terminalDone bool
 }
 
 // newBatch returns an empty slot list, recycling a retired one when
@@ -201,6 +221,13 @@ func (s *Store) runCR(id int) {
 			// stint recycles them; the MR side completes the calls.
 			flush()
 			recycle()
+			if s.rpc.Closed() && !st.terminalDone {
+				// Retired under the terminal shutdown schedule: every RPC
+				// slot this worker will ever own has been consumed and its
+				// final batch pushed. Count it towards the drain barrier.
+				st.terminalDone = true
+				s.crDone.Add(1)
+			}
 			return
 		}
 		if !ok {
@@ -239,9 +266,20 @@ func (s *Store) runCR(id int) {
 		for !okSlot {
 			// All contexts in flight; recycle completions until one frees.
 			if !recycle() {
+				// No commits to harvest: some in-flight batches may sit in
+				// our own MR column, which only we may consume — drain it or
+				// this loop can never make progress.
+				s.drainOwnColumn(id)
 				runtime.Gosched()
 			}
 			if s.stop.Load() {
+				// Hard stop while holding a polled message: complete it and
+				// the partial batch with ErrClosed rather than stranding
+				// their callers (the graceful drain never reaches here — stop
+				// is set only after workers exit — but tests and embedders
+				// may flip stop directly).
+				m.Call().Fail(rpc.ErrClosed)
+				s.failPartial(st, sl)
 				return
 			}
 			slot, okSlot = sl.get()
@@ -258,7 +296,24 @@ func (s *Store) runCR(id int) {
 		}
 		s.met.forwarded.Inc(id)
 	}
-	flush()
+	// Hard-stop exit (stop observed at the loop head): the MR side may be
+	// gone too, so fail the partial batch locally instead of pushing it.
+	s.failPartial(st, sl)
+}
+
+// failPartial completes every request in the worker's not-yet-pushed
+// partial batch with ErrClosed and recycles its slab slots and the
+// producer's local queue. Only the hard-stop path needs it: the graceful
+// drain flushes partial batches to the (still live) MR side instead.
+func (s *Store) failPartial(st *crPersist, sl *slab) {
+	for _, slot := range st.curBatch {
+		if c := sl.msgs[slot].Call(); c != nil {
+			c.Fail(rpc.ErrClosed)
+		}
+		sl.put(slot)
+	}
+	st.curBatch = st.curBatch[:0]
+	st.prod.DropLocal()
 }
 
 // encodeRequest builds the compact 16-byte CR-MR representation (Fig. 6).
@@ -352,6 +407,22 @@ func (s *Store) runMR(id int) {
 		// since changed role.
 		cr, reqs, rg := cons.Poll(s.cfg.Workers)
 		if cr == -1 {
+			if s.rpc.Closed() {
+				st := s.crp[id]
+				if !st.terminalDone {
+					// Shutdown drain: bounce through runCR once to consume
+					// the RPC slots the terminal schedule still assigns us
+					// and mark our retirement.
+					return
+				}
+				if s.drainExit(id) {
+					return
+				}
+				// Retired but other workers are still pushing their final
+				// batches; keep consuming until the drain barrier clears.
+				gate.idle()
+				continue
+			}
 			if id < int(s.nCR.Load()) && s.crmr.ColumnEmpty(id) {
 				// Reassigned to the CR layer and fully drained: switch.
 				return

@@ -11,6 +11,9 @@
 //	              5=stats2 (no payload; versioned named-pair response)
 //	response: status(1) len(4) payload[len]
 //	          status: 0=found/ok 1=not found 2=error (payload = message)
+//	          3=backlogged (retryable: the store shed the request under
+//	          overload; old clients that predate status 3 surface it as an
+//	          unknown-status transport error and reconnect)
 //	          scan payload: count(4) then count × { key(8) vlen(4) val }
 //	          stats2 payload: count(4) then count × { nlen(2) name
 //	          float64bits(8) } — self-describing, so servers may add
@@ -32,6 +35,7 @@ import (
 
 	"mutps/internal/kvcore"
 	"mutps/internal/obs"
+	"mutps/internal/rpc"
 )
 
 // Op codes on the wire.
@@ -49,7 +53,16 @@ const (
 	StatusFound byte = iota
 	StatusNotFound
 	StatusError
+	// StatusBacklogged is a retryable rejection: the store's receive ring
+	// stayed full for the whole backpressure budget and the request was
+	// shed without executing. The connection remains usable.
+	StatusBacklogged
 )
+
+// ErrBacklogged is returned by client calls when the server replies
+// StatusBacklogged: the request did not execute and may be retried after
+// backing off. The connection is still usable.
+var ErrBacklogged = errors.New("netserver: server backlogged, retry later")
 
 // maxPayload bounds request payloads (16 MB) to keep a malicious frame
 // from exhausting memory.
@@ -59,10 +72,26 @@ const maxPayload = 16 << 20
 // connections hash onto shards by arrival order.
 const latShards = 16
 
+// Config tunes a Server's connection hygiene. The zero value disables
+// both limits (accept everything, wait forever), matching the pre-config
+// behaviour.
+type Config struct {
+	// IdleTimeout is the per-frame read deadline: a connection that sends
+	// no complete request for this long is closed. Zero or negative
+	// disables it.
+	IdleTimeout time.Duration
+	// MaxConns caps concurrently served connections. A connection over the
+	// cap receives a StatusError reply ("connection limit reached") and is
+	// closed — a graceful rejection the client can report, not a silent
+	// drop. Zero or negative means unlimited.
+	MaxConns int
+}
+
 // Server serves a kvcore store over TCP.
 type Server struct {
 	store *kvcore.Store
 	ln    net.Listener
+	cfg   Config
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -71,20 +100,29 @@ type Server struct {
 
 	nextConn  atomic.Uint64
 	openConns *obs.Gauge
+	rejected  *obs.Counter
 	lat       [4]*obs.Histogram // wire op 0..3 latency, ns
 }
 
 // netOpLabels renders wire-op labels in op-code order.
 var netOpLabels = [4]string{`op="get"`, `op="put"`, `op="delete"`, `op="scan"`}
 
-// Serve starts accepting connections on ln and returns immediately. The
-// server registers its connection gauge and per-op latency histograms into
-// the store's metric registry; registration is idempotent, so several
-// servers over one store share series.
+// Serve starts accepting connections on ln with the zero Config and
+// returns immediately.
 func Serve(store *kvcore.Store, ln net.Listener) *Server {
-	s := &Server{store: store, ln: ln, conns: map[net.Conn]struct{}{}}
+	return ServeConfig(store, ln, Config{})
+}
+
+// ServeConfig starts accepting connections on ln and returns immediately.
+// The server registers its connection gauge and per-op latency histograms
+// into the store's metric registry; registration is idempotent, so several
+// servers over one store share series.
+func ServeConfig(store *kvcore.Store, ln net.Listener, cfg Config) *Server {
+	s := &Server{store: store, ln: ln, cfg: cfg, conns: map[net.Conn]struct{}{}}
 	reg := store.Metrics()
 	s.openConns = reg.Gauge("mutps_net_connections", "", "Open client connections.")
+	s.rejected = reg.Counter("mutps_net_conn_rejected_total", "",
+		"Connections refused at the MaxConns cap.", 1)
 	for op, l := range netOpLabels {
 		s.lat[op] = reg.Histogram("mutps_net_op_latency_nanoseconds", l,
 			"Per-request service time observed at the network server (read to reply), in nanoseconds.",
@@ -124,11 +162,29 @@ func (s *Server) acceptLoop() {
 			conn.Close()
 			return
 		}
+		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.rejectConn(conn)
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
+}
+
+// rejectConn refuses a connection over the MaxConns cap with a proper
+// protocol frame so the client reports "connection limit reached" instead
+// of an opaque EOF. The write gets a short deadline — a rejection must
+// never tie up the accept loop.
+func (s *Server) rejectConn(conn net.Conn) {
+	s.rejected.Inc(0)
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	w := bufio.NewWriter(conn)
+	writeResp(w, StatusError, []byte("connection limit reached"))
+	w.Flush()
+	conn.Close()
 }
 
 // connScratch is a connection's reusable frame storage: the request
@@ -159,6 +215,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	var hdr [13]byte
 	var cs connScratch
 	for {
+		if s.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			return
 		}
@@ -196,16 +255,26 @@ func (s *Server) serveConn(conn net.Conn) {
 func (s *Server) handle(w *bufio.Writer, op byte, key uint64, payload []byte, cs *connScratch) error {
 	switch op {
 	case OpGet:
-		if v, ok := s.store.GetInto(key, cs.val[:0]); ok {
+		v, ok, err := s.store.GetInto(key, cs.val[:0])
+		if err != nil {
+			return writeStoreErr(w, err)
+		}
+		if ok {
 			cs.val = v // keep any grown buffer for the next get
 			return writeResp(w, StatusFound, v)
 		}
 		return writeResp(w, StatusNotFound, nil)
 	case OpPut:
-		s.store.Put(key, payload)
+		if err := s.store.Put(key, payload); err != nil {
+			return writeStoreErr(w, err)
+		}
 		return writeResp(w, StatusFound, nil)
 	case OpDelete:
-		if s.store.Delete(key) {
+		found, err := s.store.Delete(key)
+		if err != nil {
+			return writeStoreErr(w, err)
+		}
+		if found {
 			return writeResp(w, StatusFound, nil)
 		}
 		return writeResp(w, StatusNotFound, nil)
@@ -232,7 +301,7 @@ func (s *Server) handle(w *bufio.Writer, op byte, key uint64, payload []byte, cs
 		}
 		kvs, err := s.store.Scan(key, int(count))
 		if err != nil {
-			return writeResp(w, StatusError, []byte(err.Error()))
+			return writeStoreErr(w, err)
 		}
 		body := append(cs.body[:0], 0, 0, 0, 0)
 		binary.LittleEndian.PutUint32(body, uint32(len(kvs)))
@@ -287,6 +356,17 @@ func (s *Server) appendStats2(body []byte) []byte {
 	return body
 }
 
+// writeStoreErr maps a store error onto the wire: overload shedding
+// becomes the retryable StatusBacklogged, everything else (including
+// rpc.ErrClosed during shutdown) a StatusError with the message as
+// payload. Error paths may allocate; the hot paths never reach here.
+func writeStoreErr(w *bufio.Writer, err error) error {
+	if errors.Is(err, rpc.ErrBacklogged) {
+		return writeResp(w, StatusBacklogged, nil)
+	}
+	return writeResp(w, StatusError, []byte(err.Error()))
+}
+
 func writeResp(w *bufio.Writer, status byte, payload []byte) error {
 	var hdr [5]byte
 	hdr[0] = status
@@ -301,19 +381,41 @@ func writeResp(w *bufio.Writer, status byte, payload []byte) error {
 // Client is a synchronous client for the netserver protocol; it is safe
 // for concurrent use (calls serialize on the connection).
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	mu        sync.Mutex
+	conn      net.Conn
+	r         *bufio.Reader
+	w         *bufio.Writer
+	opTimeout time.Duration
+	broken    error // first transport failure; poisons all later calls
 }
 
-// Dial connects to a μTPS network server.
+// Dial connects to a μTPS network server with no per-op deadline.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, 0, 0)
+}
+
+// DialTimeout connects like Dial but bounds the connect itself by
+// dialTimeout and every subsequent operation by opTimeout (zero disables
+// either). A timed-out operation leaves the request/response stream out of
+// sync, so it marks the connection broken: every later call fails fast and
+// the caller reconnects.
+func DialTimeout(addr string, dialTimeout, opTimeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+	return &Client{
+		conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn),
+		opTimeout: opTimeout,
+	}, nil
+}
+
+// SetOpTimeout changes the per-operation deadline (zero disables it). It
+// does not affect an operation already in flight.
+func (c *Client) SetOpTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.opTimeout = d
+	c.mu.Unlock()
 }
 
 // Close closes the connection.
@@ -322,33 +424,55 @@ func (c *Client) Close() error { return c.conn.Close() }
 func (c *Client) roundTrip(op byte, key uint64, payload []byte) (byte, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken != nil {
+		return 0, nil, fmt.Errorf("netserver: connection broken by earlier failure: %w", c.broken)
+	}
+	if c.opTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opTimeout))
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
+	fail := func(err error) (byte, []byte, error) {
+		// A transport failure mid-exchange desynchronizes the stream (a
+		// late response would be matched to the wrong request), so the
+		// connection is done: poison it and close, releasing any peer-side
+		// state. Waiters already queued on mu fail fast on broken.
+		c.broken = err
+		c.conn.Close()
+		return 0, nil, err
+	}
 	var hdr [13]byte
 	hdr[0] = op
 	binary.LittleEndian.PutUint64(hdr[1:9], key)
 	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(payload)))
 	if _, err := c.w.Write(hdr[:]); err != nil {
-		return 0, nil, err
+		return fail(err)
 	}
 	if _, err := c.w.Write(payload); err != nil {
-		return 0, nil, err
+		return fail(err)
 	}
 	if err := c.w.Flush(); err != nil {
-		return 0, nil, err
+		return fail(err)
 	}
 	var rh [5]byte
 	if _, err := io.ReadFull(c.r, rh[:]); err != nil {
-		return 0, nil, err
+		return fail(err)
 	}
 	plen := binary.LittleEndian.Uint32(rh[1:5])
 	if plen > maxPayload {
-		return 0, nil, errors.New("netserver: oversized response")
+		return fail(errors.New("netserver: oversized response"))
 	}
 	body := make([]byte, plen)
 	if _, err := io.ReadFull(c.r, body); err != nil {
-		return 0, nil, err
+		return fail(err)
 	}
-	if rh[0] == StatusError {
+	switch rh[0] {
+	case StatusError:
+		// An in-protocol error reply: the stream is still in sync and the
+		// connection stays usable.
 		return rh[0], nil, fmt.Errorf("netserver: %s", body)
+	case StatusBacklogged:
+		return rh[0], nil, ErrBacklogged
 	}
 	return rh[0], body, nil
 }

@@ -167,8 +167,11 @@ func (c *PipelineClient) readLoop() {
 		}
 		f.status = hdr[0]
 		f.body = body
-		if hdr[0] == StatusError {
+		switch hdr[0] {
+		case StatusError:
 			f.err = fmt.Errorf("netserver: %s", body)
+		case StatusBacklogged:
+			f.err = ErrBacklogged // retryable; the stream stays in sync
 		}
 		f.complete()
 	}

@@ -109,6 +109,12 @@ func (p *Producer) Flush(mrBase, nMR int) (mr int, flushed bool) {
 // pushed).
 func (p *Producer) PendingLocal() int { return len(p.batch) }
 
+// DropLocal discards the locally queued requests without pushing them,
+// keeping the batch slice's capacity. The shutdown path uses it after
+// failing the dropped requests' calls directly; Flush is wrong there
+// because the consumer side may already be gone.
+func (p *Producer) DropLocal() { p.batch = p.batch[:0] }
+
 // Stalls returns how many Push attempts found the target ring full.
 func (p *Producer) Stalls() uint64 { return p.stalls.Load() }
 

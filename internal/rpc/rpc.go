@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mutps/internal/workload"
 )
@@ -109,11 +110,51 @@ func (c *Call) Wait() {
 	// CAS failed: Complete won the race and the state is already done.
 }
 
+// WaitTimeout waits like Wait but gives up after d, reporting whether the
+// call completed. A false return leaves the call pending: the server may
+// still complete it later, so the caller must not Release a timed-out call
+// (and must not reuse its Dst buffer) until it eventually completes. The
+// same single-waiter rule as Wait applies.
+func (c *Call) WaitTimeout(d time.Duration) bool {
+	for i := 0; i < waitSpins; i++ {
+		if c.state.Load() == callDone {
+			return true
+		}
+		runtime.Gosched()
+	}
+	if !c.state.CompareAndSwap(callPending, callParked) {
+		return true // Complete won the race
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-c.park:
+		return true
+	case <-t.C:
+		// Un-park so a late Complete does not write to the channel with no
+		// reader. If the CAS fails, Complete is already committed to sending
+		// the token: consume it and report success.
+		if c.state.CompareAndSwap(callParked, callPending) {
+			return false
+		}
+		<-c.park
+		return true
+	}
+}
+
 // Complete finishes the call; servers call it exactly once per Send.
 func (c *Call) Complete() {
 	if c.state.Swap(callDone) == callParked {
 		c.park <- struct{}{}
 	}
+}
+
+// Fail completes the call with an error; it counts as the call's one
+// Complete. The drain path uses it to resolve calls the server will never
+// execute.
+func (c *Call) Fail(err error) {
+	c.Err = err
+	c.Complete()
 }
 
 // Release recycles the call into the pool. Call it after Wait, once, and
@@ -132,8 +173,15 @@ func (c *Call) Release() {
 	callPool.Put(c)
 }
 
-// ErrClosed is reported by Send after Close.
+// ErrClosed is reported by Send after Close, and is the error every call
+// caught by the shutdown drain completes with: a caller that sees it knows
+// the request was not executed.
 var ErrClosed = errors.New("rpc: server closed")
+
+// ErrBacklogged is reported by Send when the receive ring stays full for
+// the whole backpressure budget: the server is not consuming fast enough.
+// The request was never enqueued, so it is safe to retry after backing off.
+var ErrBacklogged = errors.New("rpc: receive ring backlogged")
 
 type slot struct {
 	seq atomic.Uint64
@@ -190,6 +238,14 @@ type Server struct {
 	sched  atomic.Pointer[schedule]
 	closed atomic.Bool
 
+	// inflight counts senders between their closed check and the point
+	// where their claim is either published or abandoned. Close spins until
+	// it reads zero, after which the ticket frontier is final: every claim
+	// below it is published and no claim at or above it will ever be made.
+	inflight   atomic.Int64
+	closeOnce  sync.Once
+	backlogged atomic.Uint64 // Sends failed with ErrBacklogged (observability)
+
 	reconfigs atomic.Uint64 // schedule changes applied (observability)
 
 	cursors    []cursorPad // per-worker next owned index (private to the worker)
@@ -240,30 +296,78 @@ func (s *Server) Workers() int {
 	return ph[len(ph)-1].n
 }
 
-// Send appends a request to the shared receive ring, spinning while the
-// ring is full, and returns the call future (nil after Close). Safe for
-// any number of concurrent client goroutines.
-func (s *Server) Send(m Message) *Call {
+// Backpressure budget for a Send that finds the ring full (§3.4): first a
+// run of scheduler yields (cheap; absorbs transient consumer hiccups),
+// then a run of short naps (absorbs IdleSleep-parked workers), then give
+// up with ErrBacklogged. The worst case is roughly sendFullNaps×sendFullNap
+// ≈ 20ms plus scheduling noise — generous enough that a live-but-busy
+// server never trips it, and bounded so a stalled server fails fast
+// instead of burning a core forever.
+const (
+	sendFullSpins = 1024
+	sendFullNaps  = 200
+	sendFullNap   = 100 * time.Microsecond
+)
+
+// Send appends a request to the shared receive ring and returns the call
+// future. It fails with ErrClosed after Close and with ErrBacklogged when
+// the ring stays full for the whole backpressure budget; in both cases the
+// request was not enqueued. Safe for any number of concurrent client
+// goroutines.
+func (s *Server) Send(m Message) (*Call, error) {
 	if s.closed.Load() {
-		return nil
+		return nil, ErrClosed
+	}
+	// Enter the inflight window before re-checking closed: Close sets the
+	// flag and then waits for inflight to hit zero, so either this sender
+	// sees closed here, or Close waits for it to publish/abandon. Either
+	// way no publication can land at or beyond the frontier Close reads.
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.closed.Load() {
+		return nil, ErrClosed
 	}
 	call := newCall()
 	call.Dst = m.Dst
 	m.call = call
-	pos := s.ticket.Add(1) - 1
-	sl := &s.slots[pos&s.capMask]
-	for sl.seq.Load() != pos {
-		if s.closed.Load() {
-			// The slot was never published, so no server will ever touch
-			// this call again; recycle it directly.
-			call.Release()
-			return nil
+	full := 0
+	for {
+		pos := s.ticket.Load()
+		sl := &s.slots[pos&s.capMask]
+		seq := sl.seq.Load()
+		if seq == pos {
+			// Slot free: claim the ticket, then publish unconditionally.
+			// Claim-before-publish (rather than an up-front fetch-add) means
+			// a Send that gives up never owns a ticket, so it cannot wedge
+			// the ring behind a permanently unpublished slot.
+			if s.ticket.CompareAndSwap(pos, pos+1) {
+				sl.msg = m
+				sl.seq.Store(pos + 1)
+				return call, nil
+			}
+			continue // lost the claim race; reload the ticket
 		}
-		runtime.Gosched() // ring full: wait for the owner to free the slot
+		if seq > pos {
+			continue // stale ticket read: another producer advanced it
+		}
+		// seq < pos: the slot still holds an unconsumed request from the
+		// previous lap — the ring is full. Wait within budget, then fail.
+		if s.closed.Load() {
+			call.Release()
+			return nil, ErrClosed
+		}
+		full++
+		switch {
+		case full < sendFullSpins:
+			runtime.Gosched()
+		case full < sendFullSpins+sendFullNaps:
+			time.Sleep(sendFullNap)
+		default:
+			call.Release()
+			s.backlogged.Add(1)
+			return nil, ErrBacklogged
+		}
 	}
-	sl.msg = m
-	sl.seq.Store(pos + 1)
-	return call
 }
 
 // parkedBit marks a cursor that currently owns no slot: the low bits hold
@@ -291,6 +395,21 @@ func (s *Server) Poll(w int) (m Message, ok bool, retired bool) {
 	}
 	sl := &s.slots[idx&s.capMask]
 	if sl.seq.Load() != idx+1 {
+		if s.closed.Load() {
+			// After Close installs the terminal phase, a cursor waiting at a
+			// never-published index must re-derive its ownership instead of
+			// waiting forever: under the terminal schedule it either still
+			// owns published slots below the frontier (keep polling) or owns
+			// nothing more (retire, completing the drain).
+			next, okN := s.sched.Load().nextOwned(idx, w)
+			if !okN {
+				s.cursors[w].v.Store(idx | parkedBit)
+				return Message{}, false, true
+			}
+			if next != idx {
+				s.cursors[w].v.Store(next)
+			}
+		}
 		return Message{}, false, false
 	}
 	m = sl.msg
@@ -317,6 +436,13 @@ func (s *Server) Reconfigure(newN int) uint64 {
 		panic("rpc: worker count out of range")
 	}
 	for {
+		if s.closed.Load() {
+			// The terminal phase is final; a reconfiguration racing with
+			// Close must not resurrect workers. (If our CAS below were to
+			// land first instead, Close drops the new phase: its start is at
+			// or beyond the frontier.)
+			return 0
+		}
 		old := s.sched.Load()
 		// S must be beyond every slot any worker could already have
 		// consumed; published slots are < ticket, and cursors never run
@@ -412,6 +538,69 @@ func (s *Server) PendingBefore(w int, sw uint64) bool {
 	return idx < sw && idx < s.ticket.Load()
 }
 
-// Close makes all subsequent Sends fail. In-flight calls must still be
-// drained by the workers.
-func (s *Server) Close() { s.closed.Store(true) }
+// Close initiates the shutdown drain; it is idempotent and safe against
+// concurrent Sends and Reconfigures. It (1) fails all subsequent Sends
+// with ErrClosed, (2) waits for in-flight Sends to publish or abandon,
+// freezing the ticket frontier F, and (3) installs a terminal schedule
+// phase {start: F, n: 0}: workers keep consuming every published slot
+// below F under the pre-close schedule and then retire, so the drain
+// completes every accepted request. Pending phases at or beyond F are
+// dropped — they would only ever govern slots that can no longer be
+// published.
+//
+// Close returns as soon as the terminal phase is installed; consumption of
+// the remaining slots is the workers' job. Callers that stop their workers
+// must run DrainStranded afterwards to fail anything left.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		for s.inflight.Load() != 0 {
+			runtime.Gosched() // producer quiesce: bounded by Send's budget
+		}
+		term := s.ticket.Load()
+		for {
+			old := s.sched.Load()
+			phases := make([]phase, 0, len(old.phases)+1)
+			for _, p := range old.phases {
+				if p.start < term {
+					phases = append(phases, p)
+				}
+			}
+			phases = append(phases, phase{start: term, n: 0})
+			if s.sched.CompareAndSwap(old, &schedule{phases: phases}) {
+				return
+			}
+		}
+	})
+}
+
+// Closed reports whether Close has been called.
+func (s *Server) Closed() bool { return s.closed.Load() }
+
+// Backlogged returns how many Sends failed with ErrBacklogged.
+func (s *Server) Backlogged() uint64 { return s.backlogged.Load() }
+
+// DrainStranded sweeps the ring for published-but-unconsumed slots and
+// fails their calls with ErrClosed, returning how many it resolved. Under
+// the graceful drain (Close, then let workers retire) it finds nothing:
+// every published slot has an owner that consumes it. It is the safety net
+// for callers that stop workers out-of-band, and must only be called after
+// Close has returned and every worker has exited — it touches slots
+// without claiming them.
+func (s *Server) DrainStranded() int {
+	n := 0
+	for j := range s.slots {
+		sl := &s.slots[j]
+		seq := sl.seq.Load()
+		if (seq-uint64(j))&s.capMask != 1 {
+			continue // free or already consumed, not published
+		}
+		if c := sl.msg.call; c != nil {
+			c.Fail(ErrClosed)
+		}
+		sl.msg = Message{}
+		sl.seq.Store(seq + s.capMask) // same advance a consuming Poll applies
+		n++
+	}
+	return n
+}

@@ -76,7 +76,10 @@ func TestSendPollSingleWorker(t *testing.T) {
 	if s.Cap() != 8 || s.Workers() != 1 {
 		t.Fatalf("cap=%d n=%d", s.Cap(), s.Workers())
 	}
-	call := s.Send(Message{Op: workload.OpGet, Key: 7})
+	call, err := s.Send(Message{Op: workload.OpGet, Key: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
 	m, ok, retired := s.Poll(0)
 	if !ok || retired || m.Key != 7 || m.Op != workload.OpGet {
 		t.Fatalf("poll = %+v ok=%v retired=%v", m, ok, retired)
@@ -261,8 +264,8 @@ func TestReconfigurePanics(t *testing.T) {
 func TestCloseStopsSends(t *testing.T) {
 	s := NewServer(4, 1, 1)
 	s.Close()
-	if s.Send(Message{}) != nil {
-		t.Fatal("Send after Close must return nil")
+	if call, err := s.Send(Message{}); err != ErrClosed || call != nil {
+		t.Fatalf("Send after Close = (%v, %v), want (nil, ErrClosed)", call, err)
 	}
 }
 
@@ -306,7 +309,10 @@ func TestConcurrentClientsAllDelivered(t *testing.T) {
 		go func(c int) {
 			defer cwg.Done()
 			for i := 0; i < perClient; i++ {
-				call := s.Send(Message{Key: uint64(c*perClient + i)})
+				call, err := s.Send(Message{Key: uint64(c*perClient + i)})
+				if err != nil {
+					panic(err)
+				}
 				call.Wait()
 			}
 		}(c)
@@ -358,7 +364,11 @@ func TestLiveReconfigurationUnderLoad(t *testing.T) {
 	go func() {
 		defer cwg.Done()
 		for i := 0; i < total; i++ {
-			s.Send(Message{Key: uint64(i)}).Wait()
+			call, err := s.Send(Message{Key: uint64(i)})
+			if err != nil {
+				panic(err)
+			}
+			call.Wait()
 			switch i {
 			case 1000:
 				s.Reconfigure(4)
@@ -425,7 +435,7 @@ func TestSchedulePruning(t *testing.T) {
 // load and never touches the park channel.
 func TestCallCompleteBeforeWait(t *testing.T) {
 	s := NewServer(8, 2, 1)
-	call := s.Send(Message{Op: workload.OpGet, Key: 1})
+	call, _ := s.Send(Message{Op: workload.OpGet, Key: 1})
 	m, ok, _ := s.Poll(0)
 	if !ok {
 		t.Fatal("missing message")
@@ -444,7 +454,7 @@ func TestCallCompleteBeforeWait(t *testing.T) {
 // is deliberately slow) and Complete must wake it exactly once.
 func TestCallParkWakeup(t *testing.T) {
 	s := NewServer(8, 2, 1)
-	call := s.Send(Message{Op: workload.OpGet, Key: 1})
+	call, _ := s.Send(Message{Op: workload.OpGet, Key: 1})
 	go func() {
 		time.Sleep(2 * time.Millisecond) // let the waiter exhaust its spins
 		m, ok, _ := s.Poll(0)
@@ -497,7 +507,7 @@ func TestCallReleaseRecycles(t *testing.T) {
 func TestSendReusesPooledCalls(t *testing.T) {
 	s := NewServer(8, 2, 1)
 	avg := testing.AllocsPerRun(200, func() {
-		call := s.Send(Message{Op: workload.OpGet, Key: 9})
+		call, _ := s.Send(Message{Op: workload.OpGet, Key: 9})
 		m, ok, _ := s.Poll(0)
 		if !ok {
 			t.Fatal("missing message")
@@ -523,7 +533,8 @@ func TestDepthTracksOccupancy(t *testing.T) {
 	}
 	var calls []*Call
 	for i := 0; i < 3; i++ {
-		calls = append(calls, s.Send(Message{Op: workload.OpGet, Key: uint64(i)}))
+		c, _ := s.Send(Message{Op: workload.OpGet, Key: uint64(i)})
+		calls = append(calls, c)
 	}
 	if d := s.Depth(); d != 3 {
 		t.Fatalf("depth after 3 sends = %d, want 3", d)
@@ -553,5 +564,58 @@ func TestReconfigurationsCounter(t *testing.T) {
 	s.Reconfigure(2)
 	if got := s.Reconfigurations(); got != 2 {
 		t.Fatalf("reconfigurations = %d, want 2", got)
+	}
+}
+
+// TestWaitTimeoutExpiresAndRecovers covers the deadline path of a pooled
+// call: an uncompleted call times out, then still completes normally —
+// the timed-out waiter's parked state must be fully reverted so the later
+// Complete neither blocks nor double-wakes.
+func TestWaitTimeoutExpiresAndRecovers(t *testing.T) {
+	s := NewServer(8, 1, 1)
+	call, err := s.Send(Message{Op: workload.OpGet, Key: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if call.WaitTimeout(10 * time.Millisecond) {
+		t.Fatal("WaitTimeout reported done on an uncompleted call")
+	}
+	m, ok, _ := s.Poll(0)
+	if !ok {
+		t.Fatal("published message not visible to the worker")
+	}
+	m.Call().Complete()
+	if !call.WaitTimeout(time.Second) {
+		t.Fatal("WaitTimeout did not observe the completion")
+	}
+	call.Wait() // done is sticky: further waits return immediately
+	call.Release()
+}
+
+// TestWaitTimeoutCompleteRace hammers the window where Complete fires just
+// as the timeout reverts the parked state. Under -race this is the gate on
+// the CAS-revert protocol: a lost token would strand the follow-up Wait, a
+// duplicate token would corrupt the next pooled use of the call.
+func TestWaitTimeoutCompleteRace(t *testing.T) {
+	s := NewServer(64, 1, 1)
+	for i := 0; i < 300; i++ {
+		call, err := s.Send(Message{Op: workload.OpGet, Key: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			for {
+				m, ok, _ := s.Poll(0)
+				if ok {
+					m.Call().Complete()
+					return
+				}
+				runtime.Gosched()
+			}
+		}()
+		if !call.WaitTimeout(time.Duration(i%7) * 10 * time.Microsecond) {
+			call.Wait() // timed out: completion must still arrive and wake us
+		}
+		call.Release()
 	}
 }

@@ -129,40 +129,54 @@ func Open(o Options) (*Store, error) {
 	return st, nil
 }
 
-// Close stops the store's workers. Drain outstanding calls first.
+// ErrClosed is returned by operations issued after (or racing with) Close:
+// the request did not execute.
+var ErrClosed = rpc.ErrClosed
+
+// ErrBacklogged is returned when the store sheds a request because its
+// receive ring stayed full for the whole backpressure budget. The request
+// did not execute and may be retried after backing off.
+var ErrBacklogged = rpc.ErrBacklogged
+
+// Close drains and stops the store; it is idempotent and safe to call
+// under concurrent load. Requests accepted before Close complete normally;
+// concurrent and later requests fail with ErrClosed — no caller is ever
+// left hanging.
 func (st *Store) Close() { st.s.Close() }
 
 // Get fetches the value stored under key. The returned slice is freshly
 // allocated; use GetInto on hot paths to reuse a caller-owned buffer.
-func (st *Store) Get(key uint64) ([]byte, bool) { return st.s.Get(key) }
+func (st *Store) Get(key uint64) ([]byte, bool, error) { return st.s.Get(key) }
 
 // GetInto fetches the value stored under key, appending it into buf[:0].
 // When buf has enough capacity the returned value aliases it and the
 // request completes without allocating; otherwise a fresh slice is
-// returned. On a miss it returns buf[:0] and false. buf must not be
-// touched while the request is in flight, and the typical calling pattern
-// reuses the returned slice:
+// returned. On a miss (and on error) it returns buf[:0] and false. buf
+// must not be touched while the request is in flight, and the typical
+// calling pattern reuses the returned slice:
 //
-//	buf, _ = st.GetInto(key, buf)
-func (st *Store) GetInto(key uint64, buf []byte) ([]byte, bool) {
+//	buf, _, _ = st.GetInto(key, buf)
+func (st *Store) GetInto(key uint64, buf []byte) ([]byte, bool, error) {
 	return st.s.GetInto(key, buf)
 }
 
 // Put stores val under key. The value bytes are copied into the store
-// before Put returns, so the caller may immediately reuse val.
-func (st *Store) Put(key uint64, val []byte) { st.s.Put(key, val) }
+// before Put returns, so the caller may immediately reuse val. A non-nil
+// error (ErrClosed, ErrBacklogged) means the put did not execute.
+func (st *Store) Put(key uint64, val []byte) error { return st.s.Put(key, val) }
 
 // Delete removes key, reporting whether it existed.
-func (st *Store) Delete(key uint64) bool { return st.s.Delete(key) }
+func (st *Store) Delete(key uint64) (bool, error) { return st.s.Delete(key) }
 
 // GetBatch fetches several keys with one pipelined round trip: all
 // requests are in flight together, so the memory-resident layer can serve
 // them with a shared batched index traversal (the paper's batched
-// indexing). Results are positional.
+// indexing). Results are positional; a key whose send failed (store
+// closed or backlogged) reports not-found.
 func (st *Store) GetBatch(keys []uint64) (vals [][]byte, found []bool) {
 	calls := make([]*rpc.Call, len(keys))
 	for i, k := range keys {
-		calls[i] = st.s.SendAsync(rpc.Message{Op: workload.OpGet, Key: k})
+		calls[i], _ = st.s.SendAsync(rpc.Message{Op: workload.OpGet, Key: k})
 	}
 	vals = make([][]byte, len(keys))
 	found = make([]bool, len(keys))
@@ -171,7 +185,9 @@ func (st *Store) GetBatch(keys []uint64) (vals [][]byte, found []bool) {
 			continue
 		}
 		c.Wait()
-		vals[i], found[i] = c.Value, c.Found
+		if c.Err == nil {
+			vals[i], found[i] = c.Value, c.Found
+		}
 		c.Release() // values are freshly allocated, safe to keep past release
 	}
 	return vals, found

@@ -26,7 +26,7 @@ func TestDefaults(t *testing.T) {
 		t.Fatalf("default split %d/%d, want 1/3", nCR, nMR)
 	}
 	s.Put(1, []byte("v"))
-	if v, ok := s.Get(1); !ok || string(v) != "v" {
+	if v, ok, _ := s.Get(1); !ok || string(v) != "v" {
 		t.Fatal("basic put/get through the facade failed")
 	}
 }
@@ -57,7 +57,7 @@ func TestPreloadCopiesValue(t *testing.T) {
 	buf := []byte("mutable")
 	s.Preload(9, buf)
 	buf[0] = 'X'
-	if v, _ := s.Get(9); string(v) != "mutable" {
+	if v, _, _ := s.Get(9); string(v) != "mutable" {
 		t.Fatal("Preload must copy the value")
 	}
 }
@@ -126,7 +126,7 @@ func ExampleOpen() {
 	}
 	defer store.Close()
 	store.Put(42, []byte("answer"))
-	v, _ := store.Get(42)
+	v, _, _ := store.Get(42)
 	fmt.Println(string(v))
 	// Output: answer
 }
