@@ -41,12 +41,17 @@ func main() {
 	valueSize := flag.Int("value", 64, "value size in bytes")
 	ops := flag.Int("ops", 100_000, "total operations")
 	clients := flag.Int("clients", 4, "concurrent connections")
-	depth := flag.Int("depth", 1, "requests in flight per connection (>1 uses the pipelined client)")
+	depth := flag.Int("depth", 1, "deprecated alias for -inflight")
+	inflight := flag.Int("inflight", 0, "requests in flight per connection (>1 uses the pipelined client; matches the server's per-connection window)")
 	load := flag.Bool("load", true, "pre-populate the keyspace first")
 	traceFile := flag.String("trace", "", "replay a CSV trace instead of YCSB")
 	opTimeout := flag.Duration("op-timeout", 0,
 		"per-operation deadline on synchronous connections; a timed-out connection is abandoned (0 disables)")
 	flag.Parse()
+	// -inflight supersedes -depth; the old name keeps working as an alias.
+	if *inflight > 0 {
+		*depth = *inflight
+	}
 
 	mixes := map[string]workload.Mix{
 		"A": workload.MixYCSBA, "B": workload.MixYCSBB, "C": workload.MixYCSBC,

@@ -32,6 +32,8 @@ func main() {
 		"close connections idle for this long (0 disables)")
 	maxConns := flag.Int("max-conns", 0,
 		"cap on concurrently served connections; over-cap clients get a graceful error reply (0 = unlimited)")
+	inflight := flag.Int("inflight", 0,
+		"per-connection pipelining window: requests decoded but not yet answered (0 = default, 1 = synchronous)")
 	flag.Parse()
 
 	eng := kvcore.Hash
@@ -65,6 +67,7 @@ func main() {
 	srv := netserver.ServeConfig(store, ln, netserver.Config{
 		IdleTimeout: *idleTimeout,
 		MaxConns:    *maxConns,
+		MaxInflight: *inflight,
 	})
 	log.Printf("μTPS-%s serving on %s (%d workers, %d at CR layer, hot=%d)",
 		map[kvcore.Engine]string{kvcore.Hash: "H", kvcore.Tree: "T"}[eng],

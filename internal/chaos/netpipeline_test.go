@@ -1,0 +1,183 @@
+package chaos
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"mutps/internal/kvcore"
+	"mutps/internal/netserver"
+	"mutps/internal/obs"
+)
+
+func startPipelinedServer(t *testing.T, window int) (*netserver.Server, *kvcore.Store) {
+	t.Helper()
+	s, err := kvcore.Open(kvcore.Config{Engine: kvcore.Hash, Workers: 4, CRWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return netserver.ServeConfig(s, ln, netserver.Config{MaxInflight: window}), s
+}
+
+// TestServerCloseMidWindow kills the server while a pipelined client has a
+// full in-flight window streaming through it. Every future handed out must
+// still complete — with a result or a transport error, never a hang — and
+// the server's decode/completion goroutines, the store workers, and the
+// client's read loop must all unwind.
+func TestServerCloseMidWindow(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv, s := startPipelinedServer(t, 32)
+	for k := uint64(0); k < 256; k++ {
+		s.Preload(k, []byte("payload-payload-payload"))
+	}
+	p, err := netserver.DialPipeline(srv.Addr().String(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	futs := make(chan *netserver.Future, 4096)
+	senderDone := make(chan struct{})
+	go func() {
+		defer close(senderDone)
+		defer close(futs)
+		val := []byte("mid-window write")
+		for i := 0; i < 4096; i++ {
+			op, payload := netserver.OpGet, []byte(nil)
+			if i%3 == 0 {
+				op, payload = netserver.OpPut, val
+			}
+			f, err := p.Send(op, uint64(i%256), payload)
+			if err != nil {
+				return // server died under us: expected
+			}
+			futs <- f
+			if i%64 == 63 {
+				if p.Flush() != nil {
+					return
+				}
+			}
+		}
+		p.Flush()
+	}()
+
+	// Let the window fill and responses start streaming, then yank the
+	// server out from under the client mid-burst.
+	time.Sleep(10 * time.Millisecond)
+	WithinDeadline(t, 10*time.Second, "netserver.Close mid-window", func() { srv.Close() })
+
+	WithinDeadline(t, 20*time.Second, "retiring every issued future", func() {
+		<-senderDone
+		for f := range futs {
+			f.Wait() // success or error both fine; stranding is the bug
+			f.Release()
+		}
+	})
+	p.Close()
+	WithinDeadline(t, 10*time.Second, "store.Close", s.Close)
+	VerifyNoLeaks(t, before)
+}
+
+// TestSlowReaderWindowBoundsServerMemory proves the per-connection window
+// is the server's memory bound: a client that writes a long burst of
+// large-value gets but never reads responses must stall the server's
+// decode stage at the window, not buffer the whole burst. Once the client
+// starts draining, every response must still arrive in FIFO order.
+func TestSlowReaderWindowBoundsServerMemory(t *testing.T) {
+	const (
+		window = 4
+		nKeys  = 16
+		nReqs  = 256
+		valLen = 256 << 10
+	)
+	before := runtime.NumGoroutine()
+	srv, s := startPipelinedServer(t, window)
+	val := make([]byte, valLen)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	for k := uint64(0); k < nKeys; k++ {
+		binary.LittleEndian.PutUint64(val, k)
+		s.Preload(k, val)
+	}
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write every request frame without reading a single response. The
+	// frames are 13 bytes each, so they all reach the server; the 256KB
+	// responses jam the server's write side, retire stalls, the window
+	// fills, and decode must stop claiming slots.
+	var hdr [13]byte
+	bw := bufio.NewWriter(conn)
+	for i := 0; i < nReqs; i++ {
+		hdr[0] = netserver.OpGet
+		binary.LittleEndian.PutUint64(hdr[1:9], uint64(i%nKeys))
+		binary.LittleEndian.PutUint32(hdr[9:13], 0)
+		if _, err := bw.Write(hdr[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Give the server ample time to decode as far as it will ever get.
+	time.Sleep(300 * time.Millisecond)
+	if !obs.Disabled {
+		m := s.Metrics().SnapshotMap()
+		if got := m["mutps_net_inflight"]; got > window {
+			t.Fatalf("in-flight gauge %v exceeds the window %d", got, window)
+		}
+		// Decode must have stalled well short of the burst: only the window
+		// plus what the kernel socket buffers swallowed can have been
+		// submitted.
+		if sub := m["mutps_net_ops_submitted_total"]; sub >= nReqs {
+			t.Fatalf("server decoded all %d requests (%v submitted) against a non-reading client; the window is not bounding memory", nReqs, sub)
+		} else {
+			t.Logf("decode stalled after %v of %d requests (window %d)", sub, nReqs, window)
+		}
+	}
+
+	// Now drain: every response must arrive, in request order, intact.
+	r := bufio.NewReaderSize(conn, 1<<20)
+	body := make([]byte, valLen)
+	var rh [5]byte
+	WithinDeadline(t, 60*time.Second, "draining the jammed burst", func() {
+		for i := 0; i < nReqs; i++ {
+			if _, err := io.ReadFull(r, rh[:]); err != nil {
+				t.Errorf("response %d: %v", i, err)
+				return
+			}
+			if rh[0] != netserver.StatusFound {
+				t.Errorf("response %d: status %d", i, rh[0])
+				return
+			}
+			plen := binary.LittleEndian.Uint32(rh[1:5])
+			if plen != valLen {
+				t.Errorf("response %d: %d bytes, want %d", i, plen, valLen)
+				return
+			}
+			if _, err := io.ReadFull(r, body); err != nil {
+				t.Errorf("response %d: body: %v", i, err)
+				return
+			}
+			if got, want := binary.LittleEndian.Uint64(body), uint64(i%nKeys); got != want {
+				t.Errorf("response %d: FIFO violation: value stamped %d, want %d", i, got, want)
+				return
+			}
+		}
+	})
+	conn.Close()
+	WithinDeadline(t, 10*time.Second, "netserver.Close", func() { srv.Close() })
+	WithinDeadline(t, 10*time.Second, "store.Close", s.Close)
+	VerifyNoLeaks(t, before)
+}

@@ -331,6 +331,35 @@ func (s *Store) Scan(start uint64, count int) ([]KV, error) {
 // is nil; a non-nil call always completes, possibly with call.Err set.
 func (s *Store) SendAsync(m rpc.Message) (*rpc.Call, error) { return s.rpc.Send(m) }
 
+// GetAsync submits a get and returns its completion future without
+// waiting. dst is the caller-owned destination buffer (GetInto's buf):
+// the value is appended into dst[:0] when its capacity suffices, and dst
+// must not be touched until the call completes (poll with call.Done,
+// block with call.Wait). After completion call.Value/call.Found carry the
+// result; Release the call when done with them. A nil call (with
+// rpc.ErrClosed or rpc.ErrBacklogged) means nothing was enqueued.
+//
+// The async facade trades the facade's per-op latency instrumentation for
+// pipelining: callers that keep N calls in flight (the netserver's
+// per-connection window, load generators) record their own latency.
+func (s *Store) GetAsync(key uint64, dst []byte) (*rpc.Call, error) {
+	return s.rpc.Send(rpc.Message{Op: workload.OpGet, Key: key, Dst: dst})
+}
+
+// PutAsync submits a put and returns its completion future without
+// waiting. val must stay untouched until the call completes: the value is
+// copied into the item only when a worker executes the request, not at
+// submit time (the synchronous Put hides this by blocking).
+func (s *Store) PutAsync(key uint64, val []byte) (*rpc.Call, error) {
+	return s.rpc.Send(rpc.Message{Op: workload.OpPut, Key: key, Value: val})
+}
+
+// DeleteAsync submits a delete and returns its completion future without
+// waiting; call.Found reports whether the key existed.
+func (s *Store) DeleteAsync(key uint64) (*rpc.Call, error) {
+	return s.rpc.Send(rpc.Message{Op: workload.OpDelete, Key: key})
+}
+
 // --- manager operations ----------------------------------------------------
 
 // Split returns the current (CR, MR) worker allocation.

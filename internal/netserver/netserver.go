@@ -85,7 +85,20 @@ type Config struct {
 	// closed — a graceful rejection the client can report, not a silent
 	// drop. Zero or negative means unlimited.
 	MaxConns int
+	// MaxInflight is the per-connection pipelining window: how many decoded
+	// requests may be in flight in the store at once before the connection's
+	// decode stage stops reading (bounding per-connection memory at
+	// MaxInflight request/response contexts; the client then backs up onto
+	// TCP flow control). 1 degenerates to the old synchronous
+	// one-op-at-a-time loop; zero or negative means DefaultInflight.
+	MaxInflight int
 }
+
+// DefaultInflight is the per-connection window used when
+// Config.MaxInflight is unset. It matches the receive-ring depth a single
+// pipelined client needs to keep the CR layer busy without opening
+// hundreds of connections.
+const DefaultInflight = 128
 
 // Server serves a kvcore store over TCP.
 type Server struct {
@@ -102,6 +115,14 @@ type Server struct {
 	openConns *obs.Gauge
 	rejected  *obs.Counter
 	lat       [4]*obs.Histogram // wire op 0..3 latency, ns
+
+	// Pipelined-executor instruments: window occupancy across connections
+	// (submitted minus retired), the two counters that delta derives from,
+	// and the flush-coalescing histogram (responses per Flush syscall).
+	inflight   *obs.Gauge
+	submitted  *obs.Counter
+	retired    *obs.Counter
+	flushBatch *obs.Histogram
 }
 
 // netOpLabels renders wire-op labels in op-code order.
@@ -125,9 +146,17 @@ func ServeConfig(store *kvcore.Store, ln net.Listener, cfg Config) *Server {
 		"Connections refused at the MaxConns cap.", 1)
 	for op, l := range netOpLabels {
 		s.lat[op] = reg.Histogram("mutps_net_op_latency_nanoseconds", l,
-			"Per-request service time observed at the network server (read to reply), in nanoseconds.",
+			"Per-request service time observed at the network server (decode to retired reply), in nanoseconds.",
 			latShards)
 	}
+	s.inflight = reg.Gauge("mutps_net_inflight", "",
+		"Requests decoded but not yet retired, across all connections (per-connection pipelining window occupancy).")
+	s.submitted = reg.Counter("mutps_net_ops_submitted_total", "",
+		"Requests decoded and entered into a connection's in-flight window.", latShards)
+	s.retired = reg.Counter("mutps_net_ops_retired_total", "",
+		"Responses retired in FIFO order by connection completion stages.", latShards)
+	s.flushBatch = reg.Histogram("mutps_net_flush_coalesce", "",
+		"Responses carried by one connection flush (coalesced write syscalls per burst).", latShards)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -187,18 +216,10 @@ func (s *Server) rejectConn(conn net.Conn) {
 	conn.Close()
 }
 
-// connScratch is a connection's reusable frame storage: the request
-// payload, the get-value destination, and the scan response body are all
-// read into (or built in) buffers that persist across requests, so the
-// steady-state serve loop does not allocate per frame. Reuse is safe
-// because the store copies put payloads before returning and every
-// response is flushed to the bufio writer before the next frame is read.
-type connScratch struct {
-	payload []byte
-	val     []byte
-	body    []byte
-}
-
+// serveConn runs one connection's pipelined executor (pipeserve.go): a
+// decode stage that reads frames and submits them asynchronously into the
+// store, and a completion stage that retires responses in FIFO order with
+// coalesced flushes.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	connID := int(s.nextConn.Add(1))
@@ -210,113 +231,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
-	var hdr [13]byte
-	var cs connScratch
-	for {
-		if s.cfg.IdleTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-		}
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return
-		}
-		op := hdr[0]
-		key := binary.LittleEndian.Uint64(hdr[1:9])
-		plen := binary.LittleEndian.Uint32(hdr[9:13])
-		if plen > maxPayload {
-			writeResp(w, StatusError, []byte("payload too large"))
-			w.Flush()
-			return
-		}
-		if uint32(cap(cs.payload)) < plen {
-			cs.payload = make([]byte, plen)
-		}
-		payload := cs.payload[:plen]
-		if _, err := io.ReadFull(r, payload); err != nil {
-			return
-		}
-		var t0 time.Time
-		if !obs.Disabled {
-			t0 = time.Now()
-		}
-		if err := s.handle(w, op, key, payload, &cs); err != nil {
-			return
-		}
-		if !obs.Disabled && op < OpStats {
-			s.lat[op].Record(connID, uint64(time.Since(t0)))
-		}
-		if err := w.Flush(); err != nil {
-			return
-		}
-	}
-}
-
-func (s *Server) handle(w *bufio.Writer, op byte, key uint64, payload []byte, cs *connScratch) error {
-	switch op {
-	case OpGet:
-		v, ok, err := s.store.GetInto(key, cs.val[:0])
-		if err != nil {
-			return writeStoreErr(w, err)
-		}
-		if ok {
-			cs.val = v // keep any grown buffer for the next get
-			return writeResp(w, StatusFound, v)
-		}
-		return writeResp(w, StatusNotFound, nil)
-	case OpPut:
-		if err := s.store.Put(key, payload); err != nil {
-			return writeStoreErr(w, err)
-		}
-		return writeResp(w, StatusFound, nil)
-	case OpDelete:
-		found, err := s.store.Delete(key)
-		if err != nil {
-			return writeStoreErr(w, err)
-		}
-		if found {
-			return writeResp(w, StatusFound, nil)
-		}
-		return writeResp(w, StatusNotFound, nil)
-	case OpStats:
-		st := s.store.Stats()
-		var body [40]byte
-		binary.LittleEndian.PutUint64(body[0:], st.Ops)
-		binary.LittleEndian.PutUint64(body[8:], st.CRHits)
-		binary.LittleEndian.PutUint64(body[16:], st.Forwarded)
-		binary.LittleEndian.PutUint64(body[24:], uint64(st.Items))
-		binary.LittleEndian.PutUint64(body[32:], uint64(st.HotSize))
-		return writeResp(w, StatusFound, body[:])
-	case OpStats2:
-		body := s.appendStats2(cs.body[:0])
-		cs.body = body
-		return writeResp(w, StatusFound, body)
-	case OpScan:
-		if len(payload) != 4 {
-			return writeResp(w, StatusError, []byte("scan payload must be a uint32 count"))
-		}
-		count := binary.LittleEndian.Uint32(payload)
-		if count > kvcore.MaxScanCount {
-			return writeResp(w, StatusError, []byte("scan count too large"))
-		}
-		kvs, err := s.store.Scan(key, int(count))
-		if err != nil {
-			return writeStoreErr(w, err)
-		}
-		body := append(cs.body[:0], 0, 0, 0, 0)
-		binary.LittleEndian.PutUint32(body, uint32(len(kvs)))
-		var tmp [12]byte
-		for _, kv := range kvs {
-			binary.LittleEndian.PutUint64(tmp[0:8], kv.Key)
-			binary.LittleEndian.PutUint32(tmp[8:12], uint32(len(kv.Value)))
-			body = append(body, tmp[:]...)
-			body = append(body, kv.Value...)
-		}
-		cs.body = body
-		return writeResp(w, StatusFound, body)
-	default:
-		return writeResp(w, StatusError, []byte(fmt.Sprintf("unknown op %d", op)))
-	}
+	newConnPipeline(s, conn, connID).run()
 }
 
 // legacyStatNames are the five counters the fixed-layout op 4 frame

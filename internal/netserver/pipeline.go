@@ -222,26 +222,42 @@ func (c *PipelineClient) Send(op byte, key uint64, payload []byte) (*Future, err
 	binary.LittleEndian.PutUint64(hdr[1:9], key)
 	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(payload)))
 	if _, err := c.w.Write(hdr[:]); err != nil {
-		return nil, err
+		return nil, c.writeFailed(err)
 	}
 	if _, err := c.w.Write(payload); err != nil {
-		return nil, err
+		return nil, c.writeFailed(err)
 	}
 	// Flush opportunistically: batch consecutive sends, but never hold a
 	// request hostage when the caller is about to Wait.
 	if len(c.pending) <= 1 || c.w.Buffered() > 32<<10 {
 		if err := c.w.Flush(); err != nil {
-			return nil, err
+			return nil, c.writeFailed(err)
 		}
 	}
 	return f, nil
 }
 
-// Flush pushes any buffered requests to the wire.
+// writeFailed handles a transport error after the future has already been
+// enqueued to pending. The future cannot be dequeued (the reader owns the
+// channel) and must not be stranded: closing the connection makes the read
+// loop fail — it completes the enqueued future and every later one with
+// the read error — and bufio's sticky error fails all subsequent Sends
+// fast. The caller never receives the future, so nobody double-waits it.
+func (c *PipelineClient) writeFailed(err error) error {
+	c.conn.Close()
+	return err
+}
+
+// Flush pushes any buffered requests to the wire. A flush error means
+// enqueued requests can never reach the server, so the connection is
+// closed to fail their futures (see writeFailed).
 func (c *PipelineClient) Flush() error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	return c.w.Flush()
+	if err := c.w.Flush(); err != nil {
+		return c.writeFailed(err)
+	}
+	return nil
 }
 
 // Close tears down the connection and fails outstanding futures.

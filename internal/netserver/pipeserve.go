@@ -1,0 +1,412 @@
+// Pipelined server-side execution: the per-connection serve loop as a
+// submit/complete FSM instead of run-to-completion.
+//
+// The old loop read one frame, blocked on the synchronous store facade,
+// wrote the response, and issued one Flush syscall per reply — so a
+// pipelined client at depth 128 was serialized to depth 1 server-side and
+// the receive ring idled unless the benchmark opened hundreds of
+// connections. This file splits the loop into the same two-stage shape the
+// CR workers already use:
+//
+//	decode stage (readLoop):   read frame → claim a window slot → submit
+//	                           asynchronously via the store's async facade
+//	completion stage (writeLoop): retire window slots in strict FIFO
+//	                           order → encode the response → coalesce
+//	                           flushes across the burst
+//
+// The window is a fixed set of Config.MaxInflight netOp slots circulating
+// between two channels (free → pending → free). Claiming a slot is the
+// backpressure point: when the window is full — or the completion stage is
+// wedged behind a slow reader — the decode stage stops reading and the
+// client backs up onto TCP flow control, so per-connection server memory
+// is bounded at MaxInflight request/response contexts no matter how fast
+// the client writes. Each slot owns its payload and value buffers, so the
+// steady-state path allocates nothing per request (the zero-alloc GetInto
+// discipline, preserved asynchronously: gets submit with Dst drawn from
+// the slot).
+//
+// Ops the store cannot execute asynchronously (Scan, Stats, Stats2) are
+// barriers: they ride the window as ordinary slots but execute inline in
+// the completion stage, which by FIFO order means every earlier response
+// has already been retired and written — the window drains itself in front
+// of them. Store-level overload surfaces per-op: a submit that fails with
+// rpc.ErrBacklogged becomes an in-order StatusBacklogged reply and the
+// connection keeps streaming.
+package netserver
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mutps/internal/kvcore"
+	"mutps/internal/obs"
+	"mutps/internal/rpc"
+)
+
+// Pre-resolved error payloads for protocol violations, allocated once so
+// rejecting a malformed frame stays allocation-free.
+var (
+	errMsgPayloadTooLarge = []byte("payload too large")
+	errMsgScanPayload     = []byte("scan payload must be a uint32 count")
+	errMsgScanCount       = []byte("scan count too large")
+)
+
+// submitHook, when set, intercepts asynchronous submission with an
+// injected error before the store sees the request. It exists so tests can
+// drive the shed path (rpc.ErrBacklogged → StatusBacklogged) and the
+// closed path deterministically; production code never sets it. Atomic so
+// a test can install/clear it while server goroutines are live.
+var submitHook atomic.Pointer[func(op byte, key uint64) error]
+
+// netOp is one slot of a connection's in-flight window: the decoded
+// request header, either the store's completion future (async ops) or a
+// pre-resolved status (protocol errors, submit failures, barrier markers),
+// and the slot-owned buffers the request and response flow through.
+type netOp struct {
+	op         byte
+	status     byte // pre-resolved response status when call is nil
+	barrier    bool // execute inline at retire time (Scan/Stats/Stats2)
+	closeAfter bool // fatal protocol error: retire this, then drop the conn
+	key        uint64
+	scanCount  uint32
+	call       *rpc.Call
+	msg        []byte // pre-resolved response payload
+	payload    []byte // slot-owned put-payload buffer (stable until retire)
+	val        []byte // slot-owned get-destination buffer (rpc Dst)
+	t0         time.Time
+}
+
+// connPipeline is the per-connection pipelined executor state shared by
+// the decode and completion stages.
+type connPipeline struct {
+	s      *Server
+	conn   net.Conn
+	connID int
+	r      *bufio.Reader
+	w      *bufio.Writer
+
+	free    chan *netOp // window slots available to the decode stage
+	pending chan *netOp // submitted slots, in request order (the FIFO)
+
+	// Completion-stage locals (never touched by the decode stage).
+	batch int    // responses encoded since the last flush
+	dead  bool   // transport write failed: stop writing, keep retiring
+	body  []byte // reusable scan/stats response build buffer
+}
+
+// pipeWriterBuf sizes the response writer. Bursts larger than this
+// self-flush inside bufio (one write syscall per 32 KB), so coalescing
+// never trades a syscall for unbounded buffering.
+const pipeWriterBuf = 32 << 10
+
+func newConnPipeline(s *Server, conn net.Conn, connID int) *connPipeline {
+	window := s.cfg.MaxInflight
+	if window <= 0 {
+		window = DefaultInflight
+	}
+	p := &connPipeline{
+		s: s, conn: conn, connID: connID,
+		r:       bufio.NewReader(conn),
+		w:       bufio.NewWriterSize(conn, pipeWriterBuf),
+		free:    make(chan *netOp, window),
+		pending: make(chan *netOp, window),
+	}
+	slots := make([]netOp, window)
+	for i := range slots {
+		p.free <- &slots[i]
+	}
+	return p
+}
+
+// run drives both stages and returns when the connection is done: the
+// decode stage exits on read error (connection closed, idle timeout,
+// fatal protocol error), and the completion stage then drains every
+// still-pending slot — waiting out in-flight store calls so their buffers
+// and pooled rpc.Calls are never abandoned mid-use — before returning.
+func (p *connPipeline) run() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.writeLoop()
+	}()
+	p.readLoop()
+	close(p.pending)
+	wg.Wait()
+}
+
+// readLoop is the decode stage: frame in, window slot claimed, request
+// submitted, slot enqueued for FIFO retirement.
+func (p *connPipeline) readLoop() {
+	s := p.s
+	var hdr [13]byte
+	for {
+		if s.cfg.IdleTimeout > 0 {
+			p.conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		if _, err := io.ReadFull(p.r, hdr[:]); err != nil {
+			return
+		}
+		// Claiming the slot is the backpressure point: with the window full
+		// this blocks until the completion stage retires the head, which in
+		// turn stops the reads that would grow per-connection memory.
+		e := <-p.free
+		e.op = hdr[0]
+		e.key = binary.LittleEndian.Uint64(hdr[1:9])
+		e.call = nil
+		e.barrier = false
+		e.closeAfter = false
+		e.status = 0
+		e.msg = nil
+		plen := binary.LittleEndian.Uint32(hdr[9:13])
+		if plen > maxPayload {
+			e.status, e.msg, e.closeAfter = StatusError, errMsgPayloadTooLarge, true
+			p.track()
+			p.pending <- e
+			return
+		}
+		if uint32(cap(e.payload)) < plen {
+			e.payload = make([]byte, plen)
+		}
+		payload := e.payload[:plen]
+		if _, err := io.ReadFull(p.r, payload); err != nil {
+			// Half a frame: no response owed. The slot is simply not
+			// recirculated; the whole window dies with the connection.
+			return
+		}
+		if !obs.Disabled && e.op < OpStats {
+			e.t0 = time.Now()
+		}
+		p.submit(e, payload)
+		p.track()
+		p.pending <- e
+		if e.closeAfter {
+			return
+		}
+	}
+}
+
+// track counts one slot entering the in-flight window.
+func (p *connPipeline) track() {
+	if obs.Disabled {
+		return
+	}
+	p.s.submitted.Inc(p.connID)
+	p.s.inflight.Add(1)
+}
+
+// submit enters one decoded request into the store's async path, or
+// pre-resolves the slot for protocol errors, submit failures, and barrier
+// ops. payload is e.payload[:plen] (stable until the slot is retired —
+// the store reads a put's value only when a worker executes it).
+func (p *connPipeline) submit(e *netOp, payload []byte) {
+	if hook := submitHook.Load(); hook != nil {
+		if err := (*hook)(e.op, e.key); err != nil {
+			p.failSubmit(e, err)
+			return
+		}
+	}
+	store := p.s.store
+	var err error
+	switch e.op {
+	case OpGet:
+		e.call, err = store.GetAsync(e.key, e.val[:0])
+	case OpPut:
+		e.call, err = store.PutAsync(e.key, payload)
+	case OpDelete:
+		e.call, err = store.DeleteAsync(e.key)
+	case OpScan:
+		if len(payload) != 4 {
+			e.status, e.msg = StatusError, errMsgScanPayload
+			return
+		}
+		count := binary.LittleEndian.Uint32(payload)
+		if count > kvcore.MaxScanCount {
+			e.status, e.msg = StatusError, errMsgScanCount
+			return
+		}
+		e.scanCount = count
+		e.barrier = true
+	case OpStats, OpStats2:
+		e.barrier = true
+	default:
+		e.status, e.msg = StatusError, []byte(fmt.Sprintf("unknown op %d", e.op))
+	}
+	if err != nil {
+		p.failSubmit(e, err)
+	}
+}
+
+// failSubmit pre-resolves a slot whose request never entered the store:
+// overload shedding becomes the retryable StatusBacklogged (in request
+// order, exactly like the synchronous path), everything else a
+// StatusError carrying the message.
+func (p *connPipeline) failSubmit(e *netOp, err error) {
+	e.call = nil
+	if errors.Is(err, rpc.ErrBacklogged) {
+		e.status, e.msg = StatusBacklogged, nil
+		return
+	}
+	e.status, e.msg = StatusError, []byte(err.Error())
+}
+
+// writeLoop is the completion stage: strict FIFO retirement with
+// coalesced flushes — one Flush per burst of ready responses, not one per
+// op. It keeps draining after a transport failure (dead) so every
+// in-flight store call is waited out and every window slot recirculated.
+func (p *connPipeline) writeLoop() {
+	for e := range p.pending {
+		if e.call != nil && !e.call.Done() {
+			// The window head hasn't completed: get the already-encoded
+			// burst onto the wire instead of sitting on it while we wait.
+			p.flushResponses()
+		}
+		p.retire(e)
+		p.batch++
+		p.free <- e
+		if len(p.pending) == 0 {
+			p.flushResponses()
+		}
+	}
+	p.flushResponses()
+}
+
+// retire resolves one window slot into its wire response: wait out the
+// store call (FIFO means the head must complete before anything later may
+// be written), execute barrier ops inline, or emit the pre-resolved
+// status. The slot's buffers are reusable as soon as this returns — the
+// response bytes have been copied into the write buffer (or written
+// through) and the pooled call released.
+func (p *connPipeline) retire(e *netOp) {
+	switch {
+	case e.call != nil:
+		c := e.call
+		c.Wait()
+		switch {
+		case c.Err != nil:
+			if errors.Is(c.Err, rpc.ErrBacklogged) {
+				p.writeOut(StatusBacklogged, nil)
+			} else {
+				p.writeOut(StatusError, []byte(c.Err.Error()))
+			}
+		case e.op == OpGet:
+			if c.Found {
+				p.writeOut(StatusFound, c.Value)
+			} else {
+				p.writeOut(StatusNotFound, nil)
+			}
+		case e.op == OpPut:
+			p.writeOut(StatusFound, nil)
+		default: // OpDelete
+			if c.Found {
+				p.writeOut(StatusFound, nil)
+			} else {
+				p.writeOut(StatusNotFound, nil)
+			}
+		}
+		// Keep a destination buffer the store had to grow, so the next get
+		// through this slot fits without allocating.
+		if cap(c.Value) > cap(e.val) {
+			e.val = c.Value
+		}
+		e.call = nil
+		c.Release()
+	case e.barrier:
+		p.retireBarrier(e)
+	default:
+		p.writeOut(e.status, e.msg)
+	}
+	if !obs.Disabled {
+		if e.op < OpStats {
+			p.s.lat[e.op].Record(p.connID, uint64(time.Since(e.t0)))
+		}
+		p.s.retired.Inc(p.connID)
+		p.s.inflight.Add(-1)
+	}
+}
+
+// retireBarrier executes a Scan/Stats/Stats2 inline. Reaching here means
+// the FIFO has retired every earlier response — the barrier semantics —
+// so the op observes all prior writes on this connection; responses to
+// already-buffered bursts are flushed first so a slow scan doesn't hold
+// them hostage.
+func (p *connPipeline) retireBarrier(e *netOp) {
+	p.flushResponses()
+	switch e.op {
+	case OpStats:
+		st := p.s.store.Stats()
+		var body [40]byte
+		binary.LittleEndian.PutUint64(body[0:], st.Ops)
+		binary.LittleEndian.PutUint64(body[8:], st.CRHits)
+		binary.LittleEndian.PutUint64(body[16:], st.Forwarded)
+		binary.LittleEndian.PutUint64(body[24:], uint64(st.Items))
+		binary.LittleEndian.PutUint64(body[32:], uint64(st.HotSize))
+		p.writeOut(StatusFound, body[:])
+	case OpStats2:
+		p.body = p.s.appendStats2(p.body[:0])
+		p.writeOut(StatusFound, p.body)
+	case OpScan:
+		kvs, err := p.s.store.Scan(e.key, int(e.scanCount))
+		if err != nil {
+			if errors.Is(err, rpc.ErrBacklogged) {
+				p.writeOut(StatusBacklogged, nil)
+			} else {
+				p.writeOut(StatusError, []byte(err.Error()))
+			}
+			return
+		}
+		body := append(p.body[:0], 0, 0, 0, 0)
+		binary.LittleEndian.PutUint32(body, uint32(len(kvs)))
+		var tmp [12]byte
+		for _, kv := range kvs {
+			binary.LittleEndian.PutUint64(tmp[0:8], kv.Key)
+			binary.LittleEndian.PutUint32(tmp[8:12], uint32(len(kv.Value)))
+			body = append(body, tmp[:]...)
+			body = append(body, kv.Value...)
+		}
+		p.body = body
+		p.writeOut(StatusFound, body)
+	}
+}
+
+// writeOut encodes one response into the write buffer unless the
+// transport already failed. A write error marks the connection dead and
+// closes it, which also unblocks the decode stage.
+func (p *connPipeline) writeOut(status byte, body []byte) {
+	if p.dead {
+		return
+	}
+	if err := writeResp(p.w, status, body); err != nil {
+		p.fail()
+	}
+}
+
+// flushResponses pushes the coalesced burst to the wire and records how
+// many responses the flush carried.
+func (p *connPipeline) flushResponses() {
+	if p.batch > 0 && !obs.Disabled {
+		p.s.flushBatch.Record(p.connID, uint64(p.batch))
+	}
+	p.batch = 0
+	if p.dead || p.w.Buffered() == 0 {
+		return
+	}
+	if err := p.w.Flush(); err != nil {
+		p.fail()
+	}
+}
+
+// fail records a transport write failure. The peer can no longer receive
+// responses, so writing stops; closing the connection makes the decode
+// stage's next read fail, which ends the window drain cleanly.
+func (p *connPipeline) fail() {
+	p.dead = true
+	p.conn.Close()
+}

@@ -142,6 +142,16 @@ func (c *Call) WaitTimeout(d time.Duration) bool {
 	}
 }
 
+// Done is the non-blocking completion poll: it reports whether the call
+// has completed, without ever parking or consuming the park token. It may
+// be called from any goroutine and any number of times; a true return
+// means the result fields are valid (the completing store sequences them
+// before the state swap Done observes). Pipelined executors use it to
+// decide whether retiring the window head will block — e.g. to flush
+// buffered responses before waiting — while Wait remains the only way to
+// block for the result.
+func (c *Call) Done() bool { return c.state.Load() == callDone }
+
 // Complete finishes the call; servers call it exactly once per Send.
 func (c *Call) Complete() {
 	if c.state.Swap(callDone) == callParked {

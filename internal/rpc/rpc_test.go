@@ -619,3 +619,34 @@ func TestWaitTimeoutCompleteRace(t *testing.T) {
 		call.Release()
 	}
 }
+
+// TestCallDoneNonBlockingPoll pins the Done contract the pipelined network
+// server depends on: Done never blocks, never consumes the park token, and
+// flips exactly at completion — so a completion stage can poll the window
+// head to decide whether to flush buffered responses before committing to
+// a blocking Wait.
+func TestCallDoneNonBlockingPoll(t *testing.T) {
+	s := NewServer(8, 2, 1)
+	call, _ := s.Send(Message{Op: workload.OpGet, Key: 1})
+	if call.Done() {
+		t.Fatal("Done before completion")
+	}
+	m, ok, _ := s.Poll(0)
+	if !ok {
+		t.Fatal("missing message")
+	}
+	m.Call().Found = true
+	m.Call().Complete()
+	for i := 0; !call.Done(); i++ {
+		if i > 1_000_000 {
+			t.Fatal("Done never observed completion")
+		}
+	}
+	// Polling Done must not have burned the park token: a Wait after Done
+	// still returns (fast path, but the contract holds either way).
+	call.Wait()
+	if !call.Found {
+		t.Fatal("results must be visible after Done reported completion")
+	}
+	call.Release()
+}
