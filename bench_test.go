@@ -9,7 +9,9 @@ package mutps
 import (
 	"encoding/binary"
 	"io"
+	"runtime"
 	"testing"
+	"time"
 
 	"mutps/internal/bench"
 )
@@ -180,6 +182,64 @@ func BenchmarkStoreGetIntoHash(b *testing.B) {
 		i = i*6364136223846793005 + 1
 		v, _, _ := s.GetInto(i%(1<<16), buf)
 		buf = v[:0]
+	}
+}
+
+// BenchmarkStorePutHash is the write-heavy gate: every put replaces the
+// item (the value length alternates between 24 and 28 bytes, both in the
+// 32-byte size class), so the benchmark measures the full item-replacement
+// path — allocate, index swap, retire, reclaim. With the arena on the
+// steady state is 0 allocs/op; GC cycles per second are reported so arena
+// runs can be compared against -arena-off runs with one command.
+func BenchmarkStorePutHash(b *testing.B) {
+	benchmarkStorePutHash(b, Options{Engine: Hash, Workers: 4, RefreshInterval: -1})
+}
+
+// BenchmarkStorePutHashNoArena is the same workload with the slab arena
+// disabled (every replacement hits the Go allocator) — the before side of
+// the EXPERIMENTS.md comparison.
+func BenchmarkStorePutHashNoArena(b *testing.B) {
+	benchmarkStorePutHash(b, Options{Engine: Hash, Workers: 4, RefreshInterval: -1, ArenaOff: true})
+}
+
+func benchmarkStorePutHash(b *testing.B, o Options) {
+	s, err := Open(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	for i := uint64(0); i < 1<<16; i++ {
+		var v [8]byte
+		binary.LittleEndian.PutUint64(v[:], i)
+		s.Preload(i, v[:])
+	}
+	v24 := make([]byte, 24)
+	v28 := make([]byte, 28)
+	// Per-key toggle: consecutive puts to the same key always alternate
+	// 24 ↔ 28 bytes, so every put after a key's first is an item
+	// replacement (same 32-byte size class, different length).
+	var flip [1 << 16]bool
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	i := uint64(0)
+	for n := 0; n < b.N; n++ {
+		i = i*6364136223846793005 + 1
+		k := i % (1 << 16)
+		v := v24
+		if flip[k] {
+			v = v28
+		}
+		flip[k] = !flip[k]
+		s.Put(k, v)
+	}
+	b.StopTimer()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	if el := time.Since(t0).Seconds(); el > 0 {
+		b.ReportMetric(float64(m1.NumGC-m0.NumGC)/el, "GC/s")
 	}
 }
 

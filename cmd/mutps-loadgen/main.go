@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +40,8 @@ func main() {
 	keys := flag.Uint64("keys", 100_000, "keyspace size")
 	theta := flag.Float64("theta", 0.99, "zipfian skew (0 = uniform)")
 	valueSize := flag.Int("value", 64, "value size in bytes")
+	valueSpread := flag.Int("value-spread", 0,
+		"sample put value sizes uniformly in [value, value+spread]; a spread crossing power-of-two boundaries forces item replacement (not in-place update) on the server (0 = fixed size)")
 	ops := flag.Int("ops", 100_000, "total operations")
 	clients := flag.Int("clients", 4, "concurrent connections")
 	depth := flag.Int("depth", 1, "deprecated alias for -inflight")
@@ -60,6 +63,10 @@ func main() {
 	mix, ok := mixes[*mixName]
 	if !ok {
 		log.Fatalf("unknown mix %q", *mixName)
+	}
+	var sizeDist workload.SizeDist = workload.FixedSize(*valueSize)
+	if *valueSpread > 0 {
+		sizeDist = workload.UniformSize{Min: *valueSize, Max: *valueSize + *valueSpread}
 	}
 
 	var trace []workload.Request
@@ -107,6 +114,9 @@ func main() {
 	perClient := *ops / *clients
 	hist := obs.NewHistogram(*clients)
 	var wg sync.WaitGroup
+	serverBefore := serverGCSnapshot(*addr, *opTimeout)
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
@@ -118,7 +128,7 @@ func main() {
 			} else {
 				gen = workload.NewGenerator(workload.Config{
 					Keys: *keys, Theta: *theta, Mix: mix,
-					ValueSize: workload.FixedSize(*valueSize), Seed: uint64(c + 1),
+					ValueSize: sizeDist, Seed: uint64(c + 1),
 				})
 			}
 			if *depth > 1 {
@@ -166,6 +176,9 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	serverAfter := serverGCSnapshot(*addr, *opTimeout)
 
 	snap := hist.Snapshot()
 	pct := func(p float64) time.Duration { return time.Duration(snap.Quantile(p)) }
@@ -176,6 +189,60 @@ func main() {
 		pct(0.99).Round(time.Microsecond), time.Duration(snap.Max).Round(time.Microsecond))
 	if n := backlogged.Load(); n > 0 {
 		fmt.Printf("backpressure: server shed %d requests (retried synchronously, skipped when pipelined)\n", n)
+	}
+	printAllocSummary(snap.Count, elapsed, &memBefore, &memAfter, serverBefore, serverAfter)
+}
+
+// serverGCSnapshot fetches the server's stats payload on a throwaway
+// connection, for the before/after GC delta in the run summary. Best
+// effort: a server too old to speak the versioned stats op (or already
+// gone at run end) yields nil and the summary omits the server column.
+func serverGCSnapshot(addr string, opTimeout time.Duration) map[string]float64 {
+	cli, err := netserver.DialTimeout(addr, 0, opTimeout)
+	if err != nil {
+		return nil
+	}
+	defer cli.Close()
+	m, err := cli.StatsMap()
+	if err != nil {
+		return nil
+	}
+	return m
+}
+
+// printAllocSummary reports the allocation and GC cost of the measured
+// run: the client side from this process's MemStats delta, the server
+// side (when available) from the mutps_go_* runtime metrics delta plus
+// the arena's retire/recycle counters. This is the operational readout
+// of the GC-quiet write path — a server running with the arena shows
+// near-zero GC cycles per second here; -arena-off shows the difference.
+func printAllocSummary(ops uint64, elapsed time.Duration,
+	before, after *runtime.MemStats, srvBefore, srvAfter map[string]float64) {
+	if ops == 0 {
+		return
+	}
+	allocs := after.Mallocs - before.Mallocs
+	gcs := after.NumGC - before.NumGC
+	pause := time.Duration(after.PauseTotalNs - before.PauseTotalNs)
+	fmt.Printf("client alloc: %.1f allocs/op, %.1f B/op, %d GC cycles (%.2f/s), %v total pause\n",
+		float64(allocs)/float64(ops),
+		float64(after.TotalAlloc-before.TotalAlloc)/float64(ops),
+		gcs, float64(gcs)/elapsed.Seconds(), pause.Round(10*time.Microsecond))
+	if srvBefore == nil || srvAfter == nil {
+		return
+	}
+	if _, ok := srvAfter["mutps_go_gc_cycles_total"]; !ok {
+		return
+	}
+	sgc := srvAfter["mutps_go_gc_cycles_total"] - srvBefore["mutps_go_gc_cycles_total"]
+	fmt.Printf("server GC: %.0f cycles (%.2f/s), heap live %.1f MiB, pause p99 %v\n",
+		sgc, sgc/elapsed.Seconds(),
+		srvAfter["mutps_go_heap_live_bytes"]/(1<<20),
+		time.Duration(srvAfter[`mutps_go_gc_pause_seconds{q="0.99"}`]*float64(time.Second)).Round(time.Microsecond))
+	if ret := srvAfter["mutps_items_retired_total"] - srvBefore["mutps_items_retired_total"]; ret > 0 {
+		fmt.Printf("server arena: %.0f items retired, %.0f recycled, %.0f pending\n",
+			ret, srvAfter["mutps_items_recycled_total"]-srvBefore["mutps_items_recycled_total"],
+			srvAfter["mutps_items_retired_pending"])
 	}
 }
 

@@ -34,6 +34,10 @@ func main() {
 		"cap on concurrently served connections; over-cap clients get a graceful error reply (0 = unlimited)")
 	inflight := flag.Int("inflight", 0,
 		"per-connection pipelining window: requests decoded but not yet answered (0 = default, 1 = synchronous)")
+	arenaOff := flag.Bool("arena-off", false,
+		"disable the slab arena: items allocate on the Go heap and replaced items are left to the garbage collector")
+	arenaChunk := flag.Int("arena-chunk", 0,
+		"arena backing-chunk size in bytes (0 = default 256KiB)")
 	flag.Parse()
 
 	eng := kvcore.Hash
@@ -46,14 +50,19 @@ func main() {
 	}
 
 	store, err := kvcore.Open(kvcore.Config{
-		Engine:    eng,
-		Workers:   *workers,
-		CRWorkers: *cr,
-		HotItems:  *hot,
+		Engine:     eng,
+		Workers:    *workers,
+		CRWorkers:  *cr,
+		HotItems:   *hot,
+		ArenaOff:   *arenaOff,
+		ArenaChunk: *arenaChunk,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Runtime GC signals ride the same registry, so a before/after arena
+	// comparison reads straight off /metrics (and the stats op).
+	obs.RegisterRuntimeMetrics(store.Metrics())
 	if *hot > 0 {
 		// Without the refresher the hot set never populates and the
 		// cache-resident layer serves nothing (mutps_hotset_hit_ratio

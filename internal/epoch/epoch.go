@@ -61,3 +61,31 @@ func (d *Domain) Synchronize() {
 		}
 	}
 }
+
+// Advance bumps the global epoch without waiting. It is the non-blocking
+// half of the asynchronous reclamation protocol: reclaimers Advance, then
+// free retired objects once Frontier moves past their retirement epoch.
+// Any number of goroutines may Advance concurrently.
+func (d *Domain) Advance() { d.global.Add(1) }
+
+// Frontier returns the oldest epoch any currently active reader may have
+// entered in (the global epoch when every reader is quiescent). An object
+// made unreachable-to-new-readers at epoch e — retired after it was
+// unlinked from every shared structure, stamping e = Epoch() — is safe to
+// reuse once Frontier() > e: every read-section that could have acquired a
+// reference began at an epoch ≤ e and has since exited.
+//
+// Frontier is monotonically non-decreasing only as long as readers keep
+// making progress; a reader parked inside a read-section pins it. It never
+// overtakes an active reader, so it can under-report (block reclamation
+// longer than necessary) but never over-report.
+func (d *Domain) Frontier() uint64 {
+	f := d.global.Load()
+	for i := range d.slots {
+		s := d.slots[i].state.Load()
+		if s != 0 && s-1 < f {
+			f = s - 1
+		}
+	}
+	return f
+}

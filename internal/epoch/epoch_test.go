@@ -69,6 +69,97 @@ func TestReaderInNewEpochDoesNotBlock(t *testing.T) {
 	}
 }
 
+func TestFrontierQuiescent(t *testing.T) {
+	d := NewDomain(3)
+	if f := d.Frontier(); f != 0 {
+		t.Fatalf("Frontier = %d with no activity", f)
+	}
+	d.Advance()
+	d.Advance()
+	// All readers quiescent: the frontier is the global epoch itself.
+	if f := d.Frontier(); f != 2 {
+		t.Fatalf("Frontier = %d, want 2", f)
+	}
+}
+
+func TestFrontierPinnedByReader(t *testing.T) {
+	d := NewDomain(2)
+	d.Advance() // epoch 1
+	d.Enter(0)  // reader 0 pins epoch 1
+	d.Advance() // epoch 2
+	d.Advance() // epoch 3
+	if f := d.Frontier(); f != 1 {
+		t.Fatalf("Frontier = %d while reader pins epoch 1", f)
+	}
+	// An object retired at epoch 1 (e = Epoch() read as 1, 2, or 3 — any
+	// value ≥ the pin) must not be freeable while the reader is active.
+	if d.Frontier() > 1 {
+		t.Fatal("frontier overtook an active reader")
+	}
+	d.Exit(0)
+	if f := d.Frontier(); f != 3 {
+		t.Fatalf("Frontier = %d after reader exit, want 3", f)
+	}
+	// Re-entry pins the *current* epoch, not the old one.
+	d.Enter(1)
+	if f := d.Frontier(); f != 3 {
+		t.Fatalf("Frontier = %d with reader in current epoch, want 3", f)
+	}
+	d.Exit(1)
+}
+
+// TestAdvanceFrontierReclamation drives the asynchronous retire protocol
+// the store uses: writers unlink objects, stamp the retire epoch, and
+// poison them only once Frontier passes it; readers assert they never see
+// a poisoned object. Run under -race in CI.
+func TestAdvanceFrontierReclamation(t *testing.T) {
+	const readers = 3
+	d := NewDomain(readers)
+	var ptr atomic.Pointer[int]
+	v0 := 0
+	ptr.Store(&v0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d.Enter(r)
+				if p := ptr.Load(); *p < 0 {
+					panic("read a reclaimed value")
+				}
+				d.Exit(r)
+			}
+		}(r)
+	}
+	type retired struct {
+		p *int
+		e uint64
+	}
+	var q []retired
+	freed := 0
+	for i := 1; freed < 300; i++ {
+		v := i
+		old := ptr.Swap(&v)
+		q = append(q, retired{old, d.Epoch()}) // stamp after unlink
+		d.Advance()
+		f := d.Frontier()
+		for len(q) > 0 && f > q[0].e {
+			*q[0].p = -1 // poison: any later read panics
+			q = q[1:]
+			freed++
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestConcurrentReadersAndSynchronizers(t *testing.T) {
 	const readers = 4
 	d := NewDomain(readers)

@@ -9,6 +9,8 @@
 package kvcore
 
 import (
+	"sync/atomic"
+
 	"mutps/internal/btree"
 	"mutps/internal/cuckoo"
 	"mutps/internal/seqitem"
@@ -52,18 +54,46 @@ type BatchIndex interface {
 	GetBatch(keys []uint64, vals []*seqitem.Item, found []bool) ([]*seqitem.Item, []bool)
 }
 
+// itemRef is a stable indirection cell between the cuckoo table and the
+// item record. The cuckoo map allocates a fresh entry on every Put — fine
+// for inserts, fatal for the GC-quiet write path, where a same-key item
+// replacement must not allocate. Storing the box once and swapping its
+// pointer makes replacement a single atomic store. (The B+-tree needs no
+// box: its Put overwrites the value slot of an existing key in place.)
+type itemRef struct{ p atomic.Pointer[seqitem.Item] }
+
 type hashIndex struct {
-	m *cuckoo.Map[*seqitem.Item]
+	m *cuckoo.Map[*itemRef]
 }
 
 func newHashIndex(capacityHint int) Index {
-	return &hashIndex{m: cuckoo.New[*seqitem.Item](capacityHint)}
+	return &hashIndex{m: cuckoo.New[*itemRef](capacityHint)}
 }
 
-func (h *hashIndex) Get(key uint64) (*seqitem.Item, bool) { return h.m.Get(key) }
-func (h *hashIndex) Put(key uint64, it *seqitem.Item)     { h.m.Put(key, it) }
-func (h *hashIndex) Delete(key uint64) bool               { return h.m.Delete(key) }
-func (h *hashIndex) Len() int                             { return h.m.Len() }
+func (h *hashIndex) Get(key uint64) (*seqitem.Item, bool) {
+	if r, ok := h.m.Get(key); ok {
+		if it := r.p.Load(); it != nil {
+			return it, true
+		}
+	}
+	return nil, false
+}
+
+// Put inserts or replaces. Writers for one key are serialized by the
+// store's key-stripe locks, so the get-then-store sequence cannot race
+// with another Put or Delete of the same key.
+func (h *hashIndex) Put(key uint64, it *seqitem.Item) {
+	if r, ok := h.m.Get(key); ok {
+		r.p.Store(it)
+		return
+	}
+	r := &itemRef{}
+	r.p.Store(it)
+	h.m.Put(key, r)
+}
+
+func (h *hashIndex) Delete(key uint64) bool { return h.m.Delete(key) }
+func (h *hashIndex) Len() int               { return h.m.Len() }
 
 type treeIndex struct {
 	t *btree.Tree[*seqitem.Item]

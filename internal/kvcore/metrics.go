@@ -26,6 +26,9 @@ type storeMetrics struct {
 
 	batchSize *obs.Histogram    // CR→MR requests per flushed batch
 	lat       [4]*obs.Histogram // facade-observed latency by op type, ns
+
+	retired  *obs.Counter // items unlinked and queued for reclamation
+	recycled *obs.Counter // retired items whose slots returned to the arena
 }
 
 func newStoreMetrics(workers int) *storeMetrics {
@@ -47,6 +50,10 @@ func newStoreMetrics(workers int) *storeMetrics {
 		"Worker layer transitions (including each worker's initial role settling).", workers)
 	m.batchSize = r.Histogram("mutps_crmr_batch_size", "",
 		"Requests per flushed CR-MR batch.", workers)
+	m.retired = r.Counter("mutps_items_retired_total", "",
+		"Items unlinked from the index and queued for epoch-based reclamation.", workers)
+	m.recycled = r.Counter("mutps_items_recycled_total", "",
+		"Retired items whose headers and arena slots have been recycled.", workers)
 	return m
 }
 
@@ -122,6 +129,12 @@ func (s *Store) registerDerived() {
 		func() float64 { return float64(s.nCR.Load()) })
 	r.GaugeFunc("mutps_workers", `layer="mr"`,
 		"", func() float64 { return float64(s.cfg.Workers - int(s.nCR.Load())) })
+	if s.arena != nil {
+		r.GaugeFunc("mutps_items_retired_pending", "",
+			"Items retired and not yet past their reclamation grace periods.",
+			func() float64 { return float64(s.retiredPend.Load()) })
+		s.arena.Instrument(r)
+	}
 }
 
 // Metrics returns the store's metric registry, ready to mount behind

@@ -1,0 +1,5 @@
+//go:build !race
+
+package kvcore
+
+const raceEnabled = false

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mutps/internal/arena"
+	"mutps/internal/epoch"
 	"mutps/internal/hotset"
 	"mutps/internal/obs"
 	"mutps/internal/ring"
@@ -37,6 +39,9 @@ type Config struct {
 	IdleSleep time.Duration
 
 	CapacityHint int // expected item count (hash engine pre-sizing)
+
+	ArenaOff   bool // disable the slab arena (items come from the Go heap)
+	ArenaChunk int  // arena backing-chunk bytes per size class (default 256 KiB)
 }
 
 func (c *Config) applyDefaults() error {
@@ -74,6 +79,9 @@ func (c *Config) applyDefaults() error {
 	if c.IdleSleep == 0 {
 		c.IdleSleep = 50 * time.Microsecond
 	}
+	if c.ArenaChunk <= 0 {
+		c.ArenaChunk = arena.DefaultChunkBytes
+	}
 	return nil
 }
 
@@ -99,6 +107,29 @@ type Store struct {
 	// workloads on wide stores don't hit a fixed contention ceiling.
 	keyLocks []sync.Mutex
 	lockMask uint64
+
+	// The GC-quiet write path (nil/empty when Config.ArenaOff): items draw
+	// their headers and value words from per-worker pools over the shared
+	// slab arena, and retired items pass through epoch grace periods
+	// (reader slots: one per worker plus one for the serialized hot-set
+	// refresher) before their slots recycle. See reclaim.go and DESIGN.md
+	// §11.
+	arena       *arena.Arena
+	dom         *epoch.Domain
+	pools       []*seqitem.Pool
+	retq        []*retireQ
+	retiredPend atomic.Int64
+
+	// Preload bypasses the RPC path, so it gets its own serialized pool
+	// and retire queue (drained at Close, when no readers remain).
+	preMu   sync.Mutex
+	prePool *seqitem.Pool
+	preRet  []retiredItem
+
+	// refreshMu serializes RefreshHotSet: the refresher owns one epoch
+	// reader slot and one install-generation sequence, neither of which
+	// tolerates concurrent refreshes.
+	refreshMu sync.Mutex
 
 	nCR       atomic.Int32
 	hotTarget atomic.Int32
@@ -153,6 +184,17 @@ func Open(cfg Config) (*Store, error) {
 	}
 	s.keyLocks = make([]sync.Mutex, stripes)
 	s.lockMask = uint64(stripes - 1)
+	if !cfg.ArenaOff {
+		s.arena = arena.New(cfg.ArenaChunk)
+		s.dom = epoch.NewDomain(cfg.Workers + 1) // slot cfg.Workers: refresher
+		s.pools = make([]*seqitem.Pool, cfg.Workers)
+		s.retq = make([]*retireQ, cfg.Workers)
+		for i := range s.pools {
+			s.pools[i] = seqitem.NewPool(s.arena.NewCache())
+			s.retq[i] = &retireQ{}
+		}
+		s.prePool = seqitem.NewPool(s.arena.NewCache())
+	}
 	s.nCR.Store(int32(cfg.CRWorkers))
 	s.hotTarget.Store(int32(cfg.HotItems))
 	s.registerDerived()
@@ -191,6 +233,14 @@ func (s *Store) Close() {
 		// safety net that turns any future drain bug into failed calls
 		// instead of hung callers.
 		s.rpc.DrainStranded()
+		// Workers and the background refresher are gone; refreshMu excludes
+		// a manual RefreshHotSet still in flight. With no readers left,
+		// every retirement grace period is satisfied, so the drain returns
+		// all in-flight retirements to the arena — a closed store leaks no
+		// slots.
+		s.refreshMu.Lock()
+		s.drainRetired()
+		s.refreshMu.Unlock()
 	})
 }
 
@@ -314,9 +364,19 @@ func (s *Store) Scan(start uint64, count int) ([]KV, error) {
 		call.Release()
 		return nil, err
 	}
+	// ScanVals alias the call's pooled ScanBuf, so copy the values out —
+	// into one shared backing array, not one allocation per entry — before
+	// Release recycles the buffers.
 	out := make([]KV, len(call.ScanKeys))
+	total := 0
+	for _, v := range call.ScanVals {
+		total += len(v)
+	}
+	blob := make([]byte, 0, total)
 	for i := range out {
-		out[i] = KV{Key: call.ScanKeys[i], Value: call.ScanVals[i]}
+		n := len(blob)
+		blob = append(blob, call.ScanVals[i]...)
+		out[i] = KV{Key: call.ScanKeys[i], Value: blob[n:len(blob):len(blob)]}
 	}
 	call.Release()
 	if !obs.Disabled {
@@ -408,8 +468,17 @@ func (s *Store) HotItems() int { return int(s.hotTarget.Load()) }
 
 // RefreshHotSet samples the trackers and installs a fresh hot-set view,
 // returning the number of cached entries. It is called periodically by the
-// background refresher or manually by tests and tuners.
+// background refresher or manually by tests and tuners. Refreshes are
+// serialized and run inside the refresher's own epoch reader slot: item
+// reclamation relies on a retired item's grace period covering any refresh
+// that read the index before the item was unlinked, and on install
+// generations reaching items (MarkViewed) strictly before their view is
+// published.
 func (s *Store) RefreshHotSet() int {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	s.epochEnter(s.cfg.Workers)
+	defer s.epochExit(s.cfg.Workers)
 	k := int(s.hotTarget.Load())
 	if k <= 0 {
 		s.cache.Install(hotset.NewSortedView(nil))
@@ -420,6 +489,12 @@ func (s *Store) RefreshHotSet() int {
 	for _, h := range hot {
 		if it, ok := s.idx.Get(h.Key); ok && !it.Dead() {
 			entries = append(entries, hotset.Entry{Key: h.Key, Item: it.Latest()})
+		}
+	}
+	if s.dom != nil {
+		gen := s.cache.Installs() + 1 // the generation Install below gets
+		for _, e := range entries {
+			e.Item.MarkViewed(gen)
 		}
 	}
 	var v hotset.View
@@ -478,8 +553,43 @@ func (s *Store) Stats() Stats {
 // signal the auto-tuner's monitor differentiates.
 func (s *Store) Ops() uint64 { return s.met.opsTotal() }
 
-// preloadItem inserts directly into the index, bypassing the RPC path; used
-// for bulk pre-population before serving.
+// Preload inserts directly into the index, bypassing the RPC path; used
+// for bulk pre-population before serving. Preloads are serialized among
+// themselves and take the key-stripe lock against concurrent worker
+// writes; an overwritten item is retired like any other (its queue is
+// drained at Close).
 func (s *Store) Preload(key uint64, val []byte) {
+	if s.dom == nil {
+		s.preloadPlain(key, val)
+		return
+	}
+	s.preMu.Lock()
+	defer s.preMu.Unlock()
+	mu := &s.keyLocks[key&s.lockMask]
+	mu.Lock()
+	defer mu.Unlock()
+	n := seqitem.NewIn(s.prePool, val)
+	if it, ok := s.idx.Get(key); ok {
+		s.idx.Put(key, n)
+		it.MoveTo(n)
+		n.MarkViewed(it.ViewGen()) // propagate view reachability (§11)
+		s.preRet = append(s.preRet, retiredItem{it: it})
+		s.retiredPend.Add(1)
+		s.met.retired.Inc(0)
+		return
+	}
+	s.idx.Put(key, n)
+}
+
+func (s *Store) preloadPlain(key uint64, val []byte) {
+	mu := &s.keyLocks[key&s.lockMask]
+	mu.Lock()
+	defer mu.Unlock()
+	if it, ok := s.idx.Get(key); ok {
+		n := seqitem.New(val)
+		s.idx.Put(key, n)
+		it.MoveTo(n)
+		return
+	}
 	s.idx.Put(key, seqitem.New(val))
 }

@@ -240,6 +240,7 @@ func (s *Store) runCR(id int) {
 			// role. Nobody else may consume an SPSC ring, so drain our own
 			// column here; this only fires on reassignment stragglers.
 			s.drainOwnColumn(id)
+			s.reclaimTick(id)
 			gate.idle()
 			continue
 		}
@@ -247,11 +248,14 @@ func (s *Store) runCR(id int) {
 		served++
 		if served%256 == 0 {
 			// Under saturation the idle branch may never run; still check
-			// for reassignment stragglers on our own column periodically.
+			// for reassignment stragglers on our own column periodically
+			// (draining may execute puts, so retirements accrue at the CR
+			// role too — let their reclaim keep pace).
 			s.drainOwnColumn(id)
+			s.reclaimTick(id)
 		}
 		s.tracker.Record(id, m.Key)
-		if s.tryServeHot(&m) {
+		if s.tryServeHot(id, &m) {
 			s.met.crHit.Inc(id)
 			s.met.ops[opIndex(m.Op)].Inc(id)
 			continue
@@ -339,8 +343,12 @@ func encodeRequest(m *rpc.Message, slot uint32) ring.Request {
 
 // tryServeHot serves the request entirely at the CR layer when the key is
 // in the hot-set view: the hit path of the FSM. Deletes and scans always
-// take the miss path (they mutate or traverse the full index).
-func (s *Store) tryServeHot(m *rpc.Message) bool {
+// take the miss path (they mutate or traverse the full index). The view
+// lookup and the item read happen inside worker w's epoch section —
+// that's what lets reclamation wait out readers of superseded views.
+func (s *Store) tryServeHot(w int, m *rpc.Message) bool {
+	s.epochEnter(w)
+	defer s.epochExit(w)
 	switch m.Op {
 	case workload.OpGet:
 		it, ok := s.cache.Lookup(m.Key)
@@ -391,6 +399,42 @@ type mrScratch struct {
 	pos   []int
 	items []*seqitem.Item
 	found []bool
+
+	// Scan state. The tree-scan callback closes over the scratch pointer
+	// and is built once per worker: a per-call closure (and the boxing of
+	// every variable it captures) would cost four allocations per scan.
+	scanKeys []uint64
+	scanBuf  []byte
+	scanOffs []int
+	scanFn   func(k uint64, it *seqitem.Item) bool
+}
+
+// scanVisit accumulates one live entry into the scratch buffers; see
+// scanMR for the layout.
+func (scr *mrScratch) scanVisit(k uint64, it *seqitem.Item) bool {
+	if it.Dead() {
+		return true
+	}
+	buf := scr.scanBuf
+	n := len(buf)
+	sz := it.Size()
+	if cap(buf) < n+sz {
+		nb := make([]byte, n, 2*(n+sz))
+		copy(nb, buf)
+		buf = nb
+	}
+	v := it.Read(buf[n : n : n+sz])
+	if len(v) <= sz {
+		buf = buf[:n+len(v)] // v aliases buf (Read had the capacity)
+	} else {
+		// A replacement between Size and Read grew the value, so Read
+		// returned a fresh slice; fold it back into the buffer.
+		buf = append(buf[:n], v...)
+	}
+	scr.scanBuf = buf
+	scr.scanKeys = append(scr.scanKeys, k)
+	scr.scanOffs = append(scr.scanOffs, len(buf))
+	return true
 }
 
 // runMR is the memory-resident layer loop: it drains batches from the
@@ -407,6 +451,7 @@ func (s *Store) runMR(id int) {
 		// since changed role.
 		cr, reqs, rg := cons.Poll(s.cfg.Workers)
 		if cr == -1 {
+			s.reclaimTick(id)
 			if s.rpc.Closed() {
 				st := s.crp[id]
 				if !st.terminalDone {
@@ -442,6 +487,10 @@ func (s *Store) runMR(id int) {
 				}
 			}
 			if len(scr.keys) > 1 {
+				// One epoch section covers the shared traversal and every
+				// item read; it closes before the non-get requests run
+				// (processMR opens its own — sections must not nest).
+				s.epochEnter(id)
 				scr.items, scr.found = batched.GetBatch(scr.keys, scr.items, scr.found)
 				for j, i := range scr.pos {
 					call := s.slabs[cr].msgs[reqs[i].Buf].Call()
@@ -451,6 +500,7 @@ func (s *Store) runMR(id int) {
 					}
 					call.Complete()
 				}
+				s.epochExit(id)
 				s.met.ops[workload.OpGet].Add(id, uint64(len(scr.pos)))
 				for i := range reqs {
 					if workload.OpType(reqs[i].Type) != workload.OpGet {
@@ -470,11 +520,12 @@ func (s *Store) runMR(id int) {
 
 // processMR executes one forwarded request against the full index and
 // completes its call; w is the executing worker (the completion-counter
-// shard). The slab entry is read-only here; the owning CR worker recycles
-// it after the ring commit.
+// shard, the item pool, the epoch reader slot). The slab entry is
+// read-only here; the owning CR worker recycles it after the ring commit.
 func (s *Store) processMR(w, cr int, req *ring.Request) {
 	m := &s.slabs[cr].msgs[req.Buf]
 	call := m.Call()
+	s.epochEnter(w)
 	switch workload.OpType(req.Type) {
 	case workload.OpGet:
 		if it, ok := s.idx.Get(req.Key); ok && !it.Dead() {
@@ -482,21 +533,25 @@ func (s *Store) processMR(w, cr int, req *ring.Request) {
 			call.Found = true
 		}
 	case workload.OpPut:
-		s.putMR(req.Key, m.Value)
+		s.putMR(w, req.Key, m.Value)
 	case workload.OpDelete:
-		call.Found = s.deleteMR(req.Key)
+		call.Found = s.deleteMR(w, req.Key)
 	case workload.OpScan:
-		s.scanMR(req, call)
+		s.scanMR(w, req, call)
 	}
+	s.epochExit(w)
 	op := opIndex(workload.OpType(req.Type))
 	call.Complete()
 	s.met.ops[op].Inc(w)
+	s.maybeReclaim(w)
 }
 
 // putMR first tries the in-place same-size write (no locks beyond the
 // item's own bits), then falls back to item replacement under a key-stripe
-// lock so concurrent replacements serialize.
-func (s *Store) putMR(key uint64, val []byte) {
+// lock so concurrent replacements serialize; w is the executing worker,
+// whose pool the new item comes from and whose queue the old one retires
+// to.
+func (s *Store) putMR(w int, key uint64, val []byte) {
 	if it, ok := s.idx.Get(key); ok && !it.Dead() && it.Write(val) {
 		return
 	}
@@ -507,15 +562,23 @@ func (s *Store) putMR(key uint64, val []byte) {
 		if !it.Dead() && it.Write(val) {
 			return
 		}
-		n := seqitem.New(val)
+		n := s.newItem(w, val)
 		s.idx.Put(key, n)
 		it.MoveTo(n) // stale holders (hot views) converge on the new record
+		if s.dom != nil {
+			// Propagate view reachability: a view that holds it can reach n
+			// through the chain. Reading ViewGen after MoveTo ensures either
+			// this read sees a concurrent marker's generation, or that
+			// marker's chain walk sees n and marks it directly (§11).
+			n.MarkViewed(it.ViewGen())
+			s.retire(w, it)
+		}
 		return
 	}
-	s.idx.Put(key, seqitem.New(val))
+	s.idx.Put(key, s.newItem(w, val))
 }
 
-func (s *Store) deleteMR(key uint64) bool {
+func (s *Store) deleteMR(w int, key uint64) bool {
 	mu := &s.keyLocks[key&s.lockMask]
 	mu.Lock()
 	defer mu.Unlock()
@@ -525,30 +588,42 @@ func (s *Store) deleteMR(key uint64) bool {
 	}
 	s.idx.Delete(key)
 	it.Kill()
+	if s.dom != nil {
+		s.retire(w, it)
+	}
 	return true
 }
 
-// scanMR fills the call's scan result slices. It appends into
-// call.ScanKeys[:0] / call.ScanVals[:0]: pooled calls keep those slices'
-// capacity across recycles, so repeated scans reuse the result arrays.
-// The value byte slices themselves are freshly read (callers may alias
-// them after Release), so a scan costs one allocation per returned entry
-// plus amortized-zero for the result arrays.
-func (s *Store) scanMR(req *ring.Request, call *rpc.Call) {
+// scanMR fills the call's scan result slices. Every value is read into
+// call.ScanBuf (one shared byte buffer whose capacity, like ScanKeys' and
+// ScanVals', survives call recycling), so a warmed-up scan performs no
+// per-entry allocation at all — the result values are slices into ScanBuf
+// and are only valid until Release; the synchronous Scan facade copies
+// them out before releasing. Values are sliced out of the buffer after
+// the traversal (via the offs scratch) because growth during the scan
+// can move the backing array.
+func (s *Store) scanMR(w int, req *ring.Request, call *rpc.Call) {
 	if s.scanIdx == nil {
 		return
 	}
-	count := int(req.Size)
-	keys := call.ScanKeys[:0]
+	scr := s.mrscr[w]
+	if scr.scanFn == nil {
+		scr.scanFn = scr.scanVisit
+	}
+	scr.scanKeys = call.ScanKeys[:0]
+	scr.scanBuf = call.ScanBuf[:0]
+	scr.scanOffs = scr.scanOffs[:0]
+	s.scanIdx.Scan(req.Key, int(req.Size), scr.scanFn)
+	buf := scr.scanBuf
 	vals := call.ScanVals[:0]
-	s.scanIdx.Scan(req.Key, count, func(k uint64, it *seqitem.Item) bool {
-		if it.Dead() {
-			return true
-		}
-		keys = append(keys, k)
-		vals = append(vals, it.Read(nil))
-		return true
-	})
-	call.ScanKeys = keys
+	start := 0
+	for _, end := range scr.scanOffs {
+		vals = append(vals, buf[start:end:end])
+		start = end
+	}
+	call.ScanKeys = scr.scanKeys
 	call.ScanVals = vals
+	call.ScanBuf = buf
+	scr.scanKeys = nil // the slices belong to the call until its Release
+	scr.scanBuf = nil
 }

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+)
+
+// Go runtime metric names sampled by RegisterRuntimeMetrics. These are
+// the three signals the GC-quiet write path is judged by: how much heap
+// the item population pins, how often the collector runs, and what the
+// collector's pauses cost the workers.
+const (
+	rmHeapLive = "/memory/classes/heap/objects:bytes"
+	rmGCCycles = "/gc/cycles/total:gc-cycles"
+	rmGCPause  = "/sched/pauses/total/gc:seconds"
+)
+
+// runtimeCollector owns one reusable metrics.Sample set so scrapes do
+// not allocate. All registered funcs share it; the mutex serializes
+// concurrent scrapers (metrics.Read mutates the slice in place).
+type runtimeCollector struct {
+	mu      sync.Mutex
+	samples [3]metrics.Sample
+}
+
+func newRuntimeCollector() *runtimeCollector {
+	c := &runtimeCollector{}
+	c.samples[0].Name = rmHeapLive
+	c.samples[1].Name = rmGCCycles
+	c.samples[2].Name = rmGCPause
+	return c
+}
+
+// read refreshes every sample and returns the i-th value. One
+// metrics.Read call covers all three names; scrape paths are not hot
+// enough to justify caching across funcs within a snapshot.
+func (c *runtimeCollector) read(i int) metrics.Value {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	metrics.Read(c.samples[:])
+	return c.samples[i].Value
+}
+
+func (c *runtimeCollector) uint64At(i int) float64 {
+	v := c.read(i)
+	if v.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return float64(v.Uint64())
+}
+
+func (c *runtimeCollector) pauseQuantile(q float64) float64 {
+	v := c.read(2)
+	if v.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	return histQuantile(v.Float64Histogram(), q)
+}
+
+// histQuantile extracts quantile q from a runtime histogram by walking
+// the cumulative counts, returning the upper boundary of the bucket the
+// quantile lands in (a conservative estimate). q < 0 means the maximum:
+// the upper boundary of the highest non-empty bucket. Infinite edge
+// boundaries fall back to the nearest finite neighbour.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, n := range h.Counts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if q < 0 {
+		rank = total
+	}
+	var seen uint64
+	for i, n := range h.Counts {
+		seen += n
+		if n == 0 || seen < rank {
+			continue
+		}
+		if q >= 0 {
+			return finiteBound(h.Buckets, i+1)
+		}
+		// max: remember the highest non-empty bucket; since counts are
+		// walked in order and seen == total only at the last non-empty
+		// one, this return fires exactly there.
+		if seen == total {
+			return finiteBound(h.Buckets, i+1)
+		}
+	}
+	return finiteBound(h.Buckets, len(h.Buckets)-1)
+}
+
+// finiteBound returns Buckets[i], stepping inward past infinities
+// (runtime histograms may bound the edges with ±Inf).
+func finiteBound(b []float64, i int) float64 {
+	if i >= len(b) {
+		i = len(b) - 1
+	}
+	if i < 0 {
+		return 0
+	}
+	for i > 0 && math.IsInf(b[i], 0) {
+		i--
+	}
+	if math.IsInf(b[i], 0) {
+		return 0
+	}
+	return b[i]
+}
+
+// RegisterRuntimeMetrics exposes the Go runtime's GC-pressure signals on
+// r, alongside the store's own instruments:
+//
+//	mutps_go_heap_live_bytes        bytes of live heap objects
+//	mutps_go_gc_cycles_total        completed GC cycles
+//	mutps_go_gc_pause_seconds{q=..} GC stop-the-world pause quantiles
+//
+// These are sampled from runtime/metrics at scrape time, allocation-free
+// after registration. They exist so a before/after arena comparison can
+// be read straight off /metrics instead of requiring GODEBUG=gctrace.
+func RegisterRuntimeMetrics(r *Registry) {
+	c := newRuntimeCollector()
+	r.GaugeFunc("mutps_go_heap_live_bytes", "",
+		"Bytes of heap memory occupied by live objects (runtime/metrics "+rmHeapLive+").",
+		func() float64 { return c.uint64At(0) })
+	r.CounterFunc("mutps_go_gc_cycles_total", "",
+		"Completed garbage-collection cycles (runtime/metrics "+rmGCCycles+").",
+		func() float64 { return c.uint64At(1) })
+	for _, e := range []struct {
+		label string
+		q     float64
+	}{
+		{`q="0.5"`, 0.5},
+		{`q="0.99"`, 0.99},
+		{`q="max"`, -1},
+	} {
+		q := e.q
+		r.GaugeFunc("mutps_go_gc_pause_seconds", e.label,
+			"Stop-the-world GC pause duration quantiles in seconds (runtime/metrics "+rmGCPause+").",
+			func() float64 { return c.pauseQuantile(q) })
+	}
+}

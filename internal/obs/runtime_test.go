@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"testing"
+)
+
+func TestRuntimeMetricsRegistered(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+
+	runtime.GC() // guarantee at least one cycle and a non-empty pause histogram
+	m := r.SnapshotMap()
+
+	if v := m["mutps_go_heap_live_bytes"]; v <= 0 {
+		t.Errorf("heap live bytes = %v, want > 0", v)
+	}
+	cycles := m["mutps_go_gc_cycles_total"]
+	if cycles <= 0 {
+		t.Errorf("gc cycles = %v, want > 0 after runtime.GC", cycles)
+	}
+	for _, k := range []string{`mutps_go_gc_pause_seconds{q="0.5"}`, `mutps_go_gc_pause_seconds{q="0.99"}`, `mutps_go_gc_pause_seconds{q="max"}`} {
+		v, ok := m[k]
+		if !ok {
+			t.Fatalf("missing %s", k)
+		}
+		if v < 0 || v > 10 {
+			t.Errorf("%s = %v, want a sane pause in [0,10s]", k, v)
+		}
+	}
+
+	runtime.GC()
+	if after := r.SnapshotMap()["mutps_go_gc_cycles_total"]; after <= cycles {
+		t.Errorf("gc cycles did not advance: %v -> %v", cycles, after)
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 10, 80, 10},
+		Buckets: []float64{math.Inf(-1), 1, 2, 3, math.Inf(1)},
+	}
+	if got := histQuantile(h, 0.5); got != 3 {
+		t.Errorf("p50 = %v, want 3 (upper bound of the bucket holding rank 50)", got)
+	}
+	if got := histQuantile(h, 0.05); got != 2 {
+		t.Errorf("p5 = %v, want 2", got)
+	}
+	// max: highest non-empty bucket's upper bound is +Inf, so it steps
+	// inward to the nearest finite boundary.
+	if got := histQuantile(h, -1); got != 3 {
+		t.Errorf("max = %v, want 3", got)
+	}
+	if got := histQuantile(&metrics.Float64Histogram{}, 0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}

@@ -78,6 +78,14 @@ type Call struct {
 	ScanVals [][]byte // values parallel to ScanKeys
 	Err      error
 
+	// ScanBuf is the backing store for ScanVals: scan servers append every
+	// value into it and slice ScanVals out of it, so a whole scan costs no
+	// per-entry allocation once the buffer has grown to the scan's working
+	// size. Like ScanKeys/ScanVals its capacity survives Release, and like
+	// them its contents are only valid until Release — callers that keep
+	// values past Release must copy them out.
+	ScanBuf []byte
+
 	// Dst is the caller's destination buffer, copied from Message.Dst by
 	// Send; servers read values with it.Read(call.Dst[:0]).
 	Dst []byte
@@ -180,6 +188,7 @@ func (c *Call) Release() {
 		c.ScanVals[i] = nil // drop value refs; keep the slice's capacity
 	}
 	c.ScanVals = c.ScanVals[:0]
+	c.ScanBuf = c.ScanBuf[:0]
 	callPool.Put(c)
 }
 

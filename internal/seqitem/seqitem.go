@@ -18,6 +18,8 @@ package seqitem
 import (
 	"runtime"
 	"sync/atomic"
+
+	"mutps/internal/arena"
 )
 
 // meta layout: bit 0 = lock, remaining bits = version.
@@ -39,6 +41,15 @@ type Item struct {
 	// holders treat lookups as misses.
 	moved atomic.Pointer[Item]
 	dead  atomic.Bool
+
+	// viewGen is the hot-set install generation that most recently
+	// published this item in a CR-layer view (0 = never installed). The
+	// store's reclamation protocol (DESIGN.md §11) uses it to decide when a
+	// retired item can no longer be reached through a stale view.
+	viewGen atomic.Uint64
+	// slab is true when words was carved from the arena and must be
+	// returned on Recycle. Set once at allocation, read only by the pool.
+	slab bool
 }
 
 // Latest follows the replacement chain to the current item record.
@@ -174,3 +185,101 @@ func (it *Item) Read(buf []byte) []byte {
 // for ≤8-byte items (always consistent because such items are updated with
 // a single store).
 func (it *Item) ReadUint64() uint64 { return it.Latest().words[0].Load() }
+
+// MarkViewed records that the item was published in hot-set install
+// generation gen, walking the whole replacement chain: a view that can
+// reach this item can reach every successor through Latest, so each must
+// carry the mark. Successors linked after the walk are covered by the
+// replacer, which re-reads the predecessor's viewGen after publishing the
+// link (MoveTo before the read, so in the SC total order either the read
+// sees this walk's mark, or the walk's chain load sees the new link and
+// marks the successor itself). CAS-max keeps the field monotonic against
+// stale concurrent markers.
+func (it *Item) MarkViewed(gen uint64) {
+	for n := it; n != nil; n = n.moved.Load() {
+		for {
+			old := n.viewGen.Load()
+			if gen <= old || n.viewGen.CompareAndSwap(old, gen) {
+				break
+			}
+		}
+	}
+}
+
+// ViewGen returns the last hot-set install generation that published this
+// item, 0 if it was never installed in a view.
+func (it *Item) ViewGen() uint64 { return it.viewGen.Load() }
+
+// headerChunk is how many Item headers a pool carves per heap allocation.
+const headerChunk = 256
+
+// Pool allocates Items whose headers come from carved chunks and whose
+// value words come from a worker's arena cache: the GC-quiet allocation
+// path. Like arena.Cache it is single-owner — exactly one goroutine calls
+// NewIn and Recycle — and recycled headers and slots are reused in LIFO
+// order, so a warmed-up pool allocates nothing.
+//
+// The caller owns the reclamation protocol: an Item must only be Recycled
+// once no concurrent reader (seqlock readers, stale hot-set views) can
+// still reach it. Recycling too early is a use-after-free in every way
+// that matters — a later NewIn rewrites size and words in plain (checked
+// by the race detector) and reuses the value slot (silent data
+// corruption).
+type Pool struct {
+	cache *arena.Cache
+	free  []*Item // recycled headers, LIFO
+	chunk []Item  // current header chunk being carved
+	next  int
+}
+
+// NewPool creates a pool drawing value words from cache. A nil cache is
+// allowed and means every value falls back to the Go allocator (items are
+// still header-pooled).
+func NewPool(cache *arena.Cache) *Pool { return &Pool{cache: cache} }
+
+// NewIn creates an item holding exactly val, reusing a recycled header
+// and an arena value slot when available.
+func NewIn(p *Pool, val []byte) *Item {
+	var it *Item
+	if n := len(p.free); n > 0 {
+		it = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	} else {
+		if p.next == len(p.chunk) {
+			p.chunk = make([]Item, headerChunk)
+			p.next = 0
+		}
+		it = &p.chunk[p.next]
+		p.next++
+	}
+	n := len(val)
+	nw := (n + 7) / 8
+	if nw == 0 {
+		nw = 1
+	}
+	// Reset every header field: recycled headers carry a dead item's state.
+	it.size = n
+	it.meta.Store(0)
+	it.moved.Store(nil)
+	it.dead.Store(false)
+	it.viewGen.Store(0)
+	if p.cache != nil {
+		it.words, it.slab = p.cache.Get(n)
+	} else {
+		it.words, it.slab = make([]atomic.Uint64, nw), false
+	}
+	it.storeWords(val)
+	return it
+}
+
+// Recycle returns an item's value slot to the arena and its header to the
+// pool's free list. See the Pool comment for the reachability contract.
+func (p *Pool) Recycle(it *Item) {
+	if it.slab {
+		p.cache.Put(it.words)
+	}
+	it.words = nil
+	it.moved.Store(nil) // don't pin the replacement chain in memory
+	p.free = append(p.free, it)
+}

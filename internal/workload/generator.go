@@ -65,6 +65,24 @@ func (f FixedSize) Sample(*RNG) int { return int(f) }
 // Mean implements SizeDist.
 func (f FixedSize) Mean() float64 { return float64(f) }
 
+// UniformSize samples value sizes uniformly in [Min, Max]. A spread wide
+// enough to cross power-of-two boundaries turns puts into genuine item
+// replacements (the in-place seqlock write only covers values that still
+// fit the allocated slot), which is what exercises a store's allocation
+// and reclamation path under load.
+type UniformSize struct{ Min, Max int }
+
+// Sample implements SizeDist.
+func (u UniformSize) Sample(r *RNG) int {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + r.Intn(u.Max-u.Min+1)
+}
+
+// Mean implements SizeDist.
+func (u UniformSize) Mean() float64 { return float64(u.Min+u.Max) / 2 }
+
 // Config fully describes a workload.
 type Config struct {
 	Keys      uint64  // populated keyspace size

@@ -62,6 +62,15 @@ type Options struct {
 	RefreshInterval time.Duration
 	// CapacityHint pre-sizes the hash index.
 	CapacityHint int
+	// ArenaOff disables the size-classed slab arena: item records and
+	// their value words come from the Go allocator instead, as they did
+	// before the arena existed. Escape hatch for debugging (heap profiles
+	// attribute values to call sites again) and for A/B measurement.
+	ArenaOff bool
+	// ArenaChunk is the backing-slab chunk size in bytes per size class
+	// (default 256 KiB). Larger chunks amortize carving further at the
+	// cost of coarser reservation granularity.
+	ArenaChunk int
 }
 
 // KV is one scan result entry.
@@ -114,6 +123,8 @@ func Open(o Options) (*Store, error) {
 		BatchSize:    o.BatchSize,
 		HotItems:     o.HotItems,
 		CapacityHint: o.CapacityHint,
+		ArenaOff:     o.ArenaOff,
+		ArenaChunk:   o.ArenaChunk,
 	})
 	if err != nil {
 		return nil, err
