@@ -6,20 +6,25 @@
 //
 //	mutps-loadgen -addr localhost:7070 -mix A -keys 100000 -ops 100000
 //	mutps-loadgen -addr localhost:7070 -trace requests.csv
+//	mutps-loadgen -cluster localhost:7071,localhost:7072 -mget 64 -mix C
 package main
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"mutps/internal/cluster"
 	"mutps/internal/netserver"
 	"mutps/internal/obs"
 	"mutps/internal/workload"
@@ -50,6 +55,16 @@ func main() {
 	traceFile := flag.String("trace", "", "replay a CSV trace instead of YCSB")
 	opTimeout := flag.Duration("op-timeout", 0,
 		"per-operation deadline on synchronous connections; a timed-out connection is abandoned (0 disables)")
+	clusterAddrs := flag.String("cluster", "",
+		"comma-separated shard addresses; enables the cluster-aware client (consistent-hash routing, per-shard pipelines) instead of -addr")
+	mgetBatch := flag.Int("mget", 64,
+		"cluster mode: group this many consecutive gets into batched per-shard mget frames (1 = per-key gets)")
+	largeThreshold := flag.Int("large-threshold", 0,
+		"cluster mode: route puts with values >= this many bytes to the large-object shard set (0 disables size-aware placement)")
+	largeShards := flag.String("large-shards", "",
+		"cluster mode: comma-separated shard indices forming the large-object set (default: the last shard)")
+	benchJSON := flag.String("bench-json", "",
+		"write a machine-readable result record (ops/s, P50/P99, shards, batch size, keys/frame) to this file")
 	flag.Parse()
 	// -inflight supersedes -depth; the old name keeps working as an alias.
 	if *inflight > 0 {
@@ -81,6 +96,28 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("replaying %d trace requests\n", len(trace))
+	}
+
+	if *clusterAddrs != "" {
+		runCluster(clusterRun{
+			addrs:     strings.Split(*clusterAddrs, ","),
+			mixName:   *mixName,
+			mix:       mix,
+			sizeDist:  sizeDist,
+			keys:      *keys,
+			theta:     *theta,
+			valueSize: *valueSize,
+			ops:       *ops,
+			clients:   *clients,
+			inflight:  *depth,
+			mgetBatch: *mgetBatch,
+			threshold: *largeThreshold,
+			largeSet:  parseShardList(*largeShards),
+			load:      *load && trace == nil,
+			trace:     trace,
+			benchJSON: *benchJSON,
+		})
+		return
 	}
 
 	if *load && trace == nil {
@@ -244,6 +281,252 @@ func printAllocSummary(ops uint64, elapsed time.Duration,
 			ret, srvAfter["mutps_items_recycled_total"]-srvBefore["mutps_items_recycled_total"],
 			srvAfter["mutps_items_retired_pending"])
 	}
+}
+
+// clusterRun carries the cluster-mode parameters from flag parsing.
+type clusterRun struct {
+	addrs     []string
+	mixName   string
+	mix       workload.Mix
+	sizeDist  workload.SizeDist
+	keys      uint64
+	theta     float64
+	valueSize int
+	ops       int
+	clients   int
+	inflight  int
+	mgetBatch int
+	threshold int
+	largeSet  []int
+	load      bool
+	trace     []workload.Request
+	benchJSON string
+}
+
+// parseShardList parses "0,2,3" into shard indices.
+func parseShardList(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			log.Fatalf("bad shard index %q in -large-shards", part)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// runCluster drives the shard set through the cluster-aware client:
+// consistent-hash routing, one pipelined connection per shard, and
+// consecutive gets coalesced into batched per-shard mget frames. Batch
+// latency is recorded once per key (every key in a frame experienced it).
+func runCluster(r clusterRun) {
+	cli, err := cluster.Dial(cluster.Config{
+		Addrs:         r.addrs,
+		Inflight:      max(r.inflight, 2),
+		MGetBatch:     r.mgetBatch,
+		SizeThreshold: r.threshold,
+		LargeShards:   r.largeSet,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+	fmt.Printf("cluster of %d shards: %s\n", cli.Shards(), strings.Join(r.addrs, ", "))
+
+	if r.load {
+		// Stripe the load across goroutines: cluster puts are synchronous
+		// (one RTT each), so concurrency is what overlaps the per-shard
+		// round trips.
+		loaders := max(r.clients, 8)
+		start := time.Now()
+		var lwg sync.WaitGroup
+		for w := 0; w < loaders; w++ {
+			lwg.Add(1)
+			go func(w int) {
+				defer lwg.Done()
+				val := make([]byte, r.valueSize)
+				for k := uint64(w); k < r.keys; k += uint64(loaders) {
+					for {
+						err := cli.Put(k, val)
+						if errors.Is(err, netserver.ErrBacklogged) {
+							backlogged.Add(1)
+							time.Sleep(backloggedRetryDelay)
+							continue
+						}
+						if err != nil {
+							log.Fatal(err)
+						}
+						break
+					}
+				}
+			}(w)
+		}
+		lwg.Wait()
+		fmt.Printf("loaded %d keys across %d shards in %v\n",
+			r.keys, cli.Shards(), time.Since(start).Round(time.Millisecond))
+	}
+
+	perClient := r.ops / r.clients
+	hist := obs.NewHistogram(r.clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < r.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var gen interface{ Next() workload.Request }
+			if r.trace != nil {
+				gen = workload.NewTraceGenerator(r.trace)
+			} else {
+				gen = workload.NewGenerator(workload.Config{
+					Keys: r.keys, Theta: r.theta, Mix: r.mix,
+					ValueSize: r.sizeDist, Seed: uint64(c + 1),
+				})
+			}
+			clusterWorker(c, cli, gen, perClient, r, hist)
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := hist.Snapshot()
+	pct := func(p float64) time.Duration { return time.Duration(snap.Quantile(p)) }
+	opsPerSec := float64(snap.Count) / elapsed.Seconds()
+	fmt.Printf("%d ops across %d clients in %v\n", snap.Count, r.clients, elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.0f ops/s aggregate over %d shards\n", opsPerSec, cli.Shards())
+	fmt.Printf("latency: P50 %v  P95 %v  P99 %v  max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), time.Duration(snap.Max).Round(time.Microsecond))
+	if n := backlogged.Load(); n > 0 {
+		fmt.Printf("backpressure: shards shed %d requests\n", n)
+	}
+
+	m := cli.Metrics().SnapshotMap()
+	frames := m["mutps_cluster_mget_frames_total"]
+	keysPerFrame := 0.0
+	if frames > 0 {
+		keysPerFrame = m["mutps_cluster_mget_keys_per_frame_sum"] / frames
+		fmt.Printf("fan-out: %.0f mget frames, %.1f keys/frame avg, %.0f fallback frames, %.0f large-routed puts\n",
+			frames, keysPerFrame, m["mutps_cluster_mget_fallback_total"], m["mutps_cluster_large_routed_total"])
+	}
+	if r.benchJSON != "" {
+		writeBenchJSON(r.benchJSON, map[string]any{
+			"bench":              "cluster-loadgen",
+			"shards":             cli.Shards(),
+			"mix":                r.mixName,
+			"ops":                snap.Count,
+			"clients":            r.clients,
+			"inflight":           r.inflight,
+			"batch_size":         r.mgetBatch,
+			"size_threshold":     r.threshold,
+			"ops_per_sec":        opsPerSec,
+			"p50_ns":             snap.Quantile(0.50),
+			"p99_ns":             snap.Quantile(0.99),
+			"avg_keys_per_frame": keysPerFrame,
+			"mget_frames":        frames,
+			"fallback_frames":    m["mutps_cluster_mget_fallback_total"],
+			"backlogged":         backlogged.Load(),
+		})
+	}
+}
+
+// clusterWorker issues one client goroutine's share of the workload:
+// consecutive gets accumulate into an mget batch that flushes at
+// r.mgetBatch keys (or when a non-get op arrives, preserving rough
+// program order), everything else runs point-to-point.
+func clusterWorker(c int, cli *cluster.Client,
+	gen interface{ Next() workload.Request }, ops int, r clusterRun, hist *obs.Histogram) {
+	batch := make([]uint64, 0, max(r.mgetBatch, 1))
+	buf := make([]byte, r.valueSize)
+	flushBatch := func() {
+		if len(batch) == 0 {
+			return
+		}
+		for {
+			t0 := time.Now()
+			_, _, err := cli.MGet(batch)
+			if errors.Is(err, netserver.ErrBacklogged) {
+				backlogged.Add(1)
+				time.Sleep(backloggedRetryDelay)
+				continue // gets are idempotent: retry the whole frame set
+			}
+			if err != nil {
+				log.Fatalf("client %d: mget: %v", c, err)
+			}
+			lat := uint64(time.Since(t0))
+			for range batch {
+				hist.Record(c, lat)
+			}
+			break
+		}
+		batch = batch[:0]
+	}
+	for i := 0; i < ops; i++ {
+		req := gen.Next()
+		if req.Op == workload.OpGet && r.mgetBatch > 1 {
+			batch = append(batch, req.Key)
+			if len(batch) >= r.mgetBatch {
+				flushBatch()
+			}
+			continue
+		}
+		flushBatch()
+		t0 := time.Now()
+		for {
+			var err error
+			switch req.Op {
+			case workload.OpGet:
+				_, _, err = cli.Get(req.Key)
+			case workload.OpPut:
+				v := buf
+				if req.ValueSize > 0 && req.ValueSize != len(buf) {
+					v = make([]byte, req.ValueSize)
+				}
+				err = cli.Put(req.Key, v)
+			case workload.OpDelete:
+				_, err = cli.Delete(req.Key)
+			case workload.OpScan:
+				// Scans are single-shard ops with no cross-shard merge yet;
+				// cluster mode degrades them to a get on the routed shard.
+				_, _, err = cli.Get(req.Key)
+			}
+			if errors.Is(err, netserver.ErrBacklogged) {
+				backlogged.Add(1)
+				time.Sleep(backloggedRetryDelay)
+				continue
+			}
+			if err != nil {
+				log.Fatalf("client %d: %v", c, err)
+			}
+			break
+		}
+		hist.Record(c, uint64(time.Since(t0)))
+	}
+	flushBatch()
+}
+
+// writeBenchJSON appends one result record to path as a JSON object per
+// line when the file exists (so successive runs build a trajectory), or
+// creates it.
+func writeBenchJSON(path string, rec map[string]any) {
+	rec["timestamp"] = time.Now().UTC().Format(time.RFC3339)
+	b, err := json.Marshal(rec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bench record appended to %s\n", path)
 }
 
 // runPipelined drives one connection with depth requests in flight using

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"mutps/internal/cluster"
+	"mutps/internal/kvcore"
+	"mutps/internal/obs"
+)
+
+// BenchmarkClusterGets measures aggregate get throughput against an
+// in-process shard set at 1 and 2 shards: the scale-out question is
+// whether adding a shard adds throughput. Each of four driver goroutines
+// keeps one 64-key mget frame in flight, so every iteration exercises
+// the full fan-out path — consistent-hash grouping, one batched frame
+// per touched shard, positional scatter of the replies.
+//
+// Honest-numbers caveat: on a single-core host the shards time-share one
+// CPU and 2-shard throughput cannot exceed 1-shard (the paper's scaling
+// claim needs a core per shard). The keys/frame metric is deterministic
+// batching behavior and holds on any host.
+//
+// Set BENCH_CLUSTER_OUT=path to append one machine-readable JSON record
+// per sub-benchmark (shards, ops/s, P50/P99, avg keys/frame).
+func BenchmarkClusterGets(b *testing.B) {
+	const (
+		nKeys   = 8192
+		batch   = 64
+		drivers = 4
+	)
+	for _, shards := range []int{1, 2} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			l, err := cluster.LaunchLocal(shards, cluster.LocalOptions{
+				Engine: kvcore.Hash, Workers: 4, CRWorkers: 2,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			cli, err := cluster.Dial(cluster.Config{
+				Addrs:     l.Addrs(),
+				Inflight:  128,
+				MGetBatch: batch,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cli.Close()
+			// Preload directly into each shard's store, routed the same way
+			// the client routes, so the measured loop is pure gets.
+			val := make([]byte, 64)
+			for k := uint64(0); k < nKeys; k++ {
+				l.Store(cli.ShardOf(k)).Preload(k, val)
+			}
+
+			lat := obs.NewHistogram(drivers)
+			perDriver := b.N / drivers
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for d := 0; d < drivers; d++ {
+				wg.Add(1)
+				go func(d int) {
+					defer wg.Done()
+					keys := make([]uint64, batch)
+					// Stride the keyspace per driver so frames hit all shards.
+					next := uint64(d * 1047)
+					for i := 0; i < perDriver; i += batch {
+						n := batch
+						if rem := perDriver - i; rem < n {
+							n = rem
+						}
+						for j := 0; j < n; j++ {
+							keys[j] = next % nKeys
+							next += 7
+						}
+						t0 := time.Now()
+						_, found, err := cli.MGet(keys[:n])
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						lat.Record(d, uint64(time.Since(t0)))
+						for j, ok := range found {
+							if !ok {
+								b.Errorf("key %d missing", keys[j])
+								return
+							}
+						}
+					}
+				}(d)
+			}
+			wg.Wait()
+			b.StopTimer()
+
+			elapsed := b.Elapsed()
+			opsPerSec := float64(perDriver*drivers) / elapsed.Seconds()
+			keysPerFrame := 0.0
+			if !obs.Disabled {
+				m := cli.Metrics().SnapshotMap()
+				if frames := m["mutps_cluster_mget_frames_total"]; frames > 0 {
+					keysPerFrame = m["mutps_cluster_mget_keys_per_frame_sum"] / frames
+					b.ReportMetric(keysPerFrame, "keys/frame")
+				}
+			}
+			snap := lat.Snapshot()
+			b.ReportMetric(opsPerSec, "gets/s")
+			if out := os.Getenv("BENCH_CLUSTER_OUT"); out != "" && b.N > 1 {
+				appendBenchRecord(b, out, map[string]any{
+					"bench":              "BenchmarkClusterGets",
+					"shards":             shards,
+					"batch_size":         batch,
+					"drivers":            drivers,
+					"ops":                perDriver * drivers,
+					"ops_per_sec":        opsPerSec,
+					"frame_p50_ns":       snap.Quantile(0.50),
+					"frame_p99_ns":       snap.Quantile(0.99),
+					"avg_keys_per_frame": keysPerFrame,
+				})
+			}
+		})
+	}
+}
+
+// appendBenchRecord writes one JSON object per line so repeated runs (and
+// the two sub-benchmarks) accumulate into a comparable series.
+func appendBenchRecord(b *testing.B, path string, rec map[string]any) {
+	b.Helper()
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(buf, '\n')); err != nil {
+		b.Fatal(err)
+	}
+}

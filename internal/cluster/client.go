@@ -1,0 +1,451 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"mutps/internal/netserver"
+	"mutps/internal/obs"
+)
+
+// Config configures a cluster Client. Only Addrs is required.
+type Config struct {
+	// Addrs lists the shard servers. Order is the shard index used by
+	// LargeShards and the per-shard metrics labels.
+	Addrs []string
+	// VNodes is the consistent-hash virtual-node count per shard
+	// (default 128).
+	VNodes int
+	// Inflight is the per-shard pipelined-connection window (default 128).
+	Inflight int
+	// MGetBatch caps the keys per mget wire frame (default 256, hard cap
+	// netserver.MaxMGetKeys). Larger multi-gets split across frames.
+	MGetBatch int
+	// SizeThreshold, when > 0, enables size-aware placement: puts of
+	// values >= this many bytes route to the LargeShards set.
+	SizeThreshold int
+	// LargeShards are indices into Addrs designating the large-object
+	// shard set (default: the last shard) when SizeThreshold > 0.
+	LargeShards []int
+	// Registry receives the client's mutps_cluster_* metrics; nil creates
+	// a private registry (reachable via Metrics).
+	Registry *obs.Registry
+}
+
+// Client presents the shard set as one logical keyspace. It keeps one
+// pipelined connection per shard and fans multi-key gets out as one
+// batched mget frame per shard — the per-host batching that multi-node
+// throughput comes from — while single-key ops route point-to-point on the
+// consistent-hash ring. Safe for concurrent use; concurrent callers share
+// the per-shard windows.
+type Client struct {
+	cfg    Config
+	router *Router
+	shards []*shard
+	batch  int
+
+	reg        *obs.Registry
+	opsShard   []*obs.Counter
+	mgetFrames *obs.Counter
+	mgetKeys   *obs.Histogram
+	fallbacks  *obs.Counter
+	largePuts  *obs.Counter
+	probes     *obs.Counter
+}
+
+// shard is one member server: its pipelined connection plus the sticky
+// legacy flag set when the server rejects the mget op.
+type shard struct {
+	addr   string
+	pc     *netserver.PipelineClient
+	legacy atomic.Bool
+}
+
+// Dial connects to every shard and builds the routing state.
+func Dial(cfg Config) (*Client, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("cluster: no shard addresses")
+	}
+	if cfg.Inflight <= 0 {
+		cfg.Inflight = 128
+	}
+	batch := cfg.MGetBatch
+	if batch <= 0 {
+		batch = 256
+	}
+	if batch > netserver.MaxMGetKeys {
+		batch = netserver.MaxMGetKeys
+	}
+	router, err := NewRouter(cfg.Addrs, cfg.VNodes, cfg.SizeThreshold, cfg.LargeShards)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{cfg: cfg, router: router, batch: batch}
+	for _, addr := range cfg.Addrs {
+		pc, err := netserver.DialPipeline(addr, cfg.Inflight)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: dial shard %s: %w", addr, err)
+		}
+		c.shards = append(c.shards, &shard{addr: addr, pc: pc})
+	}
+	c.reg = cfg.Registry
+	if c.reg == nil {
+		c.reg = obs.NewRegistry()
+	}
+	c.opsShard = make([]*obs.Counter, len(c.shards))
+	for i := range c.shards {
+		c.opsShard[i] = c.reg.Counter("mutps_cluster_ops_total",
+			fmt.Sprintf(`shard="%d"`, i),
+			"Wire operations sent to each shard (frames, not keys).", 4)
+	}
+	c.mgetFrames = c.reg.Counter("mutps_cluster_mget_frames_total", "",
+		"Batched mget frames sent across all shards.", 4)
+	c.mgetKeys = c.reg.Histogram("mutps_cluster_mget_keys_per_frame", "",
+		"Keys carried per mget frame (per-shard fan-out batching factor).", 4)
+	c.fallbacks = c.reg.Counter("mutps_cluster_mget_fallback_total", "",
+		"MGet frames degraded to per-key pipelined gets (legacy server or in-protocol rejection).", 4)
+	c.largePuts = c.reg.Counter("mutps_cluster_large_routed_total", "",
+		"Puts routed to the large-object shard set by the size-aware policy.", 4)
+	c.probes = c.reg.Counter("mutps_cluster_large_probe_total", "",
+		"Get misses probed on the large-object set for untracked keys.", 4)
+	return c, nil
+}
+
+// Metrics returns the registry carrying the client's mutps_cluster_*
+// series.
+func (c *Client) Metrics() *obs.Registry { return c.reg }
+
+// Shards returns the shard count.
+func (c *Client) Shards() int { return len(c.shards) }
+
+// ShardOf returns the shard index a get for key routes to first (test and
+// tooling hook).
+func (c *Client) ShardOf(key uint64) int {
+	si, _ := c.router.GetShard(key)
+	return si
+}
+
+// Close tears down every shard connection; the first error wins.
+func (c *Client) Close() error {
+	var first error
+	for _, sh := range c.shards {
+		if err := sh.pc.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// do runs one synchronous op against shard si: send, flush, wait. The
+// returned body is copied out of the pooled future, so it is caller-owned.
+func (c *Client) do(si int, op byte, key uint64, payload []byte) (status byte, body []byte, err error) {
+	sh := c.shards[si]
+	f, err := sh.pc.Send(op, key, payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	if !obs.Disabled {
+		c.opsShard[si].Inc(0)
+	}
+	if err := sh.pc.Flush(); err != nil {
+		// The future is completed by the client's close-on-write-failure
+		// protocol; wait it out so it is never abandoned mid-read.
+		f.Wait()
+		f.Release()
+		return 0, nil, err
+	}
+	st, b, err := f.Wait()
+	if len(b) > 0 && err == nil {
+		body = append([]byte(nil), b...)
+	}
+	f.Release()
+	return st, body, err
+}
+
+// Get fetches key from its owning shard, probing the large-object set on a
+// miss when size-aware placement is active and the key is untracked.
+func (c *Client) Get(key uint64) ([]byte, bool, error) {
+	si, fallback := c.router.GetShard(key)
+	st, body, err := c.do(si, netserver.OpGet, key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if st == netserver.StatusFound {
+		return body, true, nil
+	}
+	if fallback >= 0 {
+		if !obs.Disabled {
+			c.probes.Inc(0)
+		}
+		st, body, err = c.do(fallback, netserver.OpGet, key, nil)
+		if err != nil {
+			return nil, false, err
+		}
+		if st == netserver.StatusFound {
+			return body, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Put stores val under key on the shard the placement policy selects,
+// clearing a stale copy from the other shard set when the key crosses the
+// size threshold.
+func (c *Client) Put(key uint64, val []byte) error {
+	si, companion, large := c.router.PutShard(key, len(val))
+	if large && !obs.Disabled {
+		c.largePuts.Inc(0)
+	}
+	if _, _, err := c.do(si, netserver.OpPut, key, val); err != nil {
+		return err
+	}
+	if companion >= 0 {
+		if _, _, err := c.do(companion, netserver.OpDelete, key, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes key from every shard that may hold it, reporting whether
+// any copy existed.
+func (c *Client) Delete(key uint64) (bool, error) {
+	var shards [2]int
+	found := false
+	for _, si := range c.router.DeleteShards(shards[:0], key) {
+		st, _, err := c.do(si, netserver.OpDelete, key, nil)
+		if err != nil {
+			return false, err
+		}
+		found = found || st == netserver.StatusFound
+	}
+	return found, nil
+}
+
+// frame is one in-flight unit of an MGet fan-out: a batched mget wire
+// frame (idxs positions answered positionally) or a single per-key get on
+// a legacy shard.
+type frame struct {
+	sh     int
+	fut    *netserver.Future
+	idxs   []int
+	perKey bool
+}
+
+// MGet fetches keys from across the cluster with one batched mget frame
+// per shard per MGetBatch keys: keys group by owning shard, each group
+// rides the shard's pipelined window as whole frames, and every window
+// fills concurrently — the cross-host fan-out that aggregate throughput
+// comes from. Results are positional: vals[i]/found[i] answer keys[i],
+// with vals caller-owned. Shards that reject the mget op degrade to
+// per-key pipelined gets transparently and are remembered as legacy.
+func (c *Client) MGet(keys []uint64) (vals [][]byte, found []bool, err error) {
+	vals = make([][]byte, len(keys))
+	found = make([]bool, len(keys))
+	if len(keys) == 0 {
+		return vals, found, nil
+	}
+	groups := make([][]int, len(c.shards))
+	var fbs []int
+	needFallback := false
+	if c.router.SizeAware() {
+		fbs = make([]int, len(keys))
+	}
+	for i, k := range keys {
+		si, fb := c.router.GetShard(k)
+		groups[si] = append(groups[si], i)
+		if fbs != nil {
+			fbs[i] = fb
+			if fb >= 0 {
+				needFallback = true
+			}
+		}
+	}
+	if err := c.fanout(keys, groups, vals, found); err != nil {
+		return nil, nil, err
+	}
+	if needFallback {
+		// Second round: untracked keys that missed may live on the
+		// large-object set (placed there by another client).
+		probe := make([][]int, len(c.shards))
+		any := false
+		for i := range keys {
+			if !found[i] && fbs[i] >= 0 {
+				probe[fbs[i]] = append(probe[fbs[i]], i)
+				any = true
+			}
+		}
+		if any {
+			if !obs.Disabled {
+				c.probes.Inc(0)
+			}
+			if err := c.fanout(keys, probe, vals, found); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return vals, found, nil
+}
+
+// fanout sends one round of grouped gets — mget frames on current shards,
+// per-key gets on legacy ones — flushes every touched window once, then
+// retires the frames in issue order and scatters results into vals/found.
+func (c *Client) fanout(keys []uint64, groups [][]int, vals [][]byte, found []bool) error {
+	var frames []frame
+	var keybuf []uint64
+	var payload []byte
+	touched := make([]bool, len(c.shards))
+	for si, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		touched[si] = true
+		sh := c.shards[si]
+		if sh.legacy.Load() {
+			for j := range idxs {
+				f, err := sh.pc.Send(netserver.OpGet, keys[idxs[j]], nil)
+				if err != nil {
+					c.drainFrames(frames)
+					return err
+				}
+				if !obs.Disabled {
+					c.opsShard[si].Inc(0)
+				}
+				frames = append(frames, frame{sh: si, fut: f, idxs: idxs[j : j+1], perKey: true})
+			}
+			continue
+		}
+		for start := 0; start < len(idxs); start += c.batch {
+			end := start + c.batch
+			if end > len(idxs) {
+				end = len(idxs)
+			}
+			sub := idxs[start:end]
+			keybuf = keybuf[:0]
+			for _, i := range sub {
+				keybuf = append(keybuf, keys[i])
+			}
+			payload = netserver.AppendMGetRequest(payload[:0], keybuf)
+			f, err := sh.pc.Send(netserver.OpMGet, 0, payload)
+			if err != nil {
+				c.drainFrames(frames)
+				return err
+			}
+			if !obs.Disabled {
+				c.opsShard[si].Inc(0)
+				c.mgetFrames.Inc(0)
+				c.mgetKeys.Record(0, uint64(len(sub)))
+			}
+			frames = append(frames, frame{sh: si, fut: f, idxs: sub})
+		}
+	}
+	for si, t := range touched {
+		if t {
+			c.shards[si].pc.Flush()
+		}
+	}
+	var firstErr error
+	for fi := range frames {
+		fr := &frames[fi]
+		st, body, err := fr.fut.Wait()
+		switch {
+		case err == nil:
+			if fr.perKey {
+				i := fr.idxs[0]
+				if st == netserver.StatusFound {
+					vals[i] = append([]byte(nil), body...)
+					found[i] = true
+				}
+			} else if derr := scatterMGet(body, fr.idxs, vals, found); derr != nil && firstErr == nil {
+				firstErr = derr
+			}
+		case st == netserver.StatusError && !fr.perKey:
+			// In-protocol rejection of an mget frame: an old server. Mark it
+			// legacy on the canonical "unknown op" reply so later rounds skip
+			// the wasted frame, and re-fetch this frame's keys per key either
+			// way — if the error was something else (say, shutdown), the
+			// retries surface it.
+			if strings.Contains(err.Error(), "unknown op") {
+				c.shards[fr.sh].legacy.Store(true)
+			}
+			if !obs.Disabled {
+				c.fallbacks.Inc(0)
+			}
+			if derr := c.perKeyRetry(keys, fr, vals, found); derr != nil && firstErr == nil {
+				firstErr = derr
+			}
+		default:
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		fr.fut.Release()
+	}
+	return firstErr
+}
+
+// scatterMGet decodes one mget response body into the positions the frame
+// covered. Values are copied out of the pooled response buffer.
+func scatterMGet(body []byte, idxs []int, vals [][]byte, found []bool) error {
+	fvals, ffound, err := netserver.DecodeMGet(body)
+	if err != nil {
+		return err
+	}
+	if len(fvals) != len(idxs) {
+		return fmt.Errorf("cluster: mget response carried %d entries for %d keys", len(fvals), len(idxs))
+	}
+	for j, i := range idxs {
+		if ffound[j] {
+			vals[i] = fvals[j]
+			found[i] = true
+		}
+	}
+	return nil
+}
+
+// perKeyRetry re-fetches one frame's keys as individual pipelined gets on
+// the same shard (the mget degradation path for legacy servers).
+func (c *Client) perKeyRetry(keys []uint64, fr *frame, vals [][]byte, found []bool) error {
+	sh := c.shards[fr.sh]
+	futs := make([]*netserver.Future, 0, len(fr.idxs))
+	for _, i := range fr.idxs {
+		f, err := sh.pc.Send(netserver.OpGet, keys[i], nil)
+		if err != nil {
+			for _, pf := range futs {
+				pf.Wait()
+				pf.Release()
+			}
+			return err
+		}
+		if !obs.Disabled {
+			c.opsShard[fr.sh].Inc(0)
+		}
+		futs = append(futs, f)
+	}
+	sh.pc.Flush()
+	var firstErr error
+	for j, f := range futs {
+		st, body, err := f.Wait()
+		i := fr.idxs[j]
+		switch {
+		case err == nil && st == netserver.StatusFound:
+			vals[i] = append([]byte(nil), body...)
+			found[i] = true
+		case err != nil && firstErr == nil:
+			firstErr = err
+		}
+		f.Release()
+	}
+	return firstErr
+}
+
+// drainFrames waits out and releases already-sent futures after a send
+// failure mid-fan-out, so no pooled future is abandoned.
+func (c *Client) drainFrames(frames []frame) {
+	for i := range frames {
+		frames[i].fut.Wait()
+		frames[i].fut.Release()
+	}
+}

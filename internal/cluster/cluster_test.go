@@ -1,0 +1,437 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"mutps/internal/netserver"
+	"mutps/internal/obs"
+)
+
+func launch(t *testing.T, n int) (*Local, *Client) {
+	t.Helper()
+	return launchCfg(t, n, Config{})
+}
+
+func launchCfg(t *testing.T, n int, cfg Config) (*Local, *Client) {
+	t.Helper()
+	l, err := LaunchLocal(n, LocalOptions{Workers: 3, CRWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Addrs = l.Addrs()
+	c, err := Dial(cfg)
+	if err != nil {
+		l.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		l.Close()
+	})
+	return l, c
+}
+
+// TestClusterRoundTrip spawns N in-process netservers and verifies that
+// every key routes to exactly one shard and round-trips through the
+// cluster client: the value is readable via the cluster, present on the
+// routed shard's store, and absent from every other shard.
+func TestClusterRoundTrip(t *testing.T) {
+	const nShards, nKeys = 3, 300
+	l, c := launch(t, nShards)
+	for k := uint64(0); k < nKeys; k++ {
+		if err := c.Put(k, []byte(fmt.Sprintf("v%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perShard := make([]int, nShards)
+	for k := uint64(0); k < nKeys; k++ {
+		v, ok, err := c.Get(k)
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", k) {
+			t.Fatalf("cluster get %d: %q %v %v", k, v, ok, err)
+		}
+		holders := 0
+		for s := 0; s < nShards; s++ {
+			if _, found, err := l.Store(s).Get(k); err != nil {
+				t.Fatal(err)
+			} else if found {
+				holders++
+				if s != c.ShardOf(k) {
+					t.Fatalf("key %d held by shard %d but routed to %d", k, s, c.ShardOf(k))
+				}
+			}
+		}
+		if holders != 1 {
+			t.Fatalf("key %d held by %d shards, want exactly 1", k, holders)
+		}
+		perShard[c.ShardOf(k)]++
+	}
+	for s, n := range perShard {
+		if n == 0 {
+			t.Errorf("shard %d received no keys out of %d", s, nKeys)
+		}
+	}
+	// Deletes route the same way.
+	if ok, err := c.Delete(7); err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	if _, ok, _ := c.Get(7); ok {
+		t.Fatal("key 7 still readable after delete")
+	}
+}
+
+func TestClusterMGet(t *testing.T) {
+	const nShards = 3
+	_, c := launchCfg(t, nShards, Config{MGetBatch: 16})
+	for k := uint64(0); k < 200; k += 2 {
+		if err := c.Put(k, []byte(fmt.Sprintf("m%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := make([]uint64, 200)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	vals, found, err := c.MGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		want := k%2 == 0
+		if found[i] != want {
+			t.Fatalf("key %d: found=%v want %v", k, found[i], want)
+		}
+		if want && string(vals[i]) != fmt.Sprintf("m%d", k) {
+			t.Fatalf("key %d: %q", k, vals[i])
+		}
+	}
+	// The fan-out histogram must show per-shard grouping: with 200 keys,
+	// 3 shards, and batch 16, frames carry multiple keys each.
+	if !obs.Disabled {
+		m := c.Metrics().SnapshotMap()
+		frames := m["mutps_cluster_mget_frames_total"]
+		if frames == 0 {
+			t.Fatal("no mget frames recorded")
+		}
+		avg := 200 / frames
+		if avg < 2 {
+			t.Errorf("avg keys/frame %.1f — fan-out not batching", avg)
+		}
+	}
+}
+
+func TestClusterMGetConcurrent(t *testing.T) {
+	_, c := launchCfg(t, 2, Config{MGetBatch: 32})
+	for k := uint64(0); k < 128; k++ {
+		if err := c.Put(k, []byte{byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			keys := make([]uint64, 64)
+			for round := 0; round < 20; round++ {
+				for i := range keys {
+					keys[i] = uint64((g*17 + round*31 + i) % 128)
+				}
+				vals, found, err := c.MGet(keys)
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				for i, k := range keys {
+					if !found[i] || len(vals[i]) != 1 || vals[i][0] != byte(k) {
+						t.Errorf("goroutine %d key %d: found=%v val=%v", g, k, found[i], vals[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// legacyServer is a minimal pre-mget protocol server: get/put out of a
+// map, any other op rejected with the canonical "unknown op" status-error
+// — exactly what an old mutps-server replies. It lets the fallback test
+// run against a true legacy peer without resurrecting old code.
+type legacyServer struct {
+	ln net.Listener
+	mu sync.Mutex
+	m  map[uint64][]byte
+	wg sync.WaitGroup
+}
+
+func startLegacyServer(t *testing.T) *legacyServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &legacyServer{ln: ln, m: map[uint64][]byte{}}
+	s.wg.Add(1)
+	go s.accept()
+	t.Cleanup(func() {
+		ln.Close()
+		s.wg.Wait()
+	})
+	return s
+}
+
+func (s *legacyServer) accept() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *legacyServer) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	var hdr [13]byte
+	reply := func(status byte, payload []byte) bool {
+		var rh [5]byte
+		rh[0] = status
+		binary.LittleEndian.PutUint32(rh[1:5], uint32(len(payload)))
+		if _, err := w.Write(rh[:]); err != nil {
+			return false
+		}
+		if _, err := w.Write(payload); err != nil {
+			return false
+		}
+		return w.Flush() == nil
+	}
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return
+		}
+		op := hdr[0]
+		key := binary.LittleEndian.Uint64(hdr[1:9])
+		plen := binary.LittleEndian.Uint32(hdr[9:13])
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return
+		}
+		switch op {
+		case netserver.OpGet:
+			s.mu.Lock()
+			v, ok := s.m[key]
+			s.mu.Unlock()
+			if ok {
+				if !reply(netserver.StatusFound, v) {
+					return
+				}
+			} else if !reply(netserver.StatusNotFound, nil) {
+				return
+			}
+		case netserver.OpPut:
+			s.mu.Lock()
+			s.m[key] = bytes.Clone(payload)
+			s.mu.Unlock()
+			if !reply(netserver.StatusFound, nil) {
+				return
+			}
+		default:
+			if !reply(netserver.StatusError, []byte(fmt.Sprintf("unknown op %d", op))) {
+				return
+			}
+		}
+	}
+}
+
+// TestClusterLegacyFallback mixes a current shard with a legacy shard that
+// rejects the mget op: the client must degrade that shard's frames to
+// per-key pipelined gets, remember the downgrade, and keep every result
+// positionally correct — the stats2 versioning pattern applied to mget.
+func TestClusterLegacyFallback(t *testing.T) {
+	l, err := LaunchLocal(1, LocalOptions{Workers: 3, CRWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	legacy := startLegacyServer(t)
+	addrs := append(l.Addrs(), legacy.ln.Addr().String())
+	c, err := Dial(Config{Addrs: addrs, MGetBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for k := uint64(0); k < 100; k++ {
+		if err := c.Put(k, []byte(fmt.Sprintf("f%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	legacyShard := -1
+	for k := uint64(0); k < 100; k++ {
+		if c.cfg.Addrs[c.ShardOf(k)] == legacy.ln.Addr().String() {
+			legacyShard = c.ShardOf(k)
+			break
+		}
+	}
+	if legacyShard == -1 {
+		t.Skip("no key routed to the legacy shard (ring imbalance at this size)")
+	}
+	keys := make([]uint64, 100)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	for round := 0; round < 2; round++ {
+		vals, found, err := c.MGet(keys)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i, k := range keys {
+			if !found[i] || string(vals[i]) != fmt.Sprintf("f%d", k) {
+				t.Fatalf("round %d key %d: found=%v val=%q", round, k, found[i], vals[i])
+			}
+		}
+	}
+	if !c.shards[legacyShard].legacy.Load() {
+		t.Error("legacy shard not remembered as legacy after rejected mget")
+	}
+	if !obs.Disabled {
+		m := c.Metrics().SnapshotMap()
+		if m["mutps_cluster_mget_fallback_total"] == 0 {
+			t.Error("fallback counter did not move")
+		}
+	}
+}
+
+// TestSizeAwarePlacement verifies the Minos-style routing: small values
+// stay on the small shard set, threshold-crossing puts move to the large
+// set (with the stale small copy cleared), shrinking moves back, and reads
+// stay correct throughout — including for a second client with no placement
+// tracker, which must find large keys via the miss-probe path.
+func TestSizeAwarePlacement(t *testing.T) {
+	const nShards = 3
+	l, err := LaunchLocal(nShards, LocalOptions{Workers: 3, CRWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	cfg := Config{
+		Addrs:         l.Addrs(),
+		SizeThreshold: 1024,
+		LargeShards:   []int{nShards - 1},
+	}
+	c, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	small := bytes.Repeat([]byte{7}, 64)
+	big := bytes.Repeat([]byte{9}, 4096)
+
+	// Small values never land on the large shard.
+	for k := uint64(0); k < 50; k++ {
+		if err := c.Put(k, small); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < 50; k++ {
+		if _, found, _ := l.Store(nShards - 1).Get(k); found {
+			t.Fatalf("small key %d landed on the large shard", k)
+		}
+	}
+	// Large values land only on the large shard.
+	for k := uint64(100); k < 120; k++ {
+		if err := c.Put(k, big); err != nil {
+			t.Fatal(err)
+		}
+		if !c.router.TrackedLarge(k) {
+			t.Fatalf("key %d not tracked large after large put", k)
+		}
+	}
+	for k := uint64(100); k < 120; k++ {
+		if _, found, _ := l.Store(nShards - 1).Get(k); !found {
+			t.Fatalf("large key %d missing from the large shard", k)
+		}
+		v, ok, err := c.Get(k)
+		if err != nil || !ok || len(v) != len(big) {
+			t.Fatalf("cluster get of large key %d: %v %v len=%d", k, ok, err, len(v))
+		}
+	}
+	// Crossing up: a small key regrown large must read back fresh (the
+	// stale small copy is companion-deleted).
+	if err := c.Put(3, big); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := c.Get(3); !ok || len(v) != len(big) {
+		t.Fatalf("key 3 after growth: ok=%v len=%d", ok, len(v))
+	}
+	foundSmall := false
+	for s := 0; s < nShards-1; s++ {
+		if _, f, _ := l.Store(s).Get(3); f {
+			foundSmall = true
+		}
+	}
+	if foundSmall {
+		t.Fatal("stale small copy of key 3 survived growth to large")
+	}
+	// Crossing down: shrink back below the threshold.
+	if err := c.Put(3, small); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := c.Get(3); !ok || len(v) != len(small) {
+		t.Fatalf("key 3 after shrink: ok=%v len=%d", ok, len(v))
+	}
+	if _, f, _ := l.Store(nShards - 1).Get(3); f {
+		t.Fatal("stale large copy of key 3 survived shrink")
+	}
+	if c.router.TrackedLarge(3) {
+		t.Fatal("key 3 still tracked large after shrink")
+	}
+
+	// A fresh client (empty tracker) must still read large keys via the
+	// miss-probe, and its MGet must resolve a mix of small and large keys.
+	c2, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if v, ok, err := c2.Get(110); err != nil || !ok || len(v) != len(big) {
+		t.Fatalf("fresh client get of large key: %v %v len=%d", ok, err, len(v))
+	}
+	mixed := []uint64{1, 110, 2, 111, 999}
+	vals, found, err := c2.MGet(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := []int{len(small), len(big), len(small), len(big), 0}
+	for i, k := range mixed {
+		if k == 999 {
+			if found[i] {
+				t.Fatal("missing key reported found")
+			}
+			continue
+		}
+		if !found[i] || len(vals[i]) != wantLen[i] {
+			t.Fatalf("mixed mget key %d: found=%v len=%d want %d", k, found[i], len(vals[i]), wantLen[i])
+		}
+	}
+	// Delete clears both sets.
+	if ok, err := c.Delete(110); err != nil || !ok {
+		t.Fatalf("delete large: %v %v", ok, err)
+	}
+	if _, ok, _ := c.Get(110); ok {
+		t.Fatal("large key readable after delete")
+	}
+}

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Router maps keys to shard indices. Without size-aware placement every
+// key routes on one ring over all shards. With a size threshold configured
+// the shard set splits in two: puts whose value meets the threshold route
+// on a ring over the designated large-object shards, everything else on a
+// ring over the remaining (small) shards — so a 4KB+ value never sits in a
+// queue ahead of a 64B get and small-request tail latency stops paying for
+// large-object service time (the Minos size-aware-sharding argument; our
+// arena's size classes already make value size a first-class signal
+// server-side).
+//
+// Placement must stay consistent for reads, and a get does not know the
+// value's size, so the router keeps a client-side tracker of keys it has
+// placed on the large set. Tracked keys read from the large ring directly;
+// untracked keys read from the small ring first and fall back to one large
+// probe on a miss (covering keys another client placed large). Puts that
+// cross the threshold in either direction issue a companion delete to the
+// other set so no stale copy can shadow the fresh value.
+type Router struct {
+	all       *Ring // size-aware off: one ring over every shard
+	small     *Ring // size-aware on: ring over the small-object shards
+	large     *Ring // size-aware on: ring over the large-object shards
+	threshold int   // 0 = size-aware placement disabled
+	shardOf   map[string]int
+	tracked   keySet // keys this client placed on the large set
+}
+
+// NewRouter builds routing state over addrs. threshold <= 0 disables
+// size-aware placement; otherwise largeShards (indices into addrs) is the
+// large-object set, defaulting to the last shard when empty.
+func NewRouter(addrs []string, vnodes, threshold int, largeShards []int) (*Router, error) {
+	r := &Router{threshold: threshold, shardOf: make(map[string]int, len(addrs))}
+	for i, a := range addrs {
+		r.shardOf[a] = i
+	}
+	var err error
+	if r.all, err = NewRing(addrs, vnodes); err != nil {
+		return nil, err
+	}
+	if threshold <= 0 {
+		return r, nil
+	}
+	if len(largeShards) == 0 {
+		largeShards = []int{len(addrs) - 1}
+	}
+	isLarge := make([]bool, len(addrs))
+	for _, i := range largeShards {
+		if i < 0 || i >= len(addrs) {
+			return nil, fmt.Errorf("cluster: large shard index %d out of range [0,%d)", i, len(addrs))
+		}
+		isLarge[i] = true
+	}
+	var smalls, larges []string
+	for i, a := range addrs {
+		if isLarge[i] {
+			larges = append(larges, a)
+		} else {
+			smalls = append(smalls, a)
+		}
+	}
+	if len(smalls) == 0 {
+		return nil, fmt.Errorf("cluster: size-aware placement needs at least one small shard")
+	}
+	if r.small, err = NewRing(smalls, vnodes); err != nil {
+		return nil, err
+	}
+	if r.large, err = NewRing(larges, vnodes); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// SizeAware reports whether size-aware placement is active.
+func (r *Router) SizeAware() bool { return r.threshold > 0 }
+
+// GetShard returns the shard to read key from and an optional fallback
+// shard (-1 if none) to probe when the primary misses.
+func (r *Router) GetShard(key uint64) (shard, fallback int) {
+	if r.threshold <= 0 {
+		return r.shardOf[r.all.Locate(key)], -1
+	}
+	if r.tracked.has(key) {
+		return r.shardOf[r.large.Locate(key)], -1
+	}
+	return r.shardOf[r.small.Locate(key)], r.shardOf[r.large.Locate(key)]
+}
+
+// PutShard returns the shard a put of size bytes under key routes to, an
+// optional companion-delete shard (-1 if none) that must be cleared of a
+// stale copy, and whether the put was placed on the large-object set. It
+// updates the large-key tracker.
+func (r *Router) PutShard(key uint64, size int) (shard, companion int, large bool) {
+	if r.threshold <= 0 {
+		return r.shardOf[r.all.Locate(key)], -1, false
+	}
+	if size >= r.threshold {
+		// The stale small copy must go: untracked gets read the small ring
+		// first, so it would shadow the fresh large value.
+		r.tracked.add(key)
+		return r.shardOf[r.large.Locate(key)], r.shardOf[r.small.Locate(key)], true
+	}
+	if r.tracked.remove(key) {
+		// The key shrank below the threshold: clear the large copy it used
+		// to occupy.
+		return r.shardOf[r.small.Locate(key)], r.shardOf[r.large.Locate(key)], false
+	}
+	return r.shardOf[r.small.Locate(key)], -1, false
+}
+
+// DeleteShards appends to dst every shard that may hold key — one without
+// size-aware placement, the small and large owners with it — and clears
+// the tracker.
+func (r *Router) DeleteShards(dst []int, key uint64) []int {
+	if r.threshold <= 0 {
+		return append(dst, r.shardOf[r.all.Locate(key)])
+	}
+	r.tracked.remove(key)
+	return append(dst, r.shardOf[r.small.Locate(key)], r.shardOf[r.large.Locate(key)])
+}
+
+// TrackedLarge reports whether this client has placed key on the large
+// set (test hook).
+func (r *Router) TrackedLarge(key uint64) bool { return r.tracked.has(key) }
+
+// keySet is a lock-striped set of keys, sized for the rare large-object
+// case: membership checks are one mutex + one map probe on the stripe.
+type keySet struct {
+	stripes [16]keyStripe
+}
+
+type keyStripe struct {
+	mu sync.Mutex
+	m  map[uint64]struct{}
+}
+
+func (s *keySet) stripe(k uint64) *keyStripe { return &s.stripes[mix64(k)&15] }
+
+func (s *keySet) add(k uint64) {
+	st := s.stripe(k)
+	st.mu.Lock()
+	if st.m == nil {
+		st.m = make(map[uint64]struct{})
+	}
+	st.m[k] = struct{}{}
+	st.mu.Unlock()
+}
+
+func (s *keySet) remove(k uint64) bool {
+	st := s.stripe(k)
+	st.mu.Lock()
+	_, ok := st.m[k]
+	if ok {
+		delete(st.m, k)
+	}
+	st.mu.Unlock()
+	return ok
+}
+
+func (s *keySet) has(k uint64) bool {
+	st := s.stripe(k)
+	st.mu.Lock()
+	_, ok := st.m[k]
+	st.mu.Unlock()
+	return ok
+}

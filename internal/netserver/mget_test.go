@@ -1,0 +1,257 @@
+package netserver
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"mutps/internal/kvcore"
+)
+
+func TestMGetRoundTrip(t *testing.T) {
+	_, cli := startServer(t, kvcore.Hash)
+	for k := uint64(0); k < 64; k += 2 {
+		if err := cli.Put(k, []byte(fmt.Sprintf("v%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := make([]uint64, 64)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	vals, found, err := cli.MGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != len(keys) || len(found) != len(keys) {
+		t.Fatalf("positional lengths: %d vals %d found, want %d", len(vals), len(found), len(keys))
+	}
+	for i, k := range keys {
+		if k%2 == 0 {
+			if !found[i] || string(vals[i]) != fmt.Sprintf("v%d", k) {
+				t.Fatalf("key %d: found=%v val=%q", k, found[i], vals[i])
+			}
+		} else if found[i] || vals[i] != nil {
+			t.Fatalf("key %d should be missing, got found=%v val=%q", k, found[i], vals[i])
+		}
+	}
+}
+
+func TestMGetEmptyBatch(t *testing.T) {
+	_, cli := startServer(t, kvcore.Hash)
+	vals, found, err := cli.MGet(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 0 || len(found) != 0 {
+		t.Fatalf("empty batch: %d vals %d found", len(vals), len(found))
+	}
+}
+
+func TestMGetMalformedPayloadRejected(t *testing.T) {
+	_, cli := startServer(t, kvcore.Hash)
+	// Count claims 4 keys but the payload carries 1: a protocol error the
+	// connection survives.
+	payload := make([]byte, 4+8)
+	binary.LittleEndian.PutUint32(payload, 4)
+	if _, _, err := cli.roundTrip(OpMGet, 0, payload); err == nil ||
+		!strings.Contains(err.Error(), "mget payload") {
+		t.Fatalf("want payload error, got %v", err)
+	}
+	// Oversized count is rejected the same way.
+	keys := make([]uint64, MaxMGetKeys+1)
+	over := AppendMGetRequest(nil, keys)
+	if _, _, err := cli.roundTrip(OpMGet, 0, over); err == nil ||
+		!strings.Contains(err.Error(), "mget count") {
+		t.Fatalf("want count error, got %v", err)
+	}
+	// The connection stays in sync after both rejections.
+	if err := cli.Put(9, []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := cli.Get(9); err != nil || !ok || string(v) != "alive" {
+		t.Fatalf("connection desynced after mget errors: %q %v %v", v, ok, err)
+	}
+}
+
+// TestMGetPipelinedSharesWindow drives mget frames through the pipelined
+// client interleaved with single ops: positional results must line up and
+// FIFO ordering must hold across frame kinds.
+func TestMGetPipelinedSharesWindow(t *testing.T) {
+	store, err := kvcore.Open(kvcore.Config{Engine: kvcore.Hash, Workers: 3, CRWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeConfig(store, ln, Config{MaxInflight: 8})
+	defer srv.Close()
+	pc, err := DialPipeline(srv.Addr().String(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+
+	for k := uint64(0); k < 100; k++ {
+		f, err := pc.Send(OpPut, k, []byte(fmt.Sprintf("p%d", k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc.Flush()
+		if st, _, err := f.Wait(); err != nil || st != StatusFound {
+			t.Fatalf("put %d: %d %v", k, st, err)
+		}
+		f.Release()
+	}
+	var futs []*Future
+	var frames [][]uint64
+	for base := uint64(0); base < 100; base += 25 {
+		keys := []uint64{base, base + 1, base + 200, base + 2}
+		frames = append(frames, keys)
+		f, err := pc.Send(OpMGet, 0, AppendMGetRequest(nil, keys))
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	pc.Flush()
+	for fi, f := range futs {
+		st, body, err := f.Wait()
+		if err != nil || st != StatusFound {
+			t.Fatalf("mget frame %d: %d %v", fi, st, err)
+		}
+		vals, found, err := DecodeMGet(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, k := range frames[fi] {
+			want := k < 100
+			if found[i] != want {
+				t.Fatalf("frame %d key %d: found=%v want %v", fi, k, found[i], want)
+			}
+			if want && string(vals[i]) != fmt.Sprintf("p%d", k) {
+				t.Fatalf("frame %d key %d: val %q", fi, k, vals[i])
+			}
+		}
+		f.Release()
+	}
+}
+
+func TestPipelineCloseIdempotent(t *testing.T) {
+	store, err := kvcore.Open(kvcore.Config{Engine: kvcore.Hash, Workers: 2, CRWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(store, ln)
+	defer srv.Close()
+	pc, err := DialPipeline(srv.Addr().String(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := pc.Close()
+	for i := 0; i < 3; i++ {
+		if got := pc.Close(); got != first {
+			t.Fatalf("Close call %d returned %v, first returned %v", i+2, got, first)
+		}
+	}
+	// Concurrent double-Close must also be safe and consistent.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := pc.Close(); got != first {
+				t.Errorf("concurrent Close returned %v, want %v", got, first)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSendAfterCloseErrClosed(t *testing.T) {
+	store, err := kvcore.Open(kvcore.Config{Engine: kvcore.Hash, Workers: 2, CRWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(store, ln)
+	defer srv.Close()
+	pc, err := DialPipeline(srv.Addr().String(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Every post-Close Send must fail with ErrClosed deterministically —
+	// not with a bufio write error, and never by stranding a future.
+	for i := 0; i < 100; i++ {
+		f, err := pc.Send(OpGet, uint64(i), nil)
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Send %d after Close: err=%v, want ErrClosed", i, err)
+		}
+		if f != nil {
+			t.Fatalf("Send %d after Close returned a future", i)
+		}
+	}
+	if err := pc.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Flush after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestSendCloseRace hammers Send against Close: every Send must either
+// return a future that completes, or an error — no hangs, no stranded
+// futures. Run with -race in CI.
+func TestSendCloseRace(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		store, err := kvcore.Open(kvcore.Config{Engine: kvcore.Hash, Workers: 2, CRWorkers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := Serve(store, ln)
+		pc, err := DialPipeline(srv.Addr().String(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					f, err := pc.Send(OpGet, uint64(i), nil)
+					if err != nil {
+						return
+					}
+					pc.Flush()
+					f.Wait()
+					f.Release()
+				}
+			}(g)
+		}
+		pc.Close()
+		wg.Wait() // a stranded future would hang here
+		srv.Close()
+		store.Close()
+	}
+}

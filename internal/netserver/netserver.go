@@ -9,6 +9,10 @@
 //	          op: 0=get 1=put 2=delete 3=scan (payload = count uint32)
 //	              4=stats (no payload; response = 5 × uint64 counters)
 //	              5=stats2 (no payload; versioned named-pair response)
+//	              6=mget (key unused; payload = count(4) then count ×
+//	              key(8) — a batched multi-get executed server-side as one
+//	              frame: every key enters the store's async path together
+//	              and the responses retire as one FIFO burst)
 //	response: status(1) len(4) payload[len]
 //	          status: 0=found/ok 1=not found 2=error (payload = message)
 //	          3=backlogged (retryable: the store shed the request under
@@ -19,6 +23,11 @@
 //	          float64bits(8) } — self-describing, so servers may add
 //	          metrics without breaking old clients, and new clients fall
 //	          back to op 4 when an old server rejects op 5
+//	          mget payload: count(4) then count × { found(1) vlen(4) val },
+//	          positional with the request keys; servers predating op 6
+//	          reject it with a status-error reply ("unknown op 6"), and
+//	          clients degrade to per-key pipelined gets — the same
+//	          versioning pattern as stats2
 package netserver
 
 import (
@@ -46,7 +55,14 @@ const (
 	OpScan
 	OpStats
 	OpStats2
+	OpMGet
 )
+
+// MaxMGetKeys bounds the keys one mget frame may carry: each key claims a
+// pooled rpc.Call and a destination buffer while the frame is in flight,
+// so the bound keeps one frame from reserving unbounded store-side state.
+// Clients split larger batches across frames.
+const MaxMGetKeys = 1024
 
 // Status codes on the wire.
 const (
@@ -114,7 +130,8 @@ type Server struct {
 	nextConn  atomic.Uint64
 	openConns *obs.Gauge
 	rejected  *obs.Counter
-	lat       [4]*obs.Histogram // wire op 0..3 latency, ns
+	lat       [5]*obs.Histogram // wire op 0..3 + mget latency, ns
+	mgetKeys  *obs.Histogram    // keys carried per served mget frame
 
 	// Pipelined-executor instruments: window occupancy across connections
 	// (submitted minus retired), the two counters that delta derives from,
@@ -125,8 +142,20 @@ type Server struct {
 	flushBatch *obs.Histogram
 }
 
-// netOpLabels renders wire-op labels in op-code order.
-var netOpLabels = [4]string{`op="get"`, `op="put"`, `op="delete"`, `op="scan"`}
+// netOpLabels renders wire-op labels; index 4 is OpMGet (see latIndex).
+var netOpLabels = [5]string{`op="get"`, `op="put"`, `op="delete"`, `op="scan"`, `op="mget"`}
+
+// latIndex maps a wire op onto its latency-histogram slot, or -1 for ops
+// that are not latency-tracked (stats frames).
+func latIndex(op byte) int {
+	switch {
+	case op < OpStats:
+		return int(op)
+	case op == OpMGet:
+		return 4
+	}
+	return -1
+}
 
 // Serve starts accepting connections on ln with the zero Config and
 // returns immediately.
@@ -149,6 +178,8 @@ func ServeConfig(store *kvcore.Store, ln net.Listener, cfg Config) *Server {
 			"Per-request service time observed at the network server (decode to retired reply), in nanoseconds.",
 			latShards)
 	}
+	s.mgetKeys = reg.Histogram("mutps_net_mget_keys", "",
+		"Keys carried per served mget frame (server-side batching factor).", latShards)
 	s.inflight = reg.Gauge("mutps_net_inflight", "",
 		"Requests decoded but not yet retired, across all connections (per-connection pipelining window occupancy).")
 	s.submitted = reg.Counter("mutps_net_ops_submitted_total", "",
@@ -485,6 +516,68 @@ func decodeStats2(body []byte) (map[string]float64, error) {
 		body = body[8:]
 	}
 	return out, nil
+}
+
+// AppendMGetRequest appends the mget request payload for keys to dst and
+// returns it: count(4) then count × key(8). Callers send it with OpMGet
+// (the frame's key field is unused). len(keys) must be ≤ MaxMGetKeys.
+func AppendMGetRequest(dst []byte, keys []uint64) []byte {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(keys)))
+	dst = append(dst, n[:]...)
+	var kb [8]byte
+	for _, k := range keys {
+		binary.LittleEndian.PutUint64(kb[:], k)
+		dst = append(dst, kb[:]...)
+	}
+	return dst
+}
+
+// DecodeMGet parses an mget response payload into positional values and
+// found flags. Values are copied out of body, so they stay valid after the
+// caller releases the response buffer.
+func DecodeMGet(body []byte) (vals [][]byte, found []bool, err error) {
+	if len(body) < 4 {
+		return nil, nil, errors.New("netserver: short mget response")
+	}
+	n := binary.LittleEndian.Uint32(body)
+	body = body[4:]
+	vals = make([][]byte, n)
+	found = make([]bool, n)
+	for i := uint32(0); i < n; i++ {
+		if len(body) < 5 {
+			return nil, nil, errors.New("netserver: truncated mget entry")
+		}
+		f := body[0] != 0
+		vlen := binary.LittleEndian.Uint32(body[1:5])
+		body = body[5:]
+		if uint32(len(body)) < vlen {
+			return nil, nil, errors.New("netserver: truncated mget value")
+		}
+		if f {
+			v := make([]byte, vlen)
+			copy(v, body[:vlen])
+			vals[i], found[i] = v, true
+		}
+		body = body[vlen:]
+	}
+	return vals, found, nil
+}
+
+// MGet fetches several keys in one wire frame. Results are positional:
+// vals[i]/found[i] answer keys[i]. Against a server predating the mget op
+// the call fails with the server's status-error reply; use the cluster
+// client for transparent per-key degradation.
+func (c *Client) MGet(keys []uint64) (vals [][]byte, found []bool, err error) {
+	if len(keys) > MaxMGetKeys {
+		return nil, nil, fmt.Errorf("netserver: mget batch %d exceeds MaxMGetKeys %d", len(keys), MaxMGetKeys)
+	}
+	payload := AppendMGetRequest(nil, keys)
+	_, body, err := c.roundTrip(OpMGet, 0, payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	return DecodeMGet(body)
 }
 
 // Scan returns up to count entries with keys >= start.

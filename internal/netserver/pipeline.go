@@ -22,13 +22,19 @@ type PipelineClient struct {
 	conn net.Conn
 	w    *bufio.Writer
 
-	sendMu  sync.Mutex
-	pending chan *Future
-	readWG  sync.WaitGroup
+	sendMu     sync.Mutex
+	sendClosed bool // set under sendMu by Close: no later Send may enqueue
+	pending    chan *Future
+	readWG     sync.WaitGroup
 
 	closeOnce sync.Once
 	closed    chan struct{}
+	closeErr  error // conn.Close result, returned by every Close call
 }
+
+// ErrClosed is returned by Send and Flush on a PipelineClient that has
+// been Closed: the request was never enqueued and no future exists for it.
+var ErrClosed = errors.New("netserver: pipeline client closed")
 
 // Future completion states, mirroring rpc.Call: pending until the reader
 // fills it in, parked while a waiter blocks on the park channel, done once
@@ -129,16 +135,11 @@ func (c *PipelineClient) readLoop() {
 		select {
 		case f = <-c.pending:
 		case <-c.closed:
-			// Drain any stragglers so their waiters unblock.
-			for {
-				select {
-				case f := <-c.pending:
-					f.err = errors.New("netserver: pipeline closed")
-					f.complete()
-				default:
-					return
-				}
-			}
+			// Drain any stragglers so their waiters unblock. (A Send racing
+			// with Close may still enqueue after this drain; Close sweeps
+			// again once sendClosed guarantees no further enqueues.)
+			c.failRemaining(ErrClosed)
+			return
 		}
 		var hdr [5]byte
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -197,10 +198,16 @@ func (c *PipelineClient) Send(op byte, key uint64, payload []byte) (*Future, err
 	f := newFuture()
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	if c.sendClosed {
+		// Deterministic post-Close behaviour: nothing is enqueued or
+		// written, independent of bufio's sticky-error state.
+		f.Release()
+		return nil, ErrClosed
+	}
 	select {
 	case <-c.closed:
 		f.Release() // never enqueued: no reader will ever touch it
-		return nil, errors.New("netserver: pipeline closed")
+		return nil, ErrClosed
 	case c.pending <- f:
 	default:
 		// The in-flight window is full. Everything buffered must reach the
@@ -213,7 +220,7 @@ func (c *PipelineClient) Send(op byte, key uint64, payload []byte) (*Future, err
 		select {
 		case <-c.closed:
 			f.Release()
-			return nil, errors.New("netserver: pipeline closed")
+			return nil, ErrClosed
 		case c.pending <- f:
 		}
 	}
@@ -254,19 +261,35 @@ func (c *PipelineClient) writeFailed(err error) error {
 func (c *PipelineClient) Flush() error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	if c.sendClosed {
+		return ErrClosed
+	}
 	if err := c.w.Flush(); err != nil {
 		return c.writeFailed(err)
 	}
 	return nil
 }
 
-// Close tears down the connection and fails outstanding futures.
+// Close tears down the connection and fails outstanding futures with
+// ErrClosed. It is idempotent — every call returns the first call's result
+// — and strictly ordered against Send: once any Close call has returned,
+// later Sends fail fast with ErrClosed and no future is ever stranded.
 func (c *PipelineClient) Close() error {
-	var err error
 	c.closeOnce.Do(func() {
+		// Order matters: closing the channel first frees Sends parked on a
+		// full window; closing the connection frees a Send blocked in a
+		// write syscall and fails the read loop. Only then can sendMu be
+		// taken without deadlock to make the closure visible to Send.
 		close(c.closed)
-		err = c.conn.Close()
+		c.closeErr = c.conn.Close()
+		c.sendMu.Lock()
+		c.sendClosed = true
+		c.sendMu.Unlock()
 		c.readWG.Wait()
+		// A Send that raced the read loop's drain may have enqueued after
+		// the drain's empty-check; sendClosed is now visible, so this final
+		// sweep completes any such straggler and nothing new can arrive.
+		c.failRemaining(ErrClosed)
 	})
-	return err
+	return c.closeErr
 }

@@ -56,6 +56,8 @@ var (
 	errMsgPayloadTooLarge = []byte("payload too large")
 	errMsgScanPayload     = []byte("scan payload must be a uint32 count")
 	errMsgScanCount       = []byte("scan count too large")
+	errMsgMGetPayload     = []byte("mget payload must be count(4) + count*key(8)")
+	errMsgMGetCount       = []byte("mget count too large")
 )
 
 // submitHook, when set, intercepts asynchronous submission with an
@@ -81,6 +83,16 @@ type netOp struct {
 	payload    []byte // slot-owned put-payload buffer (stable until retire)
 	val        []byte // slot-owned get-destination buffer (rpc Dst)
 	t0         time.Time
+
+	// Batched multi-get state: one mget frame occupies one window slot but
+	// fans out into len(mcalls) async store gets, which the completion
+	// stage retires together as one response frame (one FIFO burst for the
+	// whole batch). mvals are the slot-owned per-key destination buffers,
+	// grown lazily and kept across requests like val.
+	mget    bool
+	mgetErr error // submit failed mid-batch: whole frame fails after drain
+	mcalls  []*rpc.Call
+	mvals   [][]byte
 }
 
 // connPipeline is the per-connection pipelined executor state shared by
@@ -165,6 +177,7 @@ func (p *connPipeline) readLoop() {
 		e.closeAfter = false
 		e.status = 0
 		e.msg = nil
+		e.mget = false
 		plen := binary.LittleEndian.Uint32(hdr[9:13])
 		if plen > maxPayload {
 			e.status, e.msg, e.closeAfter = StatusError, errMsgPayloadTooLarge, true
@@ -181,7 +194,7 @@ func (p *connPipeline) readLoop() {
 			// recirculated; the whole window dies with the connection.
 			return
 		}
-		if !obs.Disabled && e.op < OpStats {
+		if !obs.Disabled && latIndex(e.op) >= 0 {
 			e.t0 = time.Now()
 		}
 		p.submit(e, payload)
@@ -236,11 +249,56 @@ func (p *connPipeline) submit(e *netOp, payload []byte) {
 		e.barrier = true
 	case OpStats, OpStats2:
 		e.barrier = true
+	case OpMGet:
+		p.submitMGet(e, payload)
 	default:
 		e.status, e.msg = StatusError, []byte(fmt.Sprintf("unknown op %d", e.op))
 	}
 	if err != nil {
 		p.failSubmit(e, err)
+	}
+}
+
+// submitMGet fans one mget frame out into per-key async gets. Every key
+// enters the store's receive path at once (the batch shares the pipelined
+// window slot, so the whole frame costs one unit of connection-level
+// backpressure) and the completion stage retires them together. A submit
+// failure mid-batch (backlogged, closing) fails the whole frame — gets are
+// side-effect-free, so the client retries the frame safely — but the
+// already-submitted prefix is still waited out at retire time so no pooled
+// call or buffer is abandoned.
+func (p *connPipeline) submitMGet(e *netOp, payload []byte) {
+	if len(payload) < 4 {
+		e.status, e.msg = StatusError, errMsgMGetPayload
+		return
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	if n > MaxMGetKeys {
+		e.status, e.msg = StatusError, errMsgMGetCount
+		return
+	}
+	if len(payload) != 4+8*n {
+		e.status, e.msg = StatusError, errMsgMGetPayload
+		return
+	}
+	e.mget = true
+	e.mgetErr = nil
+	e.mcalls = e.mcalls[:0]
+	for len(e.mvals) < n {
+		e.mvals = append(e.mvals, nil)
+	}
+	if !obs.Disabled {
+		p.s.mgetKeys.Record(p.connID, uint64(n))
+	}
+	store := p.s.store
+	for i := 0; i < n; i++ {
+		key := binary.LittleEndian.Uint64(payload[4+8*i:])
+		c, err := store.GetAsync(key, e.mvals[i][:0])
+		if err != nil {
+			e.mgetErr = err
+			return
+		}
+		e.mcalls = append(e.mcalls, c)
 	}
 }
 
@@ -263,7 +321,8 @@ func (p *connPipeline) failSubmit(e *netOp, err error) {
 // in-flight store call is waited out and every window slot recirculated.
 func (p *connPipeline) writeLoop() {
 	for e := range p.pending {
-		if e.call != nil && !e.call.Done() {
+		if (e.call != nil && !e.call.Done()) ||
+			(e.mget && len(e.mcalls) > 0 && !e.mcalls[0].Done()) {
 			// The window head hasn't completed: get the already-encoded
 			// burst onto the wire instead of sitting on it while we wait.
 			p.flushResponses()
@@ -318,18 +377,67 @@ func (p *connPipeline) retire(e *netOp) {
 		}
 		e.call = nil
 		c.Release()
+	case e.mget:
+		p.retireMGet(e)
 	case e.barrier:
 		p.retireBarrier(e)
 	default:
 		p.writeOut(e.status, e.msg)
 	}
 	if !obs.Disabled {
-		if e.op < OpStats {
-			p.s.lat[e.op].Record(p.connID, uint64(time.Since(e.t0)))
+		if li := latIndex(e.op); li >= 0 {
+			p.s.lat[li].Record(p.connID, uint64(time.Since(e.t0)))
 		}
 		p.s.retired.Inc(p.connID)
 		p.s.inflight.Add(-1)
 	}
+}
+
+// retireMGet resolves one mget frame: wait every per-key call in request
+// order (by FIFO, the whole batch retires as one burst at this slot's
+// position), encode the positional response into the completion-stage
+// build buffer, and recirculate the grown destination buffers into the
+// slot. If any submit or call failed, the frame degrades to a single
+// whole-frame status — backlogged when retryable — after every in-flight
+// call has been drained.
+func (p *connPipeline) retireMGet(e *netOp) {
+	body := append(p.body[:0], 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(body, uint32(len(e.mcalls)))
+	failed := e.mgetErr
+	var hdr [5]byte
+	for i, c := range e.mcalls {
+		c.Wait()
+		if c.Err != nil && failed == nil {
+			failed = c.Err
+		}
+		if failed == nil {
+			hdr[0] = 0
+			if c.Found {
+				hdr[0] = 1
+			}
+			binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(c.Value)))
+			body = append(body, hdr[:]...)
+			body = append(body, c.Value...)
+		}
+		// Keep a destination buffer the store had to grow, as retire does
+		// for single gets.
+		if cap(c.Value) > cap(e.mvals[i]) {
+			e.mvals[i] = c.Value
+		}
+		c.Release()
+	}
+	e.mcalls = e.mcalls[:0]
+	e.mgetErr = nil
+	p.body = body
+	if failed != nil {
+		if errors.Is(failed, rpc.ErrBacklogged) {
+			p.writeOut(StatusBacklogged, nil)
+		} else {
+			p.writeOut(StatusError, []byte(failed.Error()))
+		}
+		return
+	}
+	p.writeOut(StatusFound, body)
 }
 
 // retireBarrier executes a Scan/Stats/Stats2 inline. Reaching here means

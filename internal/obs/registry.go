@@ -134,8 +134,9 @@ func (r *Registry) GaugeFunc(name, labels, help string, fn func() float64) {
 }
 
 // Sample is one flattened scalar in a registry snapshot: counters and
-// gauges keep their value; each histogram contributes _count, _p50, _p99,
-// and _max series so wire consumers get tails without shipping buckets.
+// gauges keep their value; each histogram contributes _count, _sum, _p50,
+// _p99, and _max series so wire consumers get tails (and means, via
+// _sum/_count) without shipping buckets.
 type Sample struct {
 	Name  string // full series name including labels, e.g. `x_total{op="get"}`
 	Value float64
@@ -170,6 +171,7 @@ func (r *Registry) Snapshot() []Sample {
 				snap := s.h.Snapshot()
 				out = append(out,
 					Sample{seriesName(f.name+"_count", s.labels), float64(snap.Count)},
+					Sample{seriesName(f.name+"_sum", s.labels), float64(snap.Sum)},
 					Sample{seriesName(f.name+"_p50", s.labels), float64(snap.Quantile(0.50))},
 					Sample{seriesName(f.name+"_p99", s.labels), float64(snap.Quantile(0.99))},
 					Sample{seriesName(f.name+"_max", s.labels), float64(snap.Max)},
