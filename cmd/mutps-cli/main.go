@@ -18,12 +18,19 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"mutps/internal/netserver"
 )
 
+// putTTL is the -ttl flag: a TTL stamped on every put issued by this
+// session (0 leaves expiry to the server's default).
+var putTTL time.Duration
+
 func main() {
 	addr := flag.String("addr", "localhost:7070", "server address")
+	flag.DurationVar(&putTTL, "ttl", 0,
+		"TTL stamped on every put, e.g. 30s (0 = server default / never)")
 	flag.Parse()
 
 	cli, err := netserver.Dial(*addr)
@@ -66,11 +73,18 @@ func run(cli *netserver.Client, line string) (quit bool) {
 		return true
 	case "get":
 		if k, ok := key(1); ok {
-			v, found, err := cli.Get(k)
+			v, ttl, found, err := cli.GetTTL(k)
+			if err != nil {
+				// A pre-TTL server rejects the op; degrade to a plain get.
+				v, found, err = cli.Get(k)
+			}
 			report(err, func() {
-				if found {
+				switch {
+				case found && ttl > 0:
+					fmt.Printf("%q (ttl %v remaining)\n", v, ttl.Round(time.Millisecond))
+				case found:
 					fmt.Printf("%q\n", v)
-				} else {
+				default:
 					fmt.Println("(not found)")
 				}
 			})
@@ -82,7 +96,13 @@ func run(cli *netserver.Client, line string) (quit bool) {
 				return
 			}
 			val := strings.Join(fields[2:], " ")
-			report(cli.Put(k, []byte(val)), func() { fmt.Println("ok") })
+			err := cli.PutTTL(k, []byte(val), putTTL)
+			if err != nil && putTTL <= 0 {
+				// A pre-TTL server rejects the op; with no TTL requested the
+				// plain put is equivalent.
+				err = cli.Put(k, []byte(val))
+			}
+			report(err, func() { fmt.Println("ok") })
 		}
 	case "del":
 		if k, ok := key(1); ok {

@@ -64,7 +64,9 @@ func main() {
 	largeShards := flag.String("large-shards", "",
 		"cluster mode: comma-separated shard indices forming the large-object set (default: the last shard)")
 	benchJSON := flag.String("bench-json", "",
-		"write a machine-readable result record (ops/s, P50/P99, shards, batch size, keys/frame) to this file")
+		"append a machine-readable JSON-lines result record (ops/s, P50/P99, run parameters) to this file; works for single-node and cluster runs")
+	putTTL := flag.Duration("ttl", 0,
+		"stamp this TTL on every put (single-node mode), driving the server's expiry path under load (0 = no TTL)")
 	flag.Parse()
 	// -inflight supersedes -depth; the old name keeps working as an alias.
 	if *inflight > 0 {
@@ -191,7 +193,11 @@ func main() {
 						if req.ValueSize > 0 && req.ValueSize != len(buf) {
 							v = make([]byte, req.ValueSize)
 						}
-						err = cli.Put(req.Key, v)
+						if *putTTL > 0 {
+							err = cli.PutTTL(req.Key, v, *putTTL)
+						} else {
+							err = cli.Put(req.Key, v)
+						}
 					case workload.OpDelete:
 						_, err = cli.Delete(req.Key)
 					case workload.OpScan:
@@ -228,6 +234,25 @@ func main() {
 		fmt.Printf("backpressure: server shed %d requests (retried synchronously, skipped when pipelined)\n", n)
 	}
 	printAllocSummary(snap.Count, elapsed, &memBefore, &memAfter, serverBefore, serverAfter)
+	if *benchJSON != "" {
+		writeBenchJSON(*benchJSON, map[string]any{
+			"bench":       "loadgen",
+			"mix":         *mixName,
+			"keys":        *keys,
+			"theta":       *theta,
+			"value_size":  *valueSize,
+			"ttl_ns":      int64(*putTTL),
+			"ops":         snap.Count,
+			"clients":     *clients,
+			"inflight":    *depth,
+			"ops_per_sec": float64(snap.Count) / elapsed.Seconds(),
+			"p50_ns":      snap.Quantile(0.50),
+			"p95_ns":      snap.Quantile(0.95),
+			"p99_ns":      snap.Quantile(0.99),
+			"max_ns":      snap.Max,
+			"backlogged":  backlogged.Load(),
+		})
+	}
 }
 
 // serverGCSnapshot fetches the server's stats payload on a throwaway

@@ -8,11 +8,13 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"time"
 
 	"mutps/internal/kvcore"
@@ -38,7 +40,18 @@ func main() {
 		"disable the slab arena: items allocate on the Go heap and replaced items are left to the garbage collector")
 	arenaChunk := flag.Int("arena-chunk", 0,
 		"arena backing-chunk size in bytes (0 = default 256KiB)")
+	memBudget := flag.String("memory-budget", "",
+		"arena live-byte budget with optional K/M/G suffix, e.g. 512M; when crossed, the coldest items are evicted (empty = unbounded)")
+	coldDir := flag.String("cold-dir", "",
+		"directory for the SSD cold tier: evicted values spill there and are served (and promoted) on RAM misses (empty = evicted values drop)")
+	defaultTTL := flag.Duration("default-ttl", 0,
+		"TTL applied to puts that carry no explicit TTL, e.g. 10m (0 = never expire)")
 	flag.Parse()
+
+	budget, err := parseSize(*memBudget)
+	if err != nil {
+		log.Fatalf("-memory-budget: %v", err)
+	}
 
 	eng := kvcore.Hash
 	switch *engine {
@@ -56,9 +69,17 @@ func main() {
 		HotItems:   *hot,
 		ArenaOff:   *arenaOff,
 		ArenaChunk: *arenaChunk,
+
+		MemoryBudget: budget,
+		ColdDir:      *coldDir,
+		DefaultTTL:   *defaultTTL,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if budget > 0 || *coldDir != "" {
+		log.Printf("lifecycle: budget=%s cold-dir=%q default-ttl=%v",
+			*memBudget, *coldDir, *defaultTTL)
 	}
 	// Runtime GC signals ride the same registry, so a before/after arena
 	// comparison reads straight off /metrics (and the stats op).
@@ -104,4 +125,26 @@ func main() {
 	log.Printf("shutting down; stats: %+v", store.Stats())
 	srv.Close()
 	store.Close()
+}
+
+// parseSize parses a byte count with an optional K/M/G suffix (powers of
+// 1024, case-insensitive). An empty string is 0.
+func parseSize(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q (want digits with optional K/M/G suffix)", s)
+	}
+	return n * mult, nil
 }

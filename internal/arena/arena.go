@@ -92,6 +92,11 @@ type Arena struct {
 	refills   atomic.Uint64 // cache refills from a central list
 	flushes   atomic.Uint64 // cache flushes back to a central list
 	fallbacks atomic.Uint64 // allocations beyond MaxClassBytes
+
+	// Pressure hook: refill calls presFn when live bytes reach presAt.
+	// Set once before allocation traffic starts (SetPressureHook).
+	presAt uint64
+	presFn func()
 }
 
 // New creates an arena whose classes carve chunkBytes-sized backing
@@ -109,6 +114,21 @@ func New(chunkBytes int) *Arena {
 
 // ChunkBytes returns the per-class backing chunk size.
 func (a *Arena) ChunkBytes() int { return a.chunkWords * 8 }
+
+// LiveBytes returns the bytes of value storage currently held by items
+// (slot-size granularity; a collection-time sum over every cache).
+func (a *Arena) LiveBytes() uint64 { return a.Snapshot().LiveBytes }
+
+// SetPressureHook arranges for fn to be called from allocation slow paths
+// (cache refills — roughly once per batch of allocations) whenever live
+// bytes are at or above threshold. fn must be cheap and non-blocking; the
+// store points it at the evictor's coalescing Notify. Must be called
+// before allocation traffic starts: the fields are written plainly and
+// published by the goroutine starts that follow.
+func (a *Arena) SetPressureHook(threshold uint64, fn func()) {
+	a.presAt = threshold
+	a.presFn = fn
+}
 
 // NewCache creates a worker-owned allocation cache. Caches are registered
 // with the arena so live-slot accounting can sum them at collection time;
@@ -216,6 +236,9 @@ func (c *Cache) refill(cl int) {
 	}
 	ce.mu.Unlock()
 	c.a.refills.Add(1)
+	if c.a.presFn != nil && c.a.LiveBytes() >= c.a.presAt {
+		c.a.presFn()
+	}
 }
 
 // flush returns batchSlots slots from the local list to the central list,

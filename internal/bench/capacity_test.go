@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mutps/internal/kvcore"
+	"mutps/internal/obs"
+)
+
+// BenchmarkEvictionChurn measures sustained put churn over a keyspace ~4×
+// the memory budget, with and without the cold tier — the capacity
+// experiment from DESIGN.md §13. Every put past the watermark forces the
+// evictor to unlink a victim (and, with a cold dir, spill its value to the
+// SSD log), so the metric is the steady-state write throughput of the
+// bounded-memory lifecycle, not of an unbounded store.
+//
+// Set BENCH_CAPACITY_OUT=path to append one machine-readable JSON record
+// per sub-benchmark (ops/s, P50/P99, spills, budget adherence).
+func BenchmarkEvictionChurn(b *testing.B) {
+	const (
+		budget  = 1 << 20 // 1 MiB arena budget
+		nKeys   = 32768   // ≈ 4× budget at ~128 B/slot
+		valSize = 96
+		drivers = 4
+	)
+	// "unbounded" is the before-column baseline: same churn, no budget, so
+	// the arena grows to hold the whole keyspace.
+	for _, mode := range []string{"unbounded", "drop", "spill"} {
+		b.Run(fmt.Sprintf("mode=%s", mode), func(b *testing.B) {
+			cfg := kvcore.Config{
+				Engine: kvcore.Hash, Workers: 4, CRWorkers: 1,
+			}
+			if mode != "unbounded" {
+				cfg.MemoryBudget = budget
+				cfg.EvictInterval = time.Millisecond
+			}
+			if mode == "spill" {
+				cfg.ColdDir = b.TempDir()
+			}
+			s, err := kvcore.Open(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+
+			lat := obs.NewHistogram(drivers)
+			var next atomic.Uint64
+			perDriver := b.N / drivers
+			if perDriver == 0 {
+				perDriver = 1
+			}
+			val := make([]byte, valSize)
+			for i := range val {
+				val[i] = byte(i)
+			}
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for d := 0; d < drivers; d++ {
+				wg.Add(1)
+				go func(d int) {
+					defer wg.Done()
+					for i := 0; i < perDriver; i++ {
+						k := next.Add(1) % nKeys
+						t0 := time.Now()
+						if err := s.Put(k, val); err != nil {
+							b.Error(err)
+							return
+						}
+						lat.Record(d, uint64(time.Since(t0)))
+					}
+				}(d)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+
+			ops := perDriver * drivers
+			opsPerSec := float64(ops) / elapsed.Seconds()
+			b.ReportMetric(opsPerSec, "puts/s")
+			var over int64
+			if mode == "unbounded" {
+				b.ReportMetric(float64(s.BudgetedBytes()), "live-bytes")
+			} else {
+				// Give the evictor one settle window, then report how far
+				// over budget the arena sits (0 = budget held).
+				deadline := time.Now().Add(2 * time.Second)
+				for s.BudgetedBytes() > budget && time.Now().Before(deadline) {
+					time.Sleep(time.Millisecond)
+				}
+				if over = int64(s.BudgetedBytes()) - budget; over < 0 {
+					over = 0
+				}
+				b.ReportMetric(float64(over), "bytes-over-budget")
+			}
+			snap := lat.Snapshot()
+			if out := os.Getenv("BENCH_CAPACITY_OUT"); out != "" && b.N > 1 {
+				appendBenchRecord(b, out, map[string]any{
+					"bench":             "BenchmarkEvictionChurn",
+					"mode":              mode,
+					"live_bytes":        s.BudgetedBytes(),
+					"budget_bytes":      budget,
+					"keys":              nKeys,
+					"value_size":        valSize,
+					"drivers":           drivers,
+					"ops":               ops,
+					"ops_per_sec":       opsPerSec,
+					"put_p50_ns":        snap.Quantile(0.50),
+					"put_p99_ns":        snap.Quantile(0.99),
+					"bytes_over_budget": over,
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,311 @@
+package coldtier
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openTest(t *testing.T, dir string, segBytes int64) *Log {
+	t.Helper()
+	l, err := Open(Options{Dir: dir, SegmentBytes: segBytes, CompactInterval: -1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func val(key uint64, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(key + uint64(i))
+	}
+	return b
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	l := openTest(t, t.TempDir(), 1<<20)
+	defer l.Close()
+	for k := uint64(1); k <= 100; k++ {
+		if _, err := l.Put(k, 0, val(k, int(k)%256)); err != nil {
+			t.Fatalf("Put(%d): %v", k, err)
+		}
+	}
+	if l.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", l.Len())
+	}
+	now := time.Now().UnixNano()
+	for k := uint64(1); k <= 100; k++ {
+		v, exp, _, ok := l.Get(k, nil, now)
+		if !ok {
+			t.Fatalf("Get(%d): miss", k)
+		}
+		if exp != 0 {
+			t.Fatalf("Get(%d): exp = %d, want 0", k, exp)
+		}
+		if !bytes.Equal(v, val(k, int(k)%256)) {
+			t.Fatalf("Get(%d): wrong value", k)
+		}
+	}
+	if _, _, _, ok := l.Get(999, nil, now); ok {
+		t.Fatal("Get(999): unexpected hit")
+	}
+}
+
+func TestOverwriteAndDeadAccounting(t *testing.T) {
+	l := openTest(t, t.TempDir(), 1<<20)
+	defer l.Close()
+	l.Put(7, 0, val(7, 64))
+	if l.DeadBytes() != 0 {
+		t.Fatalf("DeadBytes = %d before overwrite", l.DeadBytes())
+	}
+	l.Put(7, 0, val(8, 64))
+	if want := int64(recHeader + 64); l.DeadBytes() != want {
+		t.Fatalf("DeadBytes = %d, want %d", l.DeadBytes(), want)
+	}
+	v, _, _, ok := l.Get(7, nil, time.Now().UnixNano())
+	if !ok || !bytes.Equal(v, val(8, 64)) {
+		t.Fatal("overwrite not visible")
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+}
+
+func TestDeleteTombstone(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, 1<<20)
+	l.Put(1, 0, val(1, 32))
+	l.Put(2, 0, val(2, 32))
+	if !l.Delete(1) {
+		t.Fatal("Delete(1) = false")
+	}
+	if l.Delete(1) {
+		t.Fatal("second Delete(1) = true")
+	}
+	if _, _, _, ok := l.Get(1, nil, time.Now().UnixNano()); ok {
+		t.Fatal("deleted key still readable")
+	}
+	l.Close()
+
+	// Reopen: the tombstone must keep key 1 dead.
+	l2 := openTest(t, dir, 1<<20)
+	defer l2.Close()
+	if _, _, _, ok := l2.Get(1, nil, time.Now().UnixNano()); ok {
+		t.Fatal("deleted key resurrected by replay")
+	}
+	if v, _, _, ok := l2.Get(2, nil, time.Now().UnixNano()); !ok || !bytes.Equal(v, val(2, 32)) {
+		t.Fatal("live key lost across reopen")
+	}
+}
+
+func TestExpiryMiss(t *testing.T) {
+	l := openTest(t, t.TempDir(), 1<<20)
+	defer l.Close()
+	now := time.Now().UnixNano()
+	l.Put(1, uint64(now+int64(time.Hour)), val(1, 16))
+	l.Put(2, uint64(now-1), val(2, 16)) // already expired
+	if _, _, _, ok := l.Get(1, nil, now); !ok {
+		t.Fatal("unexpired key missed")
+	}
+	if _, _, _, ok := l.Get(2, nil, now); ok {
+		t.Fatal("expired key served")
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d after lazy expiry drop, want 1", l.Len())
+	}
+}
+
+func TestReopenRebuildsIndex(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, 2048) // small segments force rotation
+	for k := uint64(1); k <= 200; k++ {
+		l.Put(k, 0, val(k, 100))
+	}
+	for k := uint64(1); k <= 200; k += 2 {
+		l.Put(k, 0, val(k+1000, 100)) // overwrite odd keys
+	}
+	segs := l.Segments()
+	if segs < 2 {
+		t.Fatalf("expected multiple segments, got %d", segs)
+	}
+	l.Close()
+
+	l2 := openTest(t, dir, 2048)
+	defer l2.Close()
+	if l2.Len() != 200 {
+		t.Fatalf("Len = %d after reopen, want 200", l2.Len())
+	}
+	now := time.Now().UnixNano()
+	for k := uint64(1); k <= 200; k++ {
+		want := val(k, 100)
+		if k%2 == 1 {
+			want = val(k+1000, 100)
+		}
+		v, _, _, ok := l2.Get(k, nil, now)
+		if !ok || !bytes.Equal(v, want) {
+			t.Fatalf("Get(%d) wrong after reopen", k)
+		}
+	}
+}
+
+func TestReopenTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, 1<<20)
+	l.Put(1, 0, val(1, 64))
+	l.Put(2, 0, val(2, 64))
+	l.Close()
+
+	name := filepath.Join(dir, segName(1))
+	fi, err := os.Stat(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop into the middle of the second record.
+	if err := os.Truncate(name, fi.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openTest(t, dir, 1<<20)
+	defer l2.Close()
+	if l2.Len() != 1 {
+		t.Fatalf("Len = %d after torn-tail reopen, want 1", l2.Len())
+	}
+	if v, _, _, ok := l2.Get(1, nil, time.Now().UnixNano()); !ok || !bytes.Equal(v, val(1, 64)) {
+		t.Fatal("intact record lost")
+	}
+	if _, _, _, ok := l2.Get(2, nil, time.Now().UnixNano()); ok {
+		t.Fatal("torn record served")
+	}
+	// The log must keep appending cleanly after the truncation.
+	if _, err := l2.Put(3, 0, val(3, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _, ok := l2.Get(3, nil, time.Now().UnixNano()); !ok || !bytes.Equal(v, val(3, 64)) {
+		t.Fatal("post-truncation append unreadable")
+	}
+}
+
+func TestCompactReclaimsSpace(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, 4096)
+	for k := uint64(1); k <= 100; k++ {
+		l.Put(k, 0, val(k, 100))
+	}
+	for k := uint64(1); k <= 100; k++ {
+		if k%2 == 0 {
+			l.Delete(k)
+		} else {
+			l.Put(k, 0, val(k+7, 100)) // re-put: old record dead
+		}
+	}
+	before := l.LogBytes()
+	segsBefore := l.Segments()
+	// Two passes: the first may leave carried tombstones in the graveyard era.
+	l.Compact()
+	removed := l.Compact()
+	_ = removed
+	if l.LogBytes() >= before {
+		t.Fatalf("LogBytes %d -> %d: compaction reclaimed nothing", before, l.LogBytes())
+	}
+	if l.Segments() >= segsBefore {
+		t.Fatalf("Segments %d -> %d: compaction removed nothing", segsBefore, l.Segments())
+	}
+	now := time.Now().UnixNano()
+	for k := uint64(1); k <= 100; k++ {
+		v, _, _, ok := l.Get(k, nil, now)
+		if k%2 == 0 {
+			if ok {
+				t.Fatalf("deleted key %d alive after compact", k)
+			}
+		} else if !ok || !bytes.Equal(v, val(k+7, 100)) {
+			t.Fatalf("live key %d wrong after compact", k)
+		}
+	}
+	// On-disk state must also survive a reopen after compaction.
+	l.Close()
+	l2 := openTest(t, dir, 4096)
+	defer l2.Close()
+	for k := uint64(1); k <= 100; k += 2 {
+		v, _, _, ok := l2.Get(k, nil, now)
+		if !ok || !bytes.Equal(v, val(k+7, 100)) {
+			t.Fatalf("live key %d wrong after compact+reopen", k)
+		}
+	}
+	if l2.Len() != 50 {
+		t.Fatalf("Len = %d after compact+reopen, want 50", l2.Len())
+	}
+}
+
+func TestPutIfConditional(t *testing.T) {
+	l := openTest(t, t.TempDir(), 1<<20)
+	defer l.Close()
+	loc1, _ := l.Put(1, 0, val(1, 32))
+	// Matching expectation: index repointed.
+	ok, err := l.PutIf(1, 0, val(2, 32), loc1)
+	if err != nil || !ok {
+		t.Fatalf("PutIf with matching loc: ok=%v err=%v", ok, err)
+	}
+	v, _, _, _ := l.Get(1, nil, time.Now().UnixNano())
+	if !bytes.Equal(v, val(2, 32)) {
+		t.Fatal("PutIf did not publish")
+	}
+	// Stale expectation: index untouched.
+	ok, err = l.PutIf(1, 0, val(3, 32), loc1)
+	if err != nil || ok {
+		t.Fatalf("PutIf with stale loc: ok=%v err=%v", ok, err)
+	}
+	v, _, _, _ = l.Get(1, nil, time.Now().UnixNano())
+	if !bytes.Equal(v, val(2, 32)) {
+		t.Fatal("stale PutIf clobbered the index")
+	}
+	// Absent key: no-op.
+	if ok, _ := l.PutIf(42, 0, val(4, 8), Loc{Seg: 1, Off: 0, Len: 8}); ok {
+		t.Fatal("PutIf on absent key succeeded")
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	l := openTest(t, t.TempDir(), 8192)
+	defer l.Close()
+	const keys = 64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	time.AfterFunc(100*time.Millisecond, func() { close(stop) })
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := uint64(g)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := i % keys
+				switch i % 5 {
+				case 0, 1:
+					l.Put(k, 0, val(k, 40))
+				case 2:
+					now := time.Now().UnixNano()
+					if v, _, _, ok := l.Get(k, nil, now); ok {
+						if len(v) != 40 || v[0] != byte(k) {
+							panic(fmt.Sprintf("corrupt read for key %d", k))
+						}
+					}
+				case 3:
+					l.Delete(k)
+				case 4:
+					l.Compact()
+				}
+				i += 7
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -95,6 +95,18 @@ func (h *hashIndex) Put(key uint64, it *seqitem.Item) {
 func (h *hashIndex) Delete(key uint64) bool { return h.m.Delete(key) }
 func (h *hashIndex) Len() int               { return h.m.Len() }
 
+// Range visits every indexed item — a best-effort snapshot under
+// concurrent writes (cuckoo.Map.Range's contract), which is all the
+// evictor's victim scan needs.
+func (h *hashIndex) Range(f func(key uint64, it *seqitem.Item) bool) {
+	h.m.Range(func(k uint64, r *itemRef) bool {
+		if it := r.p.Load(); it != nil {
+			return f(k, it)
+		}
+		return true
+	})
+}
+
 type treeIndex struct {
 	t *btree.Tree[*seqitem.Item]
 }

@@ -29,6 +29,18 @@ type storeMetrics struct {
 
 	retired  *obs.Counter // items unlinked and queued for reclamation
 	recycled *obs.Counter // retired items whose slots returned to the arena
+
+	// Bounded-memory lifecycle (§13). The spill counters are written only
+	// by the evictor goroutine (shard 0); the rest are sharded per worker.
+	spills        *obs.Counter // values written to the cold tier by eviction
+	spillErrors   *obs.Counter // evictions whose cold write failed (value dropped)
+	spillFixups   *obs.Counter // late ≤8-byte writes re-spilled after the grace period
+	spilledBytes  *obs.Counter // value bytes spilled
+	promotes      *obs.Counter // cold-tier hits promoted back into RAM
+	promotedBytes *obs.Counter // value bytes promoted
+	coldHits      *obs.Counter // RAM-miss gets served from the cold tier
+	coldMisses    *obs.Counter // RAM-miss gets the cold tier missed too
+	expired       *obs.Counter // items unlinked by lazy TTL expiry
 }
 
 func newStoreMetrics(workers int) *storeMetrics {
@@ -54,6 +66,23 @@ func newStoreMetrics(workers int) *storeMetrics {
 		"Items unlinked from the index and queued for epoch-based reclamation.", workers)
 	m.recycled = r.Counter("mutps_items_recycled_total", "",
 		"Retired items whose headers and arena slots have been recycled.", workers)
+	m.spills = r.Counter("mutps_cold_spills_total", "",
+		"Evicted values written to the cold-tier log.", 1)
+	m.spillErrors = r.Counter("mutps_cold_spill_errors_total", "",
+		"Evictions whose cold-tier write failed; the value was dropped.", 1)
+	m.spillFixups = r.Counter("mutps_cold_spill_fixups_total", "",
+		"Late single-word writes re-spilled after the eviction grace period.", 1)
+	m.spilledBytes = r.Counter("mutps_cold_spilled_bytes_total", "",
+		"Value bytes spilled to the cold tier by eviction.", 1)
+	m.promotes = r.Counter("mutps_cold_promotes_total", "",
+		"Cold-tier hits promoted back into the in-memory index.", workers)
+	m.promotedBytes = r.Counter("mutps_cold_promoted_bytes_total", "",
+		"Value bytes promoted back into the in-memory index.", workers)
+	m.coldHits = r.Counter("mutps_cold_gets_total", `result="hit"`,
+		"RAM-miss gets that consulted the cold tier, by outcome.", workers)
+	m.coldMisses = r.Counter("mutps_cold_gets_total", `result="miss"`, "", workers)
+	m.expired = r.Counter("mutps_expired_total", "",
+		"Items unlinked by lazy TTL expiry on the read path.", workers)
 	return m
 }
 
@@ -134,6 +163,18 @@ func (s *Store) registerDerived() {
 			"Items retired and not yet past their reclamation grace periods.",
 			func() float64 { return float64(s.retiredPend.Load()) })
 		s.arena.Instrument(r)
+	}
+	if s.cold != nil {
+		r.GaugeFunc("mutps_cold_hit_ratio", "",
+			"Cold-tier hits over RAM-miss gets that consulted the cold tier.",
+			func() float64 {
+				hit := float64(s.met.coldHits.Value())
+				total := hit + float64(s.met.coldMisses.Value())
+				if total == 0 {
+					return 0
+				}
+				return hit / total
+			})
 	}
 }
 

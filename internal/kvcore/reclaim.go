@@ -97,6 +97,7 @@ func (s *Store) retire(w int, it *seqitem.Item) {
 	rq := s.retq[w]
 	rq.q0.push(retiredItem{it: it, e: s.dom.Epoch()})
 	s.retiredPend.Add(1)
+	s.retiredBytes.Add(int64(it.SlotBytes()))
 	s.met.retired.Inc(w)
 	rq.ops++
 }
@@ -177,6 +178,7 @@ func (s *Store) reclaim(w int) {
 // recycle returns a fully quiesced item to worker w's pool (and its value
 // slot to the arena).
 func (s *Store) recycle(w int, it *seqitem.Item) {
+	s.retiredBytes.Add(-int64(it.SlotBytes())) // before Recycle drops the words
 	s.pools[w].Recycle(it)
 	s.retiredPend.Add(-1)
 	s.met.recycled.Inc(w)
@@ -217,6 +219,7 @@ func (s *Store) drainRetired() {
 	}
 	s.preMu.Lock()
 	for i, r := range s.preRet {
+		s.retiredBytes.Add(-int64(r.it.SlotBytes()))
 		s.prePool.Recycle(r.it)
 		s.retiredPend.Add(-1)
 		s.met.recycled.Inc(0)

@@ -7,8 +7,10 @@ import (
 	"time"
 
 	"mutps/internal/arena"
+	"mutps/internal/coldtier"
 	"mutps/internal/epoch"
 	"mutps/internal/hotset"
+	"mutps/internal/lifecycle"
 	"mutps/internal/obs"
 	"mutps/internal/ring"
 	"mutps/internal/rpc"
@@ -42,6 +44,25 @@ type Config struct {
 
 	ArenaOff   bool // disable the slab arena (items come from the Go heap)
 	ArenaChunk int  // arena backing-chunk bytes per size class (default 256 KiB)
+
+	// Bounded-memory lifecycle (DESIGN.md §13). MemoryBudget is the high
+	// watermark on live arena bytes; when crossed, a background evictor
+	// unlinks the coldest items (ranked by the hot-set sketch) until live
+	// bytes fall to EvictLowWater×MemoryBudget, spilling values to the
+	// cold tier when ColdDir is set and dropping them otherwise. The
+	// budget requires the arena: it bounds what the arena accounts for.
+	MemoryBudget  int64         // 0 = unbounded
+	EvictLowWater float64       // fraction of the budget to evict down to (default 0.9)
+	EvictInterval time.Duration // evictor poll period (default 5ms)
+
+	ColdDir          string // SSD value-log directory ("" = no cold tier)
+	ColdSegmentBytes int64  // cold-tier segment size (default 64 MiB)
+
+	// DefaultTTL is stamped on every put that carries no explicit TTL
+	// (0 = items never expire). Expiry is lazy: expired items read as
+	// missing and are unlinked by the first read that notices, or by the
+	// evictor, whichever comes first.
+	DefaultTTL time.Duration
 }
 
 func (c *Config) applyDefaults() error {
@@ -82,6 +103,12 @@ func (c *Config) applyDefaults() error {
 	if c.ArenaChunk <= 0 {
 		c.ArenaChunk = arena.DefaultChunkBytes
 	}
+	if c.MemoryBudget > 0 && c.ArenaOff {
+		return fmt.Errorf("kvcore: MemoryBudget requires the arena (ArenaOff must be false)")
+	}
+	if c.MemoryBudget < 0 {
+		return fmt.Errorf("kvcore: MemoryBudget must be >= 0, got %d", c.MemoryBudget)
+	}
 	return nil
 }
 
@@ -119,6 +146,19 @@ type Store struct {
 	pools       []*seqitem.Pool
 	retq        []*retireQ
 	retiredPend atomic.Int64
+
+	// Bounded-memory lifecycle (DESIGN.md §13). The evictor goroutine owns
+	// pool/queue index cfg.Workers and epoch reader slot cfg.Workers+1, so
+	// reclaiming memory never rides the RPC ring; fixups and evScratch are
+	// evictor-goroutine-private. retiredBytes projects how many live arena
+	// bytes are already retired and merely waiting out grace periods — the
+	// budget is enforced against live-minus-retired, or eviction would
+	// re-fire on memory it has already freed.
+	cold         *coldtier.Log
+	evictor      *lifecycle.Evictor
+	fixups       []spillFixup
+	evScratch    []byte
+	retiredBytes atomic.Int64
 
 	// Preload bypasses the RPC path, so it gets its own serialized pool
 	// and retire queue (drained at Close, when no readers remain).
@@ -186,18 +226,44 @@ func Open(cfg Config) (*Store, error) {
 	s.lockMask = uint64(stripes - 1)
 	if !cfg.ArenaOff {
 		s.arena = arena.New(cfg.ArenaChunk)
-		s.dom = epoch.NewDomain(cfg.Workers + 1) // slot cfg.Workers: refresher
-		s.pools = make([]*seqitem.Pool, cfg.Workers)
-		s.retq = make([]*retireQ, cfg.Workers)
+		// Reader slots: one per worker, cfg.Workers for the refresher,
+		// cfg.Workers+1 for the evictor. Pool/queue index cfg.Workers is
+		// the evictor's (workers use their own ids).
+		s.dom = epoch.NewDomain(cfg.Workers + 2)
+		s.pools = make([]*seqitem.Pool, cfg.Workers+1)
+		s.retq = make([]*retireQ, cfg.Workers+1)
 		for i := range s.pools {
 			s.pools[i] = seqitem.NewPool(s.arena.NewCache())
 			s.retq[i] = &retireQ{}
 		}
 		s.prePool = seqitem.NewPool(s.arena.NewCache())
 	}
+	if cfg.ColdDir != "" {
+		cold, err := coldtier.Open(coldtier.Options{
+			Dir:          cfg.ColdDir,
+			SegmentBytes: cfg.ColdSegmentBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("kvcore: cold tier: %w", err)
+		}
+		s.cold = cold
+		s.cold.Instrument(s.met.reg)
+	}
 	s.nCR.Store(int32(cfg.CRWorkers))
 	s.hotTarget.Store(int32(cfg.HotItems))
 	s.registerDerived()
+
+	if cfg.MemoryBudget > 0 {
+		s.evictor = lifecycle.New(lifecycle.Config{
+			Budget:   uint64(cfg.MemoryBudget),
+			LowWater: cfg.EvictLowWater,
+			Interval: cfg.EvictInterval,
+		}, s, s.met.reg)
+		// Kick the evictor from allocation slow paths too, so a put burst
+		// between ticks can't overshoot the budget by a full interval.
+		s.arena.SetPressureHook(uint64(cfg.MemoryBudget), s.evictor.Notify)
+		s.evictor.Start()
+	}
 
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -227,6 +293,9 @@ func (s *Store) Close() {
 			close(s.refreshCh)
 			s.refreshWG.Wait()
 		}
+		if s.evictor != nil {
+			s.evictor.Close()
+		}
 		s.wg.Wait()
 		s.stop.Store(true)
 		// Under the graceful drain above this finds nothing; it is the
@@ -238,9 +307,15 @@ func (s *Store) Close() {
 		// every retirement grace period is satisfied, so the drain returns
 		// all in-flight retirements to the arena — a closed store leaks no
 		// slots.
+		// Deferred spill fixups run first (force=true: no writer can race
+		// anymore), so the cold tier closes consistent.
 		s.refreshMu.Lock()
+		s.runFixups(true)
 		s.drainRetired()
 		s.refreshMu.Unlock()
+		if s.cold != nil {
+			s.cold.Close()
+		}
 	})
 }
 
@@ -293,7 +368,7 @@ func (s *Store) Put(key uint64, val []byte) error {
 	if !obs.Disabled {
 		start = time.Now()
 	}
-	call, err := s.rpc.Send(rpc.Message{Op: workload.OpPut, Key: key, Value: val})
+	call, err := s.rpc.Send(rpc.Message{Op: workload.OpPut, Key: key, Value: val, Expire: s.expireAt(0)})
 	if err != nil {
 		return err
 	}
@@ -307,6 +382,69 @@ func (s *Store) Put(key uint64, val []byte) error {
 		s.met.lat[workload.OpPut].Record(int(key), uint64(time.Since(start)))
 	}
 	return nil
+}
+
+// expireAt converts a relative TTL into the absolute unix-nano deadline
+// stamped into the item header. ttl == 0 falls back to Config.DefaultTTL;
+// a zero result means "never expires".
+func (s *Store) expireAt(ttl time.Duration) uint64 {
+	if ttl <= 0 {
+		ttl = s.cfg.DefaultTTL
+	}
+	if ttl <= 0 {
+		return 0
+	}
+	return uint64(time.Now().UnixNano() + int64(ttl))
+}
+
+// PutTTL stores val under key with a per-item TTL. ttl <= 0 selects
+// Config.DefaultTTL (and "never" when that is unset too). Expiry is lazy:
+// after the deadline the key reads as missing on every path (hot set, MR
+// index, cold tier) and its memory is reclaimed by the first read that
+// notices or by the evictor.
+func (s *Store) PutTTL(key uint64, val []byte, ttl time.Duration) error {
+	var start time.Time
+	if !obs.Disabled {
+		start = time.Now()
+	}
+	call, err := s.rpc.Send(rpc.Message{Op: workload.OpPut, Key: key, Value: val, Expire: s.expireAt(ttl)})
+	if err != nil {
+		return err
+	}
+	call.Wait()
+	err = call.Err
+	call.Release()
+	if err != nil {
+		return err
+	}
+	if !obs.Disabled {
+		s.met.lat[workload.OpPut].Record(int(key), uint64(time.Since(start)))
+	}
+	return nil
+}
+
+// GetTTL fetches the value for key together with its remaining TTL
+// (0 = no expiry set). Expired keys report found=false.
+func (s *Store) GetTTL(key uint64) (val []byte, ttl time.Duration, found bool, err error) {
+	call, err := s.rpc.Send(rpc.Message{Op: workload.OpGet, Key: key})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	call.Wait()
+	v, found, exp, cerr := call.Value, call.Found, call.Expiry, call.Err
+	call.Release()
+	if cerr != nil {
+		return nil, 0, false, cerr
+	}
+	if found && exp != 0 {
+		if rem := int64(exp) - time.Now().UnixNano(); rem > 0 {
+			ttl = time.Duration(rem)
+		} else {
+			// Deadline passed between the worker's check and now.
+			return nil, 0, false, nil
+		}
+	}
+	return v, ttl, found, nil
 }
 
 // Delete removes key, reporting whether it existed.
@@ -411,7 +549,13 @@ func (s *Store) GetAsync(key uint64, dst []byte) (*rpc.Call, error) {
 // copied into the item only when a worker executes the request, not at
 // submit time (the synchronous Put hides this by blocking).
 func (s *Store) PutAsync(key uint64, val []byte) (*rpc.Call, error) {
-	return s.rpc.Send(rpc.Message{Op: workload.OpPut, Key: key, Value: val})
+	return s.rpc.Send(rpc.Message{Op: workload.OpPut, Key: key, Value: val, Expire: s.expireAt(0)})
+}
+
+// PutTTLAsync is PutAsync with a per-item TTL (ttl <= 0 selects the
+// configured default).
+func (s *Store) PutTTLAsync(key uint64, val []byte, ttl time.Duration) (*rpc.Call, error) {
+	return s.rpc.Send(rpc.Message{Op: workload.OpPut, Key: key, Value: val, Expire: s.expireAt(ttl)})
 }
 
 // DeleteAsync submits a delete and returns its completion future without
@@ -575,6 +719,7 @@ func (s *Store) Preload(key uint64, val []byte) {
 		n.MarkViewed(it.ViewGen()) // propagate view reachability (§11)
 		s.preRet = append(s.preRet, retiredItem{it: it})
 		s.retiredPend.Add(1)
+		s.retiredBytes.Add(int64(it.SlotBytes()))
 		s.met.retired.Inc(0)
 		return
 	}

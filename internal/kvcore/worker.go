@@ -355,9 +355,16 @@ func (s *Store) tryServeHot(w int, m *rpc.Message) bool {
 		if !ok || it.Dead() {
 			return false
 		}
+		e := it.Expire()
+		if e != 0 && uint64(time.Now().UnixNano()) >= e {
+			// Expired: forward so the MR layer unlinks it (lazy expiry).
+			// TTL-free items never pay the clock read here.
+			return false
+		}
 		call := m.Call()
 		call.Value = it.Read(call.Dst[:0])
 		call.Found = true
+		call.Expiry = e
 		call.Complete()
 		return true
 	case workload.OpPut:
@@ -365,10 +372,16 @@ func (s *Store) tryServeHot(w int, m *rpc.Message) bool {
 		if !ok || it.Dead() {
 			return false
 		}
+		if e := it.Expire(); e != 0 && uint64(time.Now().UnixNano()) >= e {
+			// Writing an expired item in place would resurrect it raceably;
+			// the MR replacement path serializes with lazy expiry instead.
+			return false
+		}
 		if !it.Write(m.Value) {
 			// Size change: must be an item replacement at the MR layer.
 			return false
 		}
+		it.SetExpire(m.Expire)
 		m.Call().Complete()
 		return true
 	default:
@@ -494,10 +507,7 @@ func (s *Store) runMR(id int) {
 				scr.items, scr.found = batched.GetBatch(scr.keys, scr.items, scr.found)
 				for j, i := range scr.pos {
 					call := s.slabs[cr].msgs[reqs[i].Buf].Call()
-					if scr.found[j] && !scr.items[j].Dead() {
-						call.Value = scr.items[j].Read(call.Dst[:0])
-						call.Found = true
-					}
+					s.serveGet(id, scr.keys[j], scr.items[j], scr.found[j], call)
 					call.Complete()
 				}
 				s.epochExit(id)
@@ -528,12 +538,10 @@ func (s *Store) processMR(w, cr int, req *ring.Request) {
 	s.epochEnter(w)
 	switch workload.OpType(req.Type) {
 	case workload.OpGet:
-		if it, ok := s.idx.Get(req.Key); ok && !it.Dead() {
-			call.Value = it.Read(call.Dst[:0])
-			call.Found = true
-		}
+		it, ok := s.idx.Get(req.Key)
+		s.serveGet(w, req.Key, it, ok, call)
 	case workload.OpPut:
-		s.putMR(w, req.Key, m.Value)
+		s.putMR(w, req.Key, m.Value, m.Expire)
 	case workload.OpDelete:
 		call.Found = s.deleteMR(w, req.Key)
 	case workload.OpScan:
@@ -550,19 +558,30 @@ func (s *Store) processMR(w, cr int, req *ring.Request) {
 // item's own bits), then falls back to item replacement under a key-stripe
 // lock so concurrent replacements serialize; w is the executing worker,
 // whose pool the new item comes from and whose queue the old one retires
-// to.
-func (s *Store) putMR(w int, key uint64, val []byte) {
-	if it, ok := s.idx.Get(key); ok && !it.Dead() && it.Write(val) {
+// to. exp is the absolute expiry deadline to stamp (0 = never): the
+// in-place path writes the value first, then moves the deadline — a reader
+// in the gap sees the new value under the old deadline, which lazy expiry
+// re-verifies under the key lock before acting on. Expired items are never
+// written in place (that would resurrect them raceably); they take the
+// replacement path, which serializes with lazy expiry on the lock.
+func (s *Store) putMR(w int, key uint64, val []byte, exp uint64) {
+	if it, ok := s.idx.Get(key); ok && !it.Dead() &&
+		!it.Expired(time.Now().UnixNano()) && it.Write(val) {
+		it.SetExpire(exp)
 		return
 	}
 	mu := &s.keyLocks[key&s.lockMask]
 	mu.Lock()
 	defer mu.Unlock()
 	if it, ok := s.idx.Get(key); ok {
-		if !it.Dead() && it.Write(val) {
+		if !it.Dead() && !it.Expired(time.Now().UnixNano()) && it.Write(val) {
+			it.SetExpire(exp)
 			return
 		}
 		n := s.newItem(w, val)
+		if exp != 0 {
+			n.SetExpire(exp)
+		}
 		s.idx.Put(key, n)
 		it.MoveTo(n) // stale holders (hot views) converge on the new record
 		if s.dom != nil {
@@ -575,7 +594,11 @@ func (s *Store) putMR(w int, key uint64, val []byte) {
 		}
 		return
 	}
-	s.idx.Put(key, s.newItem(w, val))
+	n := s.newItem(w, val)
+	if exp != 0 {
+		n.SetExpire(exp)
+	}
+	s.idx.Put(key, n)
 }
 
 func (s *Store) deleteMR(w int, key uint64) bool {
@@ -584,14 +607,23 @@ func (s *Store) deleteMR(w int, key uint64) bool {
 	defer mu.Unlock()
 	it, ok := s.idx.Get(key)
 	if !ok {
+		// The key may still live (only) in the cold tier; deleting there
+		// reports whether it did.
+		if s.cold != nil {
+			return s.cold.Delete(key)
+		}
 		return false
 	}
+	expired := it.Expired(time.Now().UnixNano())
 	s.idx.Delete(key)
 	it.Kill()
 	if s.dom != nil {
 		s.retire(w, it)
 	}
-	return true
+	if s.cold != nil {
+		s.cold.Delete(key) // clear any stale shadow
+	}
+	return !expired // deleting an already-expired key reports not-found
 }
 
 // scanMR fills the call's scan result slices. Every value is read into

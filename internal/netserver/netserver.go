@@ -13,11 +13,18 @@
 //	              key(8) — a batched multi-get executed server-side as one
 //	              frame: every key enters the store's async path together
 //	              and the responses retire as one FIFO burst)
+//	              7=put-ttl (payload = ttl_nanos(8) then value; ttl 0 =
+//	              server default) 8=get-ttl (found payload = remaining
+//	              ttl_nanos(8) then value, 0 = no expiry)
 //	response: status(1) len(4) payload[len]
 //	          status: 0=found/ok 1=not found 2=error (payload = message)
 //	          3=backlogged (retryable: the store shed the request under
 //	          overload; old clients that predate status 3 surface it as an
 //	          unknown-status transport error and reconnect)
+//	          4=expired (a TTL deadline passed: the key reads as missing;
+//	          distinct from 1 so TTL-aware clients can tell expiry from
+//	          absence — old clients test status == 0 and treat both as a
+//	          miss, the same degradation pattern as status 3)
 //	          scan payload: count(4) then count × { key(8) vlen(4) val }
 //	          stats2 payload: count(4) then count × { nlen(2) name
 //	          float64bits(8) } — self-describing, so servers may add
@@ -56,6 +63,12 @@ const (
 	OpStats
 	OpStats2
 	OpMGet
+	// OpPutTTL carries the item's TTL as the first 8 payload bytes
+	// (nanoseconds; 0 selects the server's default TTL), then the value.
+	OpPutTTL
+	// OpGetTTL is a get whose found-response payload leads with the
+	// remaining TTL in nanoseconds (0 = no expiry), then the value.
+	OpGetTTL
 )
 
 // MaxMGetKeys bounds the keys one mget frame may carry: each key claims a
@@ -73,6 +86,11 @@ const (
 	// stayed full for the whole backpressure budget and the request was
 	// shed without executing. The connection remains usable.
 	StatusBacklogged
+	// StatusExpired reports a key whose TTL deadline has passed: it reads
+	// as missing, but TTL-aware clients can distinguish expiry from plain
+	// absence. Old clients test status == StatusFound, so to them it
+	// degrades to a miss.
+	StatusExpired
 )
 
 // ErrBacklogged is returned by client calls when the server replies
@@ -146,13 +164,18 @@ type Server struct {
 var netOpLabels = [5]string{`op="get"`, `op="put"`, `op="delete"`, `op="scan"`, `op="mget"`}
 
 // latIndex maps a wire op onto its latency-histogram slot, or -1 for ops
-// that are not latency-tracked (stats frames).
+// that are not latency-tracked (stats frames). The TTL variants share
+// their base op's slot — the service path is the same.
 func latIndex(op byte) int {
 	switch {
 	case op < OpStats:
 		return int(op)
 	case op == OpMGet:
 		return 4
+	case op == OpPutTTL:
+		return int(OpPut)
+	case op == OpGetTTL:
+		return int(OpGet)
 	}
 	return -1
 }
@@ -436,6 +459,37 @@ func (c *Client) Get(key uint64) ([]byte, bool, error) {
 func (c *Client) Put(key uint64, val []byte) error {
 	_, _, err := c.roundTrip(OpPut, key, val)
 	return err
+}
+
+// PutTTL stores val under key with a per-item TTL. ttl <= 0 selects the
+// server's configured default (and "never" when that is unset too).
+// Servers predating OpPutTTL reject the frame with a status-error reply
+// ("unknown op 7") and the connection stays usable.
+func (c *Client) PutTTL(key uint64, val []byte, ttl time.Duration) error {
+	payload := make([]byte, 8+len(val))
+	if ttl > 0 {
+		binary.LittleEndian.PutUint64(payload, uint64(ttl))
+	}
+	copy(payload[8:], val)
+	_, _, err := c.roundTrip(OpPutTTL, key, payload)
+	return err
+}
+
+// GetTTL fetches the value for key together with its remaining TTL
+// (0 = no expiry set). Expired keys report found=false, exactly like
+// absent ones; callers that only need the value can keep using Get.
+func (c *Client) GetTTL(key uint64) (val []byte, ttl time.Duration, found bool, err error) {
+	st, body, err := c.roundTrip(OpGetTTL, key, nil)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if st != StatusFound {
+		return nil, 0, false, nil
+	}
+	if len(body) < 8 {
+		return nil, 0, false, fmt.Errorf("netserver: get-ttl response too short (%d bytes)", len(body))
+	}
+	return body[8:], time.Duration(binary.LittleEndian.Uint64(body)), true, nil
 }
 
 // Delete removes key, reporting whether it existed.

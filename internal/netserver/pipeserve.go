@@ -58,6 +58,7 @@ var (
 	errMsgScanCount       = []byte("scan count too large")
 	errMsgMGetPayload     = []byte("mget payload must be count(4) + count*key(8)")
 	errMsgMGetCount       = []byte("mget count too large")
+	errMsgPutTTLPayload   = []byte("put-ttl payload must lead with ttl_nanos(8)")
 )
 
 // submitHook, when set, intercepts asynchronous submission with an
@@ -231,8 +232,22 @@ func (p *connPipeline) submit(e *netOp, payload []byte) {
 	switch e.op {
 	case OpGet:
 		e.call, err = store.GetAsync(e.key, e.val[:0])
+	case OpGetTTL:
+		// Same store path as a get; the remaining TTL is encoded at retire
+		// time from the call's expiry stamp.
+		e.call, err = store.GetAsync(e.key, e.val[:0])
 	case OpPut:
 		e.call, err = store.PutAsync(e.key, payload)
+	case OpPutTTL:
+		if len(payload) < 8 {
+			e.status, e.msg = StatusError, errMsgPutTTLPayload
+			return
+		}
+		// ttl 0 on the wire selects the server's default, matching the
+		// store facade's ttl <= 0 convention. The value subslice stays
+		// valid until retire — it aliases the slot-owned payload buffer.
+		ttl := time.Duration(binary.LittleEndian.Uint64(payload))
+		e.call, err = store.PutTTLAsync(e.key, payload[8:], ttl)
 	case OpDelete:
 		e.call, err = store.DeleteAsync(e.key)
 	case OpScan:
@@ -356,12 +371,17 @@ func (p *connPipeline) retire(e *netOp) {
 				p.writeOut(StatusError, []byte(c.Err.Error()))
 			}
 		case e.op == OpGet:
-			if c.Found {
+			switch {
+			case c.Found:
 				p.writeOut(StatusFound, c.Value)
-			} else {
+			case c.Expired:
+				p.writeOut(StatusExpired, nil)
+			default:
 				p.writeOut(StatusNotFound, nil)
 			}
-		case e.op == OpPut:
+		case e.op == OpGetTTL:
+			p.retireGetTTL(c)
+		case e.op == OpPut, e.op == OpPutTTL:
 			p.writeOut(StatusFound, nil)
 		default: // OpDelete
 			if c.Found {
@@ -391,6 +411,35 @@ func (p *connPipeline) retire(e *netOp) {
 		p.s.retired.Inc(p.connID)
 		p.s.inflight.Add(-1)
 	}
+}
+
+// retireGetTTL encodes one completed get-ttl call: the found response
+// leads with the remaining TTL in nanoseconds (0 = no expiry) followed by
+// the value. A deadline that passed between the worker's check and encode
+// time retires as StatusExpired rather than shipping a dead value.
+func (p *connPipeline) retireGetTTL(c *rpc.Call) {
+	if !c.Found {
+		if c.Expired {
+			p.writeOut(StatusExpired, nil)
+		} else {
+			p.writeOut(StatusNotFound, nil)
+		}
+		return
+	}
+	var rem uint64
+	if c.Expiry != 0 {
+		d := int64(c.Expiry) - time.Now().UnixNano()
+		if d <= 0 {
+			p.writeOut(StatusExpired, nil)
+			return
+		}
+		rem = uint64(d)
+	}
+	body := append(p.body[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint64(body, rem)
+	body = append(body, c.Value...)
+	p.body = body
+	p.writeOut(StatusFound, body)
 }
 
 // retireMGet resolves one mget frame: wait every per-key call in request

@@ -1,0 +1,119 @@
+package netserver
+
+import (
+	"bytes"
+	"encoding/binary"
+	"mutps/internal/kvcore"
+	"testing"
+	"time"
+)
+
+func TestPutGetTTLOverTCP(t *testing.T) {
+	_, cli := startServer(t, kvcore.Hash)
+	if err := cli.PutTTL(1, []byte("soon"), 80*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Put(2, []byte("forever")); err != nil {
+		t.Fatal(err)
+	}
+	v, ttl, found, err := cli.GetTTL(1)
+	if err != nil || !found || string(v) != "soon" {
+		t.Fatalf("get-ttl before expiry: %q %v %v", v, found, err)
+	}
+	if ttl <= 0 || ttl > 80*time.Millisecond {
+		t.Fatalf("remaining ttl %v out of range", ttl)
+	}
+	if v, ttl, found, _ := cli.GetTTL(2); !found || ttl != 0 || string(v) != "forever" {
+		t.Fatalf("ttl-free key: %q %v %v, want hit with ttl 0", v, ttl, found)
+	}
+	time.Sleep(100 * time.Millisecond)
+	// Both the plain and the TTL-aware client read the expired key as a
+	// miss; the TTL client loses no information by the degradation.
+	if _, found, err := cli.Get(1); err != nil || found {
+		t.Fatalf("expired key via Get: found=%v err=%v", found, err)
+	}
+	if _, _, found, err := cli.GetTTL(1); err != nil || found {
+		t.Fatalf("expired key via GetTTL: found=%v err=%v", found, err)
+	}
+	if v, found, _ := cli.Get(2); !found || string(v) != "forever" {
+		t.Fatal("ttl-free key must survive")
+	}
+}
+
+// TestExpiredStatusOnWire reads the raw status byte to pin the wire
+// contract: an expired key answers StatusExpired (not StatusNotFound), an
+// absent key answers StatusNotFound, and old clients — which test
+// status == StatusFound — treat both as a miss.
+func TestExpiredStatusOnWire(t *testing.T) {
+	_, cli := startServer(t, kvcore.Hash)
+	// One key per probe: the first read of an expired key lazily unlinks
+	// it, so a second read would legitimately answer plain not-found.
+	for _, k := range []uint64{7, 17} {
+		if err := cli.PutTTL(k, []byte("x"), 30*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	for op, key := range map[byte]uint64{OpGet: 7, OpGetTTL: 17} {
+		st, _, err := cli.roundTrip(op, key, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != StatusExpired {
+			t.Fatalf("op %d on expired key: status %d, want StatusExpired", op, st)
+		}
+	}
+	if st, _, err := cli.roundTrip(OpGet, 8, nil); err != nil || st != StatusNotFound {
+		t.Fatalf("absent key: status %d err %v, want StatusNotFound", st, err)
+	}
+}
+
+func TestPutTTLZeroSelectsServerDefault(t *testing.T) {
+	// PutTTL with ttl <= 0 encodes a zero ttl field, which the server maps
+	// to its configured default; with no default configured the key must
+	// simply never expire.
+	_, cli := startServer(t, kvcore.Hash)
+	if err := cli.PutTTL(3, []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if v, ttl, found, _ := cli.GetTTL(3); !found || ttl != 0 || string(v) != "v" {
+		t.Fatalf("zero-ttl put: %q %v %v", v, ttl, found)
+	}
+}
+
+func TestPutTTLMalformedPayload(t *testing.T) {
+	_, cli := startServer(t, kvcore.Hash)
+	// A put-ttl frame whose payload is shorter than the ttl field is an
+	// in-protocol error; the connection must stay usable.
+	st, _, err := cli.roundTrip(OpPutTTL, 1, []byte{1, 2, 3})
+	if err == nil || st != StatusError {
+		t.Fatalf("short put-ttl: status %d err %v, want StatusError", st, err)
+	}
+	if err := cli.Put(1, []byte("ok")); err != nil {
+		t.Fatal("connection unusable after in-protocol error")
+	}
+}
+
+// TestTTLRoundTripEncoding pins the frame layout independently of the
+// client helpers: ttl_nanos(8) + value on the request, remaining
+// ttl_nanos(8) + value on the found response.
+func TestTTLRoundTripEncoding(t *testing.T) {
+	_, cli := startServer(t, kvcore.Hash)
+	payload := make([]byte, 8+3)
+	binary.LittleEndian.PutUint64(payload, uint64(time.Hour))
+	copy(payload[8:], "abc")
+	if st, _, err := cli.roundTrip(OpPutTTL, 9, payload); err != nil || st != StatusFound {
+		t.Fatalf("raw put-ttl: status %d err %v", st, err)
+	}
+	st, body, err := cli.roundTrip(OpGetTTL, 9, nil)
+	if err != nil || st != StatusFound {
+		t.Fatalf("raw get-ttl: status %d err %v", st, err)
+	}
+	if len(body) < 8 || !bytes.Equal(body[8:], []byte("abc")) {
+		t.Fatalf("get-ttl body %q", body)
+	}
+	rem := binary.LittleEndian.Uint64(body)
+	if rem == 0 || rem > uint64(time.Hour) {
+		t.Fatalf("remaining ttl %d out of range", rem)
+	}
+}

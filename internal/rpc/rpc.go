@@ -31,6 +31,11 @@ type Message struct {
 	Value     []byte // put payload; not retained after the call completes
 	ScanCount int
 
+	// Expire is a put's absolute expiry deadline in Unix nanoseconds
+	// (0 = the item never expires). The facade converts relative TTLs to
+	// absolute deadlines at Send time so every layer below is clock-free.
+	Expire uint64
+
 	// Dst is an optional caller-owned destination buffer for get results:
 	// the server appends the value into Dst[:0] when its capacity suffices,
 	// so a correctly sized buffer makes the whole get path allocation-free.
@@ -74,6 +79,8 @@ type Call struct {
 	// Results, valid after Wait returns and until Release.
 	Value    []byte   // get result (nil if missing); aliases Dst when it fit
 	Found    bool     // get/delete outcome
+	Expiry   uint64   // get result: absolute expiry deadline (0 = none)
+	Expired  bool     // get outcome: key existed but passed its TTL deadline
 	ScanKeys []uint64 // keys returned by a scan, ascending
 	ScanVals [][]byte // values parallel to ScanKeys
 	Err      error
@@ -182,6 +189,8 @@ func (c *Call) Release() {
 	c.Value = nil
 	c.Dst = nil
 	c.Found = false
+	c.Expiry = 0
+	c.Expired = false
 	c.Err = nil
 	c.ScanKeys = c.ScanKeys[:0]
 	for i := range c.ScanVals {

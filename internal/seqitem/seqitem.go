@@ -42,6 +42,11 @@ type Item struct {
 	moved atomic.Pointer[Item]
 	dead  atomic.Bool
 
+	// exp is the item's absolute expiry deadline in Unix nanoseconds
+	// (0 = never expires). It lives in the header — not the value words —
+	// so TTL stamping and expiry checks never interact with the seqlock.
+	exp atomic.Uint64
+
 	// viewGen is the hot-set install generation that most recently
 	// published this item in a CR-layer view (0 = never installed). The
 	// store's reclamation protocol (DESIGN.md §11) uses it to decide when a
@@ -72,6 +77,28 @@ func (it *Item) Kill() { it.dead.Store(true) }
 
 // Dead reports whether the latest record in the chain has been deleted.
 func (it *Item) Dead() bool { return it.Latest().dead.Load() }
+
+// Revive clears the dead mark. Only the lazy-expiry path may call it, under
+// the item's key-stripe lock and only while the item is still indexed: it
+// undoes a Kill whose justification (a passed TTL deadline) a racing put
+// invalidated before the unlink completed. Readers that observed the
+// transient dead mark reported a miss, which linearizes between the expiry
+// and the reviving put.
+func (it *Item) Revive() { it.Latest().dead.Store(false) }
+
+// SetExpire stamps the current record's absolute expiry deadline in Unix
+// nanoseconds; 0 clears it (the item never expires).
+func (it *Item) SetExpire(at uint64) { it.Latest().exp.Store(at) }
+
+// Expire returns the current record's absolute expiry deadline (0 = none).
+func (it *Item) Expire() uint64 { return it.Latest().exp.Load() }
+
+// Expired reports whether the current record has passed its deadline at
+// time now (Unix nanoseconds). Items without a deadline never expire.
+func (it *Item) Expired(now int64) bool {
+	e := it.Latest().exp.Load()
+	return e != 0 && uint64(now) >= e
+}
 
 // New creates an item holding exactly val (whose length becomes the item's
 // immutable size).
@@ -113,7 +140,9 @@ func (it *Item) loadWords(dst []byte) {
 
 // Write replaces the value in place. It returns false (leaving the item
 // unchanged) when len(val) differs from the item's fixed size — the caller
-// must then allocate a replacement item and swap the index pointer.
+// must then allocate a replacement item and swap the index pointer — or
+// when the item was killed before the write could take the lock, so a
+// racing unlink (delete or eviction) cannot silently swallow the update.
 func (it *Item) Write(val []byte) bool {
 	it = it.Latest()
 	if len(val) != it.size {
@@ -139,6 +168,14 @@ func (it *Item) Write(val []byte) bool {
 		if it.meta.CompareAndSwap(old, (old+verOne)|lockBit) {
 			break
 		}
+	}
+	// Holding the lock: an evictor kills the item, then reads the value
+	// through the seqlock (waiting this lock out), so refusing here
+	// guarantees the spilled copy is the final value and sends this write
+	// down the replacement path instead of into a dead record.
+	if it.dead.Load() {
+		it.meta.Store((it.meta.Load() + verOne) &^ lockBit)
+		return false
 	}
 	it.storeWords(val)
 	it.meta.Store((it.meta.Load() + verOne) &^ lockBit)
@@ -210,6 +247,17 @@ func (it *Item) MarkViewed(gen uint64) {
 // item, 0 if it was never installed in a view.
 func (it *Item) ViewGen() uint64 { return it.viewGen.Load() }
 
+// SlotBytes returns the arena bytes this record (not its chain successors)
+// pins: the capacity of its slab slot, or 0 for heap-backed values. The
+// store's budget accounting uses it to project how much memory a retired
+// item will release once recycled.
+func (it *Item) SlotBytes() int {
+	if !it.slab {
+		return 0
+	}
+	return cap(it.words) * 8
+}
+
 // headerChunk is how many Item headers a pool carves per heap allocation.
 const headerChunk = 256
 
@@ -263,6 +311,7 @@ func NewIn(p *Pool, val []byte) *Item {
 	it.meta.Store(0)
 	it.moved.Store(nil)
 	it.dead.Store(false)
+	it.exp.Store(0)
 	it.viewGen.Store(0)
 	if p.cache != nil {
 		it.words, it.slab = p.cache.Get(n)

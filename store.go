@@ -71,6 +71,27 @@ type Options struct {
 	// (default 256 KiB). Larger chunks amortize carving further at the
 	// cost of coarser reservation granularity.
 	ArenaChunk int
+
+	// MemoryBudget caps arena live bytes: when crossed, a background
+	// evictor unlinks the coldest items (by hot-set sketch estimate) until
+	// occupancy falls to EvictLowWater of the budget. 0 disables eviction.
+	// Requires the arena (incompatible with ArenaOff).
+	MemoryBudget int64
+	// EvictLowWater is the fraction of MemoryBudget an eviction pass
+	// drains to (default 0.9).
+	EvictLowWater float64
+	// EvictInterval is the evictor's polling period (default 5ms);
+	// allocation pressure wakes it early.
+	EvictInterval time.Duration
+	// ColdDir, when set, attaches an SSD-backed cold tier at that
+	// directory: evicted values spill to an append-only log and gets
+	// missing RAM are served from it (and promoted back).
+	ColdDir string
+	// ColdSegmentBytes is the cold log's segment size (default 64 MiB).
+	ColdSegmentBytes int64
+	// DefaultTTL, when positive, applies to every put that does not carry
+	// its own TTL. 0 means items never expire by default.
+	DefaultTTL time.Duration
 }
 
 // KV is one scan result entry.
@@ -125,6 +146,13 @@ func Open(o Options) (*Store, error) {
 		CapacityHint: o.CapacityHint,
 		ArenaOff:     o.ArenaOff,
 		ArenaChunk:   o.ArenaChunk,
+
+		MemoryBudget:     o.MemoryBudget,
+		EvictLowWater:    o.EvictLowWater,
+		EvictInterval:    o.EvictInterval,
+		ColdDir:          o.ColdDir,
+		ColdSegmentBytes: o.ColdSegmentBytes,
+		DefaultTTL:       o.DefaultTTL,
 	})
 	if err != nil {
 		return nil, err
@@ -175,6 +203,20 @@ func (st *Store) GetInto(key uint64, buf []byte) ([]byte, bool, error) {
 // before Put returns, so the caller may immediately reuse val. A non-nil
 // error (ErrClosed, ErrBacklogged) means the put did not execute.
 func (st *Store) Put(key uint64, val []byte) error { return st.s.Put(key, val) }
+
+// PutTTL stores val under key with a per-item TTL; ttl <= 0 selects
+// Options.DefaultTTL (and "never" when that is unset too). After the
+// deadline the key reads as missing on every path and its memory is
+// reclaimed lazily.
+func (st *Store) PutTTL(key uint64, val []byte, ttl time.Duration) error {
+	return st.s.PutTTL(key, val, ttl)
+}
+
+// GetTTL fetches the value for key together with its remaining TTL
+// (0 = no expiry set). Expired keys report found=false.
+func (st *Store) GetTTL(key uint64) (val []byte, ttl time.Duration, found bool, err error) {
+	return st.s.GetTTL(key)
+}
 
 // Delete removes key, reporting whether it existed.
 func (st *Store) Delete(key uint64) (bool, error) { return st.s.Delete(key) }
