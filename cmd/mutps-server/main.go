@@ -44,6 +44,10 @@ func main() {
 		"arena live-byte budget with optional K/M/G suffix, e.g. 512M; when crossed, the coldest items are evicted (empty = unbounded)")
 	coldDir := flag.String("cold-dir", "",
 		"directory for the SSD cold tier: evicted values spill there and are served (and promoted) on RAM misses (empty = evicted values drop)")
+	coldSegBytes := flag.String("cold-segment-bytes", "",
+		"cold-tier segment size with optional K/M/G suffix (empty = 64M)")
+	coldCkpt := flag.Duration("cold-ckpt-interval", 0,
+		"period of the cold tier's location-index checkpoint; restart replays only the log written since the last checkpoint (0 = 30s default, negative = disable)")
 	defaultTTL := flag.Duration("default-ttl", 0,
 		"TTL applied to puts that carry no explicit TTL, e.g. 10m (0 = never expire)")
 	flag.Parse()
@@ -51,6 +55,10 @@ func main() {
 	budget, err := parseSize(*memBudget)
 	if err != nil {
 		log.Fatalf("-memory-budget: %v", err)
+	}
+	segBytes, err := parseSize(*coldSegBytes)
+	if err != nil {
+		log.Fatalf("-cold-segment-bytes: %v", err)
 	}
 
 	eng := kvcore.Hash
@@ -70,9 +78,11 @@ func main() {
 		ArenaOff:   *arenaOff,
 		ArenaChunk: *arenaChunk,
 
-		MemoryBudget: budget,
-		ColdDir:      *coldDir,
-		DefaultTTL:   *defaultTTL,
+		MemoryBudget:           budget,
+		ColdDir:                *coldDir,
+		ColdSegmentBytes:       segBytes,
+		ColdCheckpointInterval: *coldCkpt,
+		DefaultTTL:             *defaultTTL,
 	})
 	if err != nil {
 		log.Fatal(err)

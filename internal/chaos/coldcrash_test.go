@@ -1,0 +1,233 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"mutps/internal/netserver"
+)
+
+// TestKillMidSpill is the crash-recovery oracle for the cold tier: a real
+// mutps-server child runs under a tiny memory budget (so eviction spills
+// continuously), a churn workload drives puts/deletes/gets, and the child
+// is SIGKILLed at a random moment — mid-spill, mid-checkpoint, and (on the
+// longer rounds) mid-compaction. After each kill the server restarts on the
+// same cold directory and every tracked key is checked against its
+// per-key allowed-outcome set:
+//
+//   - the last acknowledged value (RAM or cold survivor),
+//   - the value of the single in-flight op at kill time (never acked:
+//     applied-or-not is legitimately ambiguous),
+//   - a miss (this is a cache: unspilled RAM state dies with the process).
+//
+// Anything else is a bug this PR's recovery work must prevent: an older
+// generation served is a stale read, a value for a key whose last acked op
+// was a delete is a resurrection.
+//
+// MUTPS_CHAOS_ROUNDS overrides the round count (CI bounds it; the
+// acceptance bar is 20).
+func TestKillMidSpill(t *testing.T) {
+	rounds := 20
+	if s := os.Getenv("MUTPS_CHAOS_ROUNDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("MUTPS_CHAOS_ROUNDS=%q: %v", s, err)
+		}
+		rounds = n
+	} else if testing.Short() {
+		rounds = 3
+	}
+
+	bin := buildServer(t)
+	coldDir := t.TempDir()
+	addr := freeAddr(t)
+
+	const churners = 2
+	const keysPer = 150
+	models := [churners]map[uint64]*keyState{}
+	for g := range models {
+		models[g] = map[uint64]*keyState{}
+	}
+
+	for round := 0; round < rounds; round++ {
+		cmd, logs := startServer(t, bin, addr, coldDir)
+		c := dialRetry(t, addr, 10*time.Second)
+
+		// Oracle pass: recovery must land inside every key's allowed set.
+		for g := range models {
+			for key, st := range models[g] {
+				v, found, err := c.Get(key)
+				if err != nil {
+					t.Fatalf("round %d: oracle get(%d): %v\nserver log:\n%s", round, key, err, logs.String())
+				}
+				if !found {
+					st.val, st.maybe = "", "" // cache loss: collapse to absent
+					continue
+				}
+				got := string(v)
+				if got != st.val && (st.maybe == "" || got != st.maybe) {
+					kind := "stale read"
+					if st.val == "" && st.maybe == "" {
+						kind = "resurrected delete"
+					}
+					t.Fatalf("round %d: %s: key %d = %q, allowed {%q, %q, miss}\nserver log:\n%s",
+						round, kind, key, got, st.val, st.maybe, logs.String())
+				}
+				st.val, st.maybe = got, "" // collapse in-flight ambiguity
+			}
+		}
+		c.Close()
+
+		// Churn until the killer fires. Every 5th round outlives the cold
+		// tier's 2s compaction tick so kills also land mid-compact.
+		killDelay := time.Duration(80+round*37%400) * time.Millisecond
+		if round%5 == 4 {
+			killDelay = 2200 * time.Millisecond
+		}
+		killed := make(chan struct{})
+		go func() {
+			time.Sleep(killDelay)
+			cmd.Process.Kill() // SIGKILL: no shutdown path runs
+			close(killed)
+		}()
+
+		done := make(chan struct{}, churners)
+		for g := 0; g < churners; g++ {
+			go func(g int) {
+				defer func() { done <- struct{}{} }()
+				churn(t, addr, uint64(1+g*1000), keysPer, models[g],
+					rand.New(rand.NewSource(int64(round)*7919+int64(g))))
+			}(g)
+		}
+		for g := 0; g < churners; g++ {
+			<-done
+		}
+		<-killed
+		cmd.Wait() // child is gone; the port is free for the next round
+	}
+}
+
+// keyState is one key's model: the last acknowledged value ("" = absent)
+// plus at most one unacknowledged in-flight value whose fate the kill made
+// ambiguous. A miss is always allowed — the store is a cache.
+type keyState struct {
+	val   string
+	maybe string
+}
+
+// churn drives sequential ops over this goroutine's disjoint key range,
+// updating the model on every ack, until the connection dies under it.
+func churn(t *testing.T, addr string, base uint64, keys int, model map[uint64]*keyState, r *rand.Rand) {
+	c, err := netserver.DialTimeout(addr, 2*time.Second, 500*time.Millisecond)
+	if err != nil {
+		return // killed before we connected; nothing acked, nothing to model
+	}
+	defer c.Close()
+	gen := 0
+	for {
+		key := base + uint64(r.Intn(keys))
+		st := model[key]
+		if st == nil {
+			st = &keyState{}
+			model[key] = st
+		}
+		switch p := r.Float32(); {
+		case p < 0.60:
+			gen++
+			val := fmt.Sprintf("k%d.g%d.%s", key, gen,
+				bytes.Repeat([]byte{'x'}, 8+r.Intn(80)))
+			if err := c.Put(key, []byte(val)); err != nil {
+				st.maybe = val // in flight at the kill: applied-or-not unknown
+				return
+			}
+			st.val, st.maybe = val, ""
+		case p < 0.75:
+			if _, err := c.Delete(key); err != nil {
+				// In-flight delete: old value or absent are both fine, and
+				// absent is always allowed — the model needs no marker.
+				return
+			}
+			st.val, st.maybe = "", ""
+		default:
+			v, found, err := c.Get(key)
+			if err != nil {
+				return
+			}
+			// Live reads are strict: the server is up, so the last acked
+			// value must be served (RAM or cold), nothing else.
+			if found != (st.val != "") || (found && string(v) != st.val) {
+				t.Errorf("live read: key %d = (%q, %v), want (%q, %v)",
+					key, v, found, st.val, st.val != "")
+				return
+			}
+		}
+	}
+}
+
+func buildServer(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mutps-server")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/mutps-server")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build server: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func startServer(t *testing.T, bin, addr, coldDir string) (*exec.Cmd, *bytes.Buffer) {
+	t.Helper()
+	var logs bytes.Buffer
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-hot", "0",
+		"-memory-budget", "32K",
+		"-cold-dir", coldDir,
+		"-cold-segment-bytes", "16K",
+		"-cold-ckpt-interval", "100ms",
+	)
+	cmd.Stdout = &logs
+	cmd.Stderr = &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start server: %v", err)
+	}
+	return cmd, &logs
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func dialRetry(t *testing.T, addr string, d time.Duration) *netserver.Client {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		c, err := netserver.DialTimeout(addr, 250*time.Millisecond, 2*time.Second)
+		if err == nil {
+			// The listener may be up before the store: probe one op.
+			if _, _, err := c.Get(0); err == nil {
+				return c
+			}
+			c.Close()
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server at %s not ready after %v: %v", addr, d, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

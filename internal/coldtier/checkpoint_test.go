@@ -1,0 +1,459 @@
+package coldtier
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// openManualCkpt opens a log with background loops off but Close-time
+// checkpointing on, so tests drive Checkpoint() explicitly.
+func openManualCkpt(t testing.TB, dir string, segBytes int64) *Log {
+	t.Helper()
+	l, err := Open(Options{Dir: dir, SegmentBytes: segBytes,
+		CompactInterval: -1, CheckpointInterval: time.Hour})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func TestParseCkptName(t *testing.T) {
+	cases := map[string]struct {
+		seq uint64
+		ok  bool
+	}{
+		"index-000001.ckpt":     {1, true},
+		"index-123456.ckpt":     {123456, true},
+		"index-1234567.ckpt":    {1234567, true},
+		"index-000000.ckpt":     {0, false},
+		"index-000001.ckpt.tmp": {0, false},
+		"index-000001.ckptx":    {0, false},
+		"index-00001.ckpt":      {0, false},
+		"index-0000001.ckpt":    {0, false}, // padded 7 digits: not canonical
+		"xindex-000001.ckpt":    {0, false},
+	}
+	for name, want := range cases {
+		seq, ok := parseCkptName(name)
+		if ok != want.ok || (ok && seq != want.seq) {
+			t.Errorf("parseCkptName(%q) = (%d, %v), want (%d, %v)", name, seq, ok, want.seq, want.ok)
+		}
+	}
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openManualCkpt(t, dir, 1<<20)
+	now := time.Now().UnixNano()
+	for k := uint64(1); k <= 500; k++ {
+		exp := uint64(0)
+		if k%5 == 0 {
+			exp = uint64(now + int64(time.Hour))
+		}
+		l.Put(k, exp, val(k, 48))
+	}
+	for k := uint64(1); k <= 500; k += 7 {
+		l.Delete(k)
+	}
+	if err := l.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	wantLen := l.Len()
+	crash(l) // no Close-time work: recovery must run off the checkpoint alone
+
+	l2 := openManualCkpt(t, dir, 1<<20)
+	defer l2.Close()
+	if got := l2.recMode.Load(); got != recoverCheckpoint {
+		t.Fatalf("recovery mode = %d, want checkpoint (%d)", got, recoverCheckpoint)
+	}
+	if l2.recReplayed.Load() != 0 {
+		t.Fatalf("replayed %d records, want 0: nothing was appended past the frontier",
+			l2.recReplayed.Load())
+	}
+	if l2.Len() != wantLen {
+		t.Fatalf("Len = %d after recovery, want %d", l2.Len(), wantLen)
+	}
+	for k := uint64(1); k <= 500; k++ {
+		v, exp, _, ok := l2.Get(k, nil, now)
+		if (k-1)%7 == 0 {
+			if ok {
+				t.Fatalf("deleted key %d resurrected from checkpoint", k)
+			}
+			continue
+		}
+		if !ok || !bytes.Equal(v, val(k, 48)) {
+			t.Fatalf("key %d wrong after checkpoint recovery", k)
+		}
+		if k%5 == 0 && exp == 0 {
+			t.Fatalf("key %d lost its expiry through the checkpoint", k)
+		}
+	}
+}
+
+func TestCheckpointedOpenReplaysOnlySuffix(t *testing.T) {
+	dir := t.TempDir()
+	l := openManualCkpt(t, dir, 1<<20)
+	for k := uint64(1); k <= 2000; k++ {
+		l.Put(k, 0, val(k, 32))
+	}
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Suffix: 40 overwrites + 10 deletes past the frontier.
+	for k := uint64(1); k <= 40; k++ {
+		l.Put(k, 0, val(k+9000, 32))
+	}
+	for k := uint64(100); k < 110; k++ {
+		l.Delete(k)
+	}
+	crash(l)
+
+	l2 := openManualCkpt(t, dir, 1<<20)
+	defer l2.Close()
+	if got := l2.recMode.Load(); got != recoverCheckpoint {
+		t.Fatalf("recovery mode = %d, want checkpoint", got)
+	}
+	if got := l2.recReplayed.Load(); got != 50 {
+		t.Fatalf("replayed %d records, want exactly the 50 suffix records", got)
+	}
+	if got := l2.recLoaded.Load(); got != 2000 {
+		t.Fatalf("loaded %d checkpoint entries, want 2000", got)
+	}
+	now := time.Now().UnixNano()
+	for k := uint64(1); k <= 2000; k++ {
+		v, _, _, ok := l2.Get(k, nil, now)
+		switch {
+		case k >= 100 && k < 110:
+			if ok {
+				t.Fatalf("suffix-deleted key %d alive", k)
+			}
+		case k <= 40:
+			if !ok || !bytes.Equal(v, val(k+9000, 32)) {
+				t.Fatalf("suffix overwrite of key %d lost", k)
+			}
+		default:
+			if !ok || !bytes.Equal(v, val(k, 32)) {
+				t.Fatalf("key %d wrong after suffix replay", k)
+			}
+		}
+	}
+}
+
+func TestCloseWritesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	l := openManualCkpt(t, dir, 1<<20)
+	for k := uint64(1); k <= 100; k++ {
+		l.Put(k, 0, val(k, 32))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "index-*.ckpt"))
+	if len(matches) != 1 {
+		t.Fatalf("found %d checkpoint files after clean Close, want 1", len(matches))
+	}
+	l2 := openManualCkpt(t, dir, 1<<20)
+	defer l2.Close()
+	if l2.recMode.Load() != recoverCheckpoint || l2.recReplayed.Load() != 0 {
+		t.Fatalf("clean reopen: mode=%d replayed=%d, want checkpoint mode with 0 replayed",
+			l2.recMode.Load(), l2.recReplayed.Load())
+	}
+}
+
+func TestCheckpointSupersedesPredecessor(t *testing.T) {
+	dir := t.TempDir()
+	l := openManualCkpt(t, dir, 1<<20)
+	l.Put(1, 0, val(1, 32))
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Frontier unchanged: a second call must be a no-op, not a new file.
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	l.Put(2, 0, val(2, 32))
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	crash(l)
+	matches, _ := filepath.Glob(filepath.Join(dir, "index-*.ckpt"))
+	if len(matches) != 1 {
+		t.Fatalf("found %d checkpoint files, want 1 (predecessor retired)", len(matches))
+	}
+	if filepath.Base(matches[0]) != ckptName(2) {
+		t.Fatalf("surviving checkpoint = %s, want %s", filepath.Base(matches[0]), ckptName(2))
+	}
+}
+
+// TestCorruptCheckpointFallsBack flips every byte of the checkpoint file in
+// turn: recovery must reject the damaged snapshot (CRC or structure), fall
+// back to a full rescan, and still produce the exact pre-crash state.
+func TestCorruptCheckpointFallsBack(t *testing.T) {
+	src := t.TempDir()
+	l := openManualCkpt(t, src, 1<<20)
+	for k := uint64(1); k <= 50; k++ {
+		l.Put(k, 0, val(k, 24))
+	}
+	l.Delete(7)
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	crash(l)
+	ckptPath := filepath.Join(src, ckptName(1))
+	orig, err := os.ReadFile(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segBytes, err := os.ReadFile(filepath.Join(src, segName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < len(orig); i++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), segBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mut := append([]byte(nil), orig...)
+		mut[i] ^= 0xFF
+		if err := os.WriteFile(filepath.Join(dir, ckptName(1)), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2 := openManualCkpt(t, dir, 1<<20)
+		if got := l2.recMode.Load(); got != recoverRescan {
+			crash(l2)
+			t.Fatalf("byte %d: recovery mode = %d, want rescan fallback", i, got)
+		}
+		if l2.Len() != 49 {
+			crash(l2)
+			t.Fatalf("byte %d: Len = %d after fallback, want 49", i, l2.Len())
+		}
+		if _, _, _, ok := l2.Get(7, nil, time.Now().UnixNano()); ok {
+			crash(l2)
+			t.Fatalf("byte %d: deleted key resurrected after fallback", i)
+		}
+		// The unreadable checkpoint must have been garbage-collected so it
+		// cannot shadow the next one.
+		if _, err := os.Stat(filepath.Join(dir, ckptName(1))); err == nil {
+			crash(l2)
+			t.Fatalf("byte %d: corrupt checkpoint not removed", i)
+		}
+		crash(l2)
+	}
+}
+
+// TestCheckpointCompactionNoResurrection covers the frontier-aware tombstone
+// rule from both sides: tombstones the checkpoint covers may be dropped by
+// compaction (the snapshot already excludes the key), while deletes issued
+// after the snapshot must survive compaction so suffix replay sees them.
+func TestCheckpointCompactionNoResurrection(t *testing.T) {
+	t.Run("delete before checkpoint", func(t *testing.T) {
+		dir := t.TempDir()
+		l := openManualCkpt(t, dir, 2048)
+		for k := uint64(1); k <= 120; k++ {
+			l.Put(k, 0, val(k, 100))
+		}
+		for k := uint64(1); k <= 120; k += 2 {
+			l.Delete(k)
+		}
+		if err := l.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		l.Compact()
+		l.Compact()
+		crash(l)
+		l2 := openManualCkpt(t, dir, 2048)
+		defer l2.Close()
+		now := time.Now().UnixNano()
+		for k := uint64(1); k <= 120; k++ {
+			v, _, _, ok := l2.Get(k, nil, now)
+			if k%2 == 1 {
+				if ok {
+					t.Fatalf("key %d deleted before checkpoint resurrected", k)
+				}
+			} else if !ok || !bytes.Equal(v, val(k, 100)) {
+				t.Fatalf("live key %d wrong after checkpoint+compact", k)
+			}
+		}
+	})
+	t.Run("delete after checkpoint", func(t *testing.T) {
+		dir := t.TempDir()
+		l := openManualCkpt(t, dir, 2048)
+		for k := uint64(1); k <= 120; k++ {
+			l.Put(k, 0, val(k, 100))
+		}
+		if err := l.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		for k := uint64(1); k <= 120; k += 2 {
+			l.Delete(k)
+		}
+		l.Compact()
+		l.Compact()
+		crash(l)
+		l2 := openManualCkpt(t, dir, 2048)
+		defer l2.Close()
+		if l2.recMode.Load() != recoverCheckpoint {
+			t.Fatalf("recovery mode = %d, want checkpoint", l2.recMode.Load())
+		}
+		now := time.Now().UnixNano()
+		for k := uint64(1); k <= 120; k++ {
+			v, _, _, ok := l2.Get(k, nil, now)
+			if k%2 == 1 {
+				if ok {
+					t.Fatalf("key %d deleted after checkpoint resurrected by compaction", k)
+				}
+			} else if !ok || !bytes.Equal(v, val(k, 100)) {
+				t.Fatalf("live key %d wrong", k)
+			}
+		}
+	})
+}
+
+// TestCheckpointDanglingEntriesRepaired: compaction after the snapshot can
+// remove segments the checkpoint references. Recovery must drop those
+// entries and let suffix replay (which holds the relocated records) repair
+// every live key.
+func TestCheckpointDanglingEntriesRepaired(t *testing.T) {
+	dir := t.TempDir()
+	l := openManualCkpt(t, dir, 2048)
+	for k := uint64(1); k <= 100; k++ {
+		l.Put(k, 0, val(k, 100))
+	}
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite most keys (their checkpoint locs go dead), leave a few
+	// untouched so compaction must relocate them past the frontier.
+	for k := uint64(1); k <= 90; k++ {
+		l.Put(k, 0, val(k+5000, 100))
+	}
+	segsBefore := l.Segments()
+	l.Compact()
+	l.Compact()
+	if l.Segments() >= segsBefore {
+		t.Fatalf("compaction removed nothing (%d -> %d segments); test needs dangling entries",
+			segsBefore, l.Segments())
+	}
+	crash(l)
+
+	l2 := openManualCkpt(t, dir, 2048)
+	defer l2.Close()
+	if l2.Len() != 100 {
+		t.Fatalf("Len = %d after recovery, want 100", l2.Len())
+	}
+	now := time.Now().UnixNano()
+	for k := uint64(1); k <= 100; k++ {
+		want := val(k, 100)
+		if k <= 90 {
+			want = val(k+5000, 100)
+		}
+		v, _, _, ok := l2.Get(k, nil, now)
+		if !ok || !bytes.Equal(v, want) {
+			t.Fatalf("key %d wrong after dangling-entry repair", k)
+		}
+	}
+}
+
+// TestCheckpointBehindLogFallsBack: if the checkpoint claims a frontier the
+// surviving segment bytes cannot satisfy (lost unsynced data), recovery must
+// reject it rather than replay from a hole.
+func TestCheckpointAheadOfLogFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l := openManualCkpt(t, dir, 1<<20)
+	for k := uint64(1); k <= 30; k++ {
+		l.Put(k, 0, val(k, 64))
+	}
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	crash(l)
+	// Simulate losing the tail the frontier points into.
+	segPath := filepath.Join(dir, segName(1))
+	fi, _ := os.Stat(segPath)
+	if err := os.Truncate(segPath, fi.Size()-200); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openManualCkpt(t, dir, 1<<20)
+	defer l2.Close()
+	if got := l2.recMode.Load(); got != recoverRescan {
+		t.Fatalf("recovery mode = %d, want rescan (frontier unsatisfiable)", got)
+	}
+	// The rescan serves whatever whole records survived — prefix-consistent.
+	now := time.Now().UnixNano()
+	for k := uint64(1); k <= uint64(l2.Len()); k++ {
+		if v, _, _, ok := l2.Get(k, nil, now); !ok || !bytes.Equal(v, val(k, 64)) {
+			t.Fatalf("surviving prefix key %d wrong", k)
+		}
+	}
+}
+
+func buildBenchDir(b *testing.B, checkpointed bool) string {
+	b.Helper()
+	dir := b.TempDir()
+	l := openManualCkpt(b, dir, 64<<20)
+	for k := uint64(1); k <= 100_000; k++ {
+		if _, err := l.Put(k, 0, val(k, 64)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if checkpointed {
+		if err := l.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+		// A small suffix past the frontier, as a live system would have.
+		for k := uint64(1); k <= 100; k++ {
+			l.Put(k, 0, val(k+7, 64))
+		}
+	}
+	crash(l)
+	return dir
+}
+
+// The recovery-speed smoke: compare with
+//
+//	go test ./internal/coldtier/ -bench 'BenchmarkOpen' -benchtime 5x
+//
+// BenchmarkOpenCheckpointed loads 100k index entries and replays a
+// 100-record suffix; BenchmarkOpenRescan decodes all 100k records.
+func BenchmarkOpenRescan(b *testing.B) {
+	dir := buildBenchDir(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := Open(Options{Dir: dir, SegmentBytes: 64 << 20,
+			CompactInterval: -1, CheckpointInterval: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if l.recMode.Load() != recoverRescan || l.Len() != 100_000 {
+			b.Fatalf("mode=%d len=%d", l.recMode.Load(), l.Len())
+		}
+		b.StopTimer()
+		crash(l)
+		b.StartTimer()
+	}
+}
+
+func BenchmarkOpenCheckpointed(b *testing.B) {
+	dir := buildBenchDir(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := Open(Options{Dir: dir, SegmentBytes: 64 << 20,
+			CompactInterval: -1, CheckpointInterval: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if l.recMode.Load() != recoverCheckpoint || l.Len() != 100_000 {
+			b.Fatalf("mode=%d len=%d", l.recMode.Load(), l.Len())
+		}
+		if got := l.recReplayed.Load(); got != 100 {
+			b.Fatalf("replayed %d records, want only the 100-record suffix", got)
+		}
+		b.StopTimer()
+		crash(l)
+		b.StartTimer()
+	}
+}
+

@@ -6,22 +6,41 @@
 // segments and deletes them, bounding log growth under churn.
 //
 // The log is a cache tier, not a durability layer: appends are not fsynced
-// and Open rebuilds the index by replaying segments best-effort, truncating
-// a torn tail. Within that contract replay is exact — later records win,
-// and deletes append tombstones so a reopened log never resurrects a
-// deleted key.
+// and a crash may lose recently written records. Within that contract
+// recovery is exact (DESIGN.md §13): every mutation appends its record and
+// updates the index under one stripe lock, so the in-memory index is always
+// the last-record-wins view of the completed appends; reopen replays to the
+// same view, truncating a torn tail, and a reopened log never resurrects a
+// deleted key or serves a value older than the last one acknowledged.
+//
+// Open is checkpoint-accelerated: a periodic (and clean-Close) atomic
+// snapshot of the location index — `index-<seq>.ckpt`, tmp+fsync+rename —
+// records the entries plus the segment frontier it covers, and reopen loads
+// the newest valid checkpoint and replays only the segment suffix past its
+// frontier, falling back to a full rescan when no checkpoint survives
+// validation. Current-format segments carry a per-record CRC32C so torn or
+// corrupted records are detected rather than replayed; the original
+// checksum-less format is still readable.
 //
 // Concurrency: appends serialize on one mutex (eviction and compaction are
 // background work, not the request fast path); reads are lock-free preads
 // against immutable sealed segments plus striped-RWMutex index lookups.
+// Mutations hold their key's stripe lock across both the append and the
+// index update (lock order: stripe before append mutex), which is what
+// makes the crash contract above hold.
 package coldtier
 
 import (
+	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,12 +54,29 @@ const (
 	recTombstone byte = 1
 )
 
-// recHeader is kind(1) key(8) expiry(8) vlen(4).
-const recHeader = 1 + 8 + 8 + 4
+// Record headers. v1 is kind(1) key(8) expiry(8) vlen(4); v2 appends a
+// CRC32C(4) over those 21 bytes and the value. The segment file's leading
+// magic selects the version; v1 files have no magic (their first byte is a
+// record kind, 0 or 1, which can never collide with the magic's 'M').
+const (
+	recHeaderV1 = 1 + 8 + 8 + 4
+	recHeaderV2 = recHeaderV1 + 4
+)
+
+// segMagic leads every current-format segment file.
+var segMagic = [8]byte{'M', 'T', 'P', 'S', 'S', 'G', '2', '\n'}
+
+const segHeaderLen = int64(len(segMagic))
+
+// castagnoli is the CRC32C table shared by record and checkpoint checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // maxValue bounds a single record's payload; matches the wire protocol's
 // frame cap so nothing the server accepts is unspillable.
 const maxValue = 16 << 20
+
+// ErrClosed is returned by mutations on a closed Log.
+var ErrClosed = errors.New("coldtier: log closed")
 
 // Loc names a record's position: segment id, byte offset, value length.
 // Segment ids start at 1, so the zero Loc never names a real record.
@@ -56,6 +92,21 @@ type Options struct {
 	SegmentBytes    int64         // rotate the active segment past this size (default 64 MiB)
 	CompactMinDead  float64       // compact sealed segments once this fraction is dead (default 0.4)
 	CompactInterval time.Duration // background compactor period (default 2s; <0 disables the goroutine)
+
+	// CheckpointInterval is the period of the background index-checkpoint
+	// writer (default 30s). <0 disables checkpointing entirely, including
+	// the final checkpoint a clean Close otherwise writes; Open then always
+	// rebuilds by full segment rescan.
+	CheckpointInterval time.Duration
+
+	// WriteHook, when non-nil, intercepts every segment-record append: it
+	// receives the encoded record and returns how many of its bytes to
+	// persist plus an error to surface. A non-nil error simulates a crash
+	// mid-write — the prefix is written, the record is not published, and
+	// the append fails — so tests can produce torn tails ("crash after N
+	// writes") deterministically. After the hook returns an error the Log
+	// must be treated as crashed: abandon it and reopen the directory.
+	WriteHook func(rec []byte) (int, error)
 }
 
 func (o *Options) defaults() {
@@ -68,13 +119,33 @@ func (o *Options) defaults() {
 	if o.CompactInterval == 0 {
 		o.CompactInterval = 2 * time.Second
 	}
+	if o.CheckpointInterval == 0 {
+		o.CheckpointInterval = 30 * time.Second
+	}
 }
 
 type segment struct {
 	id   uint32
 	f    *os.File
+	ver  uint8        // 1: legacy checksum-less records; 2: magic header + CRC records
 	size atomic.Int64 // bytes appended (stable once sealed)
 	dead atomic.Int64 // bytes belonging to superseded/deleted records
+}
+
+// recHdr is the segment's per-record header length.
+func (s *segment) recHdr() int64 {
+	if s.ver >= 2 {
+		return recHeaderV2
+	}
+	return recHeaderV1
+}
+
+// base is the offset of the segment's first record.
+func (s *segment) base() int64 {
+	if s.ver >= 2 {
+		return segHeaderLen
+	}
+	return 0
 }
 
 // segSet is the copy-on-write view of the segment list, ordered by id.
@@ -103,6 +174,27 @@ type stripe struct {
 	m map[uint64]idxEnt
 }
 
+// frontier names a position in the log's replay order (segments ascending
+// by id, offsets ascending within a segment). A checkpoint's frontier is
+// the append head at snapshot time: the snapshot is exactly the
+// last-record-wins view of everything strictly before it.
+type frontier struct {
+	Seg uint32
+	Off int64
+}
+
+// covers reports whether the record at (seg, off) is strictly before f.
+func (f frontier) covers(seg uint32, off int64) bool {
+	return seg < f.Seg || (seg == f.Seg && off < f.Off)
+}
+
+// Recovery modes reported by mutps_cold_open_recovery_mode.
+const (
+	recoverFresh      = 0 // no segments on disk
+	recoverRescan     = 1 // full segment rescan
+	recoverCheckpoint = 2 // checkpoint load + suffix replay
+)
+
 // Log is an append-only value log with an in-memory location index.
 type Log struct {
 	opts Options
@@ -123,18 +215,41 @@ type Log struct {
 	gmu       sync.Mutex
 	graveyard []*segment
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	// Checkpoint state. ckptMu serializes writers; ckptSeq is the sequence
+	// of the newest checkpoint on disk; ckptFrontier is the frontier of the
+	// oldest checkpoint still on disk (nil when none) — the compactor may
+	// only drop a tombstone that every surviving checkpoint already
+	// reflects, i.e. one strictly before this frontier.
+	ckptMu       sync.Mutex
+	ckptSeq      uint64
+	ckptFrontier atomic.Pointer[frontier]
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+	closed    atomic.Bool
 
 	appends     *obs.Counter
 	reads       *obs.Counter
 	readErrs    *obs.Counter
 	compactions *obs.Counter
 	rewrites    *obs.Counter
+	ckptWrites  *obs.Counter
+	ckptErrors  *obs.Counter
+
+	// Open/recovery stats, written once during replay.
+	recMode     atomic.Int32
+	recReplayed atomic.Int64 // records scanned (suffix only in checkpoint mode)
+	recLoaded   atomic.Int64 // index entries restored from the checkpoint
+	recTorn     atomic.Int64 // torn-tail truncations performed
+	recOrphans  atomic.Int64 // orphaned tmp/invalid files removed at open
+	openNanos   atomic.Int64
 }
 
-// Open opens (or creates) a value log in opts.Dir, replaying existing
-// segments to rebuild the location index.
+// Open opens (or creates) a value log in opts.Dir, rebuilding the location
+// index from the newest valid checkpoint plus the segment suffix past its
+// frontier, or by full segment rescan when no checkpoint survives.
 func Open(opts Options) (*Log, error) {
 	opts.defaults()
 	if opts.Dir == "" {
@@ -151,115 +266,295 @@ func Open(opts Options) (*Log, error) {
 		readErrs:    obs.NewCounter(1),
 		compactions: obs.NewCounter(1),
 		rewrites:    obs.NewCounter(1),
+		ckptWrites:  obs.NewCounter(1),
+		ckptErrors:  obs.NewCounter(1),
 	}
 	for i := range l.stripes {
 		l.stripes[i].m = make(map[uint64]idxEnt)
 	}
+	start := time.Now()
 	if err := l.replay(); err != nil {
 		return nil, err
 	}
+	l.openNanos.Store(int64(time.Since(start)))
 	if l.opts.CompactInterval > 0 {
 		l.wg.Add(1)
 		go l.compactLoop()
 	}
+	if l.opts.CheckpointInterval > 0 {
+		l.wg.Add(1)
+		go l.ckptLoop()
+	}
 	return l, nil
 }
 
-// Close stops the compactor and closes every segment file.
+// Close stops the background goroutines, writes a final index checkpoint
+// (unless checkpointing is disabled), and closes every segment file. It is
+// idempotent: the first call does the work and every call returns the
+// first call's error.
 func (l *Log) Close() error {
-	close(l.stop)
-	l.wg.Wait()
-	l.gmu.Lock()
-	for _, s := range l.graveyard {
-		s.f.Close()
-	}
-	l.graveyard = nil
-	l.gmu.Unlock()
-	var err error
-	for _, s := range l.set.Load().segs {
-		if e := s.f.Close(); e != nil && err == nil {
-			err = e
+	l.closeOnce.Do(func() {
+		close(l.stop)
+		l.wg.Wait()
+		if l.opts.CheckpointInterval >= 0 {
+			// A clean Close leaves a checkpoint at the exact append head, so
+			// the next Open replays an empty suffix.
+			if err := l.Checkpoint(); err != nil && l.closeErr == nil {
+				l.closeErr = err
+			}
 		}
-	}
-	return err
+		l.closed.Store(true)
+		l.gmu.Lock()
+		for _, s := range l.graveyard {
+			s.f.Close()
+		}
+		l.graveyard = nil
+		l.gmu.Unlock()
+		for _, s := range l.set.Load().segs {
+			if e := s.f.Close(); e != nil && l.closeErr == nil {
+				l.closeErr = e
+			}
+		}
+	})
+	return l.closeErr
 }
 
 func segName(id uint32) string { return fmt.Sprintf("seg-%06d.log", id) }
 
-// replay scans segment files in id order, rebuilding the index with
-// last-record-wins semantics and truncating a torn tail.
+// parseSegName reports the id of an exactly-named segment file. Prefix
+// matches like "seg-000001.log.tmp" or "seg-000001.logx" — precisely the
+// debris a crashed checkpoint writer or a foreign tool can leave — must
+// not be replayed (or truncated!) as a segment, so the name is required to
+// round-trip through segName.
+func parseSegName(name string) (uint32, bool) {
+	const pre, suf = "seg-", ".log"
+	if len(name) < len(pre)+6+len(suf) ||
+		!strings.HasPrefix(name, pre) || !strings.HasSuffix(name, suf) {
+		return 0, false
+	}
+	digits := name[len(pre) : len(name)-len(suf)]
+	var id uint64
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		id = id*10 + uint64(c-'0')
+		if id > 1<<32-1 {
+			return 0, false
+		}
+	}
+	if id == 0 || name != segName(uint32(id)) {
+		return 0, false
+	}
+	return uint32(id), true
+}
+
+// replay rebuilds the location index at Open: it garbage-collects orphaned
+// files, opens every segment, loads the newest valid checkpoint and
+// replays the suffix past its frontier — or falls back to a full rescan —
+// and truncates a torn tail on the active segment.
 func (l *Log) replay() error {
 	dents, err := os.ReadDir(l.opts.Dir)
 	if err != nil {
 		return err
 	}
 	var ids []uint32
+	var ckpts []uint64
 	for _, d := range dents {
-		var id uint32
-		if _, err := fmt.Sscanf(d.Name(), "seg-%06d.log", &id); err == nil && id > 0 {
-			ids = append(ids, id)
+		if d.IsDir() {
+			continue
 		}
+		name := d.Name()
+		if id, ok := parseSegName(name); ok {
+			ids = append(ids, id)
+			continue
+		}
+		if seq, ok := parseCkptName(name); ok {
+			ckpts = append(ckpts, seq)
+			continue
+		}
+		if strings.HasSuffix(name, ".tmp") &&
+			(strings.HasPrefix(name, "seg-") || strings.HasPrefix(name, "index-")) {
+			// Startup GC: a half-written checkpoint (or other rewrite debris)
+			// that never reached its atomic rename is garbage.
+			if os.Remove(filepath.Join(l.opts.Dir, name)) == nil {
+				l.recOrphans.Add(1)
+			}
+		}
+		// Anything else is a foreign file: skip it, never truncate it.
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	now := uint64(time.Now().UnixNano())
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] > ckpts[j] }) // newest first
+
 	set := &segSet{}
-	l.set.Store(set) // replay is single-threaded; deadAt resolves through it
 	for _, id := range ids {
-		f, err := os.OpenFile(filepath.Join(l.opts.Dir, segName(id)), os.O_RDWR, 0o644)
+		seg, err := openSegment(l.opts.Dir, id)
 		if err != nil {
-			return err
-		}
-		seg := &segment{id: id, f: f}
-		fi, err := f.Stat()
-		if err != nil {
-			f.Close()
+			for _, s := range set.segs {
+				s.f.Close()
+			}
 			return err
 		}
 		set.segs = append(set.segs, seg)
-		l.set.Store(set)
-		end := l.replaySegment(seg, fi.Size(), now)
-		if end < fi.Size() {
-			if err := f.Truncate(end); err != nil {
-				f.Close()
-				return err
-			}
-		}
-		seg.size.Store(end)
 		if id >= l.nextID {
 			l.nextID = id + 1
 		}
 	}
+	l.set.Store(set)
+
+	now := uint64(time.Now().UnixNano())
+	recovered := false
+	for _, seq := range ckpts {
+		if seq > l.ckptSeq {
+			l.ckptSeq = seq // never reuse a sequence, valid or not
+		}
+		path := filepath.Join(l.opts.Dir, ckptName(seq))
+		if recovered {
+			os.Remove(path) // superseded by the newer checkpoint we loaded
+			continue
+		}
+		c, err := readCheckpoint(path)
+		if err != nil || !l.recoverFromCheckpoint(c, now) {
+			// Checksum mismatch or a frontier the surviving segments cannot
+			// satisfy: this checkpoint is garbage; try an older one, else
+			// rescan everything.
+			os.Remove(path)
+			l.recOrphans.Add(1)
+			l.ckptErrors.Inc(0)
+			continue
+		}
+		l.ckptFrontier.Store(&frontier{Seg: c.frontierSeg, Off: c.frontierOff})
+		recovered = true
+	}
+	if !recovered && len(set.segs) > 0 {
+		l.fullRescan(now)
+		l.recMode.Store(recoverRescan)
+	} else if recovered {
+		l.recMode.Store(recoverCheckpoint)
+	}
+
 	if len(set.segs) == 0 {
 		l.nextID = 1
 		seg, err := l.newSegment()
 		if err != nil {
 			return err
 		}
-		set.segs = append(set.segs, seg)
-		l.set.Store(set)
+		ns := &segSet{segs: []*segment{seg}}
+		l.set.Store(ns)
+		set = ns
+		l.recMode.Store(recoverFresh)
 	}
 	l.active = set.segs[len(set.segs)-1]
 	return nil
 }
 
-// replaySegment indexes one segment's records and returns the offset of
-// the first invalid/torn record (== size when the file is clean).
-func (l *Log) replaySegment(seg *segment, size int64, now uint64) int64 {
-	var hdr [recHeader]byte
-	var off int64
-	for off+recHeader <= size {
-		if _, err := seg.f.ReadAt(hdr[:], off); err != nil {
-			break
+// openSegment opens one segment file and sniffs its format version. An
+// empty file (created, then crashed before the header write) is stamped
+// with the current header; a file shorter than the header replays as
+// legacy and truncates to empty.
+func openSegment(dir string, id uint32) (*segment, error) {
+	f, err := os.OpenFile(filepath.Join(dir, segName(id)), os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	seg := &segment{id: id, f: f, ver: 1}
+	size := fi.Size()
+	if size >= segHeaderLen {
+		var hdr [8]byte
+		if _, err := f.ReadAt(hdr[:], 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if hdr == segMagic {
+			seg.ver = 2
+		}
+	} else if size == 0 {
+		if _, err := f.Write(segMagic[:]); err != nil {
+			f.Close()
+			return nil, err
+		}
+		seg.ver = 2
+		size = segHeaderLen
+	}
+	seg.size.Store(size)
+	return seg, nil
+}
+
+// fullRescan replays every segment from its base, last-record-wins.
+func (l *Log) fullRescan(now uint64) {
+	segs := l.set.Load().segs
+	for i, seg := range segs {
+		l.scanSegment(seg, seg.base(), now, i == len(segs)-1)
+	}
+}
+
+// scanSegment replays seg's records from offset from, updating the index
+// and dead-byte accounting. On the active (last) segment an invalid or
+// torn record truncates the file there — the crash contract's torn-tail
+// rule; on sealed segments the scan just stops (never destroy bytes that
+// later segments may shadow anyway).
+func (l *Log) scanSegment(seg *segment, from int64, now uint64, last bool) {
+	size := seg.size.Load()
+	end, clean := l.replayRecords(seg, from, size, now)
+	if last && (!clean || end < size) {
+		if err := seg.f.Truncate(end); err == nil {
+			seg.size.Store(end)
+			l.recTorn.Add(1)
+		}
+	}
+}
+
+// replayRecords indexes seg's records in [from, size) and returns the
+// offset just past the last valid record plus whether the whole range
+// parsed cleanly. v2 records are CRC-verified (the value bytes are read
+// and checked); v1 records get the legacy structural checks only.
+func (l *Log) replayRecords(seg *segment, from, size int64, now uint64) (int64, bool) {
+	rh := seg.recHdr()
+	if from < seg.base() {
+		from = seg.base()
+	}
+	if from >= size {
+		return from, from == size
+	}
+	br := bufio.NewReaderSize(io.NewSectionReader(seg.f, from, size-from), 256<<10)
+	var hdr [recHeaderV2]byte
+	var vbuf []byte
+	off := from
+	for off+rh <= size {
+		if _, err := io.ReadFull(br, hdr[:rh]); err != nil {
+			return off, false
 		}
 		kind := hdr[0]
 		key := binary.LittleEndian.Uint64(hdr[1:9])
 		exp := binary.LittleEndian.Uint64(hdr[9:17])
 		vlen := binary.LittleEndian.Uint32(hdr[17:21])
 		if kind > recTombstone || vlen > maxValue || (kind == recTombstone && vlen != 0) ||
-			off+recHeader+int64(vlen) > size {
-			break
+			off+rh+int64(vlen) > size {
+			return off, false
 		}
-		recLen := int64(recHeader) + int64(vlen)
+		if seg.ver >= 2 {
+			if cap(vbuf) < int(vlen) {
+				vbuf = make([]byte, vlen)
+			}
+			if _, err := io.ReadFull(br, vbuf[:vlen]); err != nil {
+				return off, false
+			}
+			sum := crc32.Update(crc32.Checksum(hdr[:recHeaderV1], castagnoli), castagnoli, vbuf[:vlen])
+			if sum != binary.LittleEndian.Uint32(hdr[21:recHeaderV2]) {
+				return off, false
+			}
+		} else if vlen > 0 {
+			if _, err := br.Discard(int(vlen)); err != nil {
+				return off, false
+			}
+		}
+		recLen := rh + int64(vlen)
+		l.recReplayed.Add(1)
 		st := &l.stripes[key%idxStripes]
 		switch kind {
 		case recValue:
@@ -289,14 +584,14 @@ func (l *Log) replaySegment(seg *segment, size int64, now uint64) int64 {
 		}
 		off += recLen
 	}
-	return off
+	return off, off == size
 }
 
 // deadAt charges a superseded record's bytes to its segment; a no-op if
 // the segment has already been compacted away.
 func (l *Log) deadAt(loc Loc) {
 	if seg := l.set.Load().find(loc.Seg); seg != nil {
-		seg.dead.Add(int64(recHeader) + int64(loc.Len))
+		seg.dead.Add(seg.recHdr() + int64(loc.Len))
 	}
 }
 
@@ -307,17 +602,28 @@ func (l *Log) newSegment() (*segment, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &segment{id: id, f: f}, nil
+	if _, err := f.Write(segMagic[:]); err != nil {
+		f.Close()
+		os.Remove(filepath.Join(l.opts.Dir, segName(id)))
+		return nil, err
+	}
+	seg := &segment{id: id, f: f, ver: 2}
+	seg.size.Store(segHeaderLen)
+	return seg, nil
 }
 
 // append writes one record to the active segment (rotating first if it
-// would overflow) and returns its location. Caller must not hold stripe
-// locks (lock order: append mutex before stripe).
+// would overflow) and returns its location. Callers hold their key's
+// stripe lock where per-key ordering matters (lock order: stripe before
+// this mutex; never the reverse).
 func (l *Log) append(kind byte, key, exp uint64, val []byte) (Loc, error) {
-	need := int64(recHeader) + int64(len(val))
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if sz := l.active.size.Load(); sz > 0 && sz+need > l.opts.SegmentBytes {
+	if l.closed.Load() {
+		return Loc{}, ErrClosed
+	}
+	if sz := l.active.size.Load(); sz > l.active.base() &&
+		sz+recHeaderV2+int64(len(val)) > l.opts.SegmentBytes {
 		seg, err := l.newSegment()
 		if err != nil {
 			return Loc{}, err
@@ -330,16 +636,33 @@ func (l *Log) append(kind byte, key, exp uint64, val []byte) (Loc, error) {
 		l.active = seg
 	}
 	seg := l.active
+	rh := int(seg.recHdr())
+	need := int64(rh) + int64(len(val))
 	off := seg.size.Load()
-	if cap(l.wbuf) < recHeader+len(val) {
-		l.wbuf = make([]byte, recHeader+len(val))
+	if cap(l.wbuf) < rh+len(val) {
+		l.wbuf = make([]byte, rh+len(val))
 	}
-	buf := l.wbuf[:recHeader+len(val)]
+	buf := l.wbuf[:rh+len(val)]
 	buf[0] = kind
 	binary.LittleEndian.PutUint64(buf[1:9], key)
 	binary.LittleEndian.PutUint64(buf[9:17], exp)
 	binary.LittleEndian.PutUint32(buf[17:21], uint32(len(val)))
-	copy(buf[recHeader:], val)
+	copy(buf[rh:], val)
+	if seg.ver >= 2 {
+		sum := crc32.Update(crc32.Checksum(buf[:recHeaderV1], castagnoli), castagnoli, val)
+		binary.LittleEndian.PutUint32(buf[21:recHeaderV2], sum)
+	}
+	if l.opts.WriteHook != nil {
+		if n, err := l.opts.WriteHook(buf); err != nil {
+			if n > 0 {
+				if n > len(buf) {
+					n = len(buf)
+				}
+				seg.f.WriteAt(buf[:n], off) // the torn prefix a crash leaves
+			}
+			return Loc{}, err
+		}
+	}
 	if _, err := seg.f.WriteAt(buf, off); err != nil {
 		return Loc{}, err
 	}
@@ -348,40 +671,45 @@ func (l *Log) append(kind byte, key, exp uint64, val []byte) (Loc, error) {
 	return Loc{Seg: seg.id, Off: off, Len: uint32(len(val))}, nil
 }
 
-// Put appends a value record for key and points the index at it.
+// Put appends a value record for key and points the index at it. The
+// stripe lock spans both, so per key the log order always matches the
+// index order and replay after a crash agrees with pre-crash memory.
 func (l *Log) Put(key, exp uint64, val []byte) (Loc, error) {
-	loc, err := l.append(recValue, key, exp, val)
-	if err != nil {
-		return Loc{}, err
-	}
 	st := &l.stripes[key%idxStripes]
 	st.Lock()
-	if old, had := st.m[key]; had {
-		l.deadAt(old.loc)
-	} else {
+	loc, err := l.append(recValue, key, exp, val)
+	if err != nil {
+		st.Unlock()
+		return Loc{}, err
+	}
+	old, had := st.m[key]
+	st.m[key] = idxEnt{loc: loc, exp: exp}
+	if !had {
 		l.entries.Add(1)
 	}
-	st.m[key] = idxEnt{loc: loc, exp: exp}
 	st.Unlock()
+	if had {
+		l.deadAt(old.loc)
+	}
 	return loc, nil
 }
 
-// PutIf appends a value record but only repoints the index if it still
-// points at expect — the conditional spill used to correct a value that
-// changed under a racing in-place write, without ever clobbering a newer
+// PutIf appends a value record but only if the index still points at
+// expect — the conditional spill used to correct a value that changed
+// under a racing in-place write, without ever clobbering a newer
 // generation of the key. Returns whether the index was updated.
 func (l *Log) PutIf(key, exp uint64, val []byte, expect Loc) (bool, error) {
-	loc, err := l.append(recValue, key, exp, val)
-	if err != nil {
-		return false, err
-	}
 	st := &l.stripes[key%idxStripes]
 	st.Lock()
 	cur, had := st.m[key]
 	if !had || cur.loc != expect {
 		st.Unlock()
-		l.deadAt(loc) // the CAS lost; the fresh record is garbage
-		return false, nil
+		return false, nil // the CAS lost; nothing was appended
+	}
+	loc, err := l.append(recValue, key, exp, val)
+	if err != nil {
+		st.Unlock()
+		return false, err
 	}
 	st.m[key] = idxEnt{loc: loc, exp: exp}
 	st.Unlock()
@@ -390,7 +718,11 @@ func (l *Log) PutIf(key, exp uint64, val []byte, expect Loc) (bool, error) {
 }
 
 // Delete removes key from the index and appends a tombstone so replay
-// cannot resurrect it. Returns whether the key was present.
+// cannot resurrect it. Returns whether the key was present. The tombstone
+// append and the index removal happen under one stripe-lock critical
+// section: a racing Put can no longer slot its value record after the
+// tombstone yet lose its index entry, which would make reopen disagree
+// with pre-crash memory (or resurrect the key).
 func (l *Log) Delete(key uint64) bool {
 	st := &l.stripes[key%idxStripes]
 	st.RLock()
@@ -399,21 +731,26 @@ func (l *Log) Delete(key uint64) bool {
 	if !had {
 		return false
 	}
-	if _, err := l.append(recTombstone, key, 0, nil); err != nil {
-		// fall through: the in-memory index is authoritative while open
-		_ = err
-	}
 	st.Lock()
 	cur, had := st.m[key]
-	if had {
-		delete(st.m, key)
-		l.entries.Add(-1)
+	if !had {
+		st.Unlock()
+		return false
 	}
+	tomb, err := l.append(recTombstone, key, 0, nil)
+	if err != nil {
+		// No tombstone on disk means replay would resurrect the key, so the
+		// delete must not be acked: keep the entry and report failure. (A
+		// torn tombstone prefix, if any, is truncated at the next open.)
+		st.Unlock()
+		return false
+	}
+	delete(st.m, key)
+	l.entries.Add(-1)
 	st.Unlock()
-	if had {
-		l.deadAt(cur.loc)
-	}
-	return had
+	l.deadAt(cur.loc)
+	l.deadAt(tomb) // a tombstone is dead weight from birth
+	return true
 }
 
 // Has reports whether key has a live log record.
@@ -437,7 +774,9 @@ func (l *Log) Locate(key uint64) (Loc, bool) {
 // Get reads key's value into buf (append-style, like seqitem.Read) and
 // returns the filled slice, the record's expiry deadline, and its
 // location. Records past their deadline at now read as misses and are
-// dropped from the index lazily.
+// dropped from the index lazily. On CRC-carrying segments the record is
+// verified before it is served, so a torn or corrupted record reads as a
+// miss, never as a wrong value.
 func (l *Log) Get(key uint64, buf []byte, now int64) (val []byte, exp uint64, loc Loc, ok bool) {
 	for attempt := 0; attempt < 4; attempt++ {
 		st := &l.stripes[key%idxStripes]
@@ -463,7 +802,8 @@ func (l *Log) Get(key uint64, buf []byte, now int64) (val []byte, exp uint64, lo
 		if seg == nil {
 			continue // compacted away between lookup and read; index moved
 		}
-		n := int(recHeader) + int(ent.loc.Len)
+		rh := int(seg.recHdr())
+		n := rh + int(ent.loc.Len)
 		if cap(buf) < n {
 			buf = make([]byte, n)
 		}
@@ -476,8 +816,15 @@ func (l *Log) Get(key uint64, buf []byte, now int64) (val []byte, exp uint64, lo
 			l.readErrs.Inc(0)
 			return nil, 0, Loc{}, false
 		}
+		if seg.ver >= 2 {
+			sum := crc32.Update(crc32.Checksum(b[:recHeaderV1], castagnoli), castagnoli, b[rh:])
+			if sum != binary.LittleEndian.Uint32(b[21:recHeaderV2]) {
+				l.readErrs.Inc(0)
+				return nil, 0, Loc{}, false
+			}
+		}
 		l.reads.Inc(0)
-		copy(b, b[recHeader:])
+		copy(b, b[rh:])
 		return b[:ent.loc.Len], ent.exp, ent.loc, true
 	}
 	return nil, 0, Loc{}, false
@@ -527,6 +874,9 @@ func (l *Log) compactLoop() {
 // and appends; only one compaction runs at a time (the append mutex
 // serializes rewrites record by record, not the whole pass).
 func (l *Log) Compact() int {
+	if l.closed.Load() {
+		return 0
+	}
 	// Close the previous pass's graveyard: any reader that raced segment
 	// removal has long since retried through the index.
 	l.gmu.Lock()
@@ -545,7 +895,7 @@ func (l *Log) Compact() int {
 	removed := 0
 	for _, seg := range set.segs[:len(set.segs)-1] { // never the active segment
 		sz := seg.size.Load()
-		if sz == 0 || float64(seg.dead.Load()) < l.opts.CompactMinDead*float64(sz) {
+		if sz <= seg.base() || float64(seg.dead.Load()) < l.opts.CompactMinDead*float64(sz) {
 			continue
 		}
 		if l.compactSegment(seg, seg.id == minID) {
@@ -557,22 +907,26 @@ func (l *Log) Compact() int {
 }
 
 // compactSegment relocates seg's live records to the active segment and
-// removes seg. oldest reports whether seg is the lowest-id live segment
-// (tombstones in the oldest segment shadow nothing and can be dropped).
+// removes seg — rewrite-then-publish: the copies land in the live log
+// (where replay finds them, past any checkpoint frontier) strictly before
+// the original file is unlinked, so a crash at any point mid-compact
+// loses no live record and resurrects no dead one. oldest reports whether
+// seg is the lowest-id live segment.
 func (l *Log) compactSegment(seg *segment, oldest bool) bool {
 	size := seg.size.Load()
-	var hdr [recHeader]byte
+	rh := seg.recHdr()
+	var hdr [recHeaderV2]byte
 	val := make([]byte, 0, 4096)
 	now := uint64(time.Now().UnixNano())
-	for off := int64(0); off+recHeader <= size; {
-		if _, err := seg.f.ReadAt(hdr[:], off); err != nil {
+	for off := seg.base(); off+rh <= size; {
+		if _, err := seg.f.ReadAt(hdr[:rh], off); err != nil {
 			return false
 		}
 		kind := hdr[0]
 		key := binary.LittleEndian.Uint64(hdr[1:9])
 		exp := binary.LittleEndian.Uint64(hdr[9:17])
 		vlen := binary.LittleEndian.Uint32(hdr[17:21])
-		if kind > recTombstone || off+recHeader+int64(vlen) > size {
+		if kind > recTombstone || off+rh+int64(vlen) > size {
 			return false // should not happen on a sealed segment
 		}
 		thisLoc := Loc{Seg: seg.id, Off: off, Len: vlen}
@@ -593,8 +947,14 @@ func (l *Log) compactSegment(seg *segment, oldest bool) bool {
 					if cap(val) < int(vlen) {
 						val = make([]byte, vlen)
 					}
-					if _, err := seg.f.ReadAt(val[:vlen], off+recHeader); err != nil {
+					if _, err := seg.f.ReadAt(val[:vlen], off+rh); err != nil {
 						return false
+					}
+					if seg.ver >= 2 {
+						sum := crc32.Update(crc32.Checksum(hdr[:recHeaderV1], castagnoli), castagnoli, val[:vlen])
+						if sum != binary.LittleEndian.Uint32(hdr[21:recHeaderV2]) {
+							return false // corrupt record: leave the segment alone
+						}
 					}
 					if ok, err := l.PutIf(key, exp, val[:vlen], thisLoc); err != nil {
 						return false
@@ -604,17 +964,25 @@ func (l *Log) compactSegment(seg *segment, oldest bool) bool {
 				}
 			}
 		case recTombstone:
-			// A tombstone must survive as long as an older segment could
-			// hold a stale value record for the key that replay would
-			// otherwise resurrect. If the key is live again its index
-			// target replays last anyway, so only dead keys matter.
-			if !oldest && !l.Has(key) {
+			// A tombstone must survive as long as any persistent state could
+			// resurrect the key: an older segment holding a stale value
+			// record (handled by oldest), or a checkpoint whose snapshot
+			// predates the delete — a checkpoint acts as a virtual oldest
+			// segment covering everything before its frontier, so only
+			// tombstones the oldest surviving checkpoint already reflects
+			// (strictly before its frontier) may be dropped. If the key is
+			// live again its index target replays last anyway.
+			covered := true
+			if fr := l.ckptFrontier.Load(); fr != nil {
+				covered = fr.covers(seg.id, off)
+			}
+			if (!oldest || !covered) && !l.Has(key) {
 				if _, err := l.append(recTombstone, key, 0, nil); err != nil {
 					return false
 				}
 			}
 		}
-		off += int64(recHeader) + int64(vlen)
+		off += rh + int64(vlen)
 	}
 	// Unpublish, then retire the file. Readers holding the old set finish
 	// their preads against the still-open fd; it joins the graveyard and
@@ -660,4 +1028,20 @@ func (l *Log) Instrument(reg *obs.Registry) {
 		func() float64 { return float64(l.compactions.Value()) })
 	reg.CounterFunc("mutps_cold_rewrites_total", "", "Live records relocated by the compactor.",
 		func() float64 { return float64(l.rewrites.Value()) })
+	reg.CounterFunc("mutps_cold_ckpt_writes_total", "", "Cold-tier index checkpoints written.",
+		func() float64 { return float64(l.ckptWrites.Value()) })
+	reg.CounterFunc("mutps_cold_ckpt_errors_total", "", "Cold-tier checkpoints that failed to write or validate.",
+		func() float64 { return float64(l.ckptErrors.Value()) })
+	reg.GaugeFunc("mutps_cold_open_recovery_mode", "", "How the last Open rebuilt the index: 0 fresh, 1 full rescan, 2 checkpoint+suffix.",
+		func() float64 { return float64(l.recMode.Load()) })
+	reg.GaugeFunc("mutps_cold_open_replayed_records", "", "Log records scanned by the last Open (suffix only in checkpoint mode).",
+		func() float64 { return float64(l.recReplayed.Load()) })
+	reg.GaugeFunc("mutps_cold_open_ckpt_entries", "", "Index entries restored from the checkpoint by the last Open.",
+		func() float64 { return float64(l.recLoaded.Load()) })
+	reg.GaugeFunc("mutps_cold_open_seconds", "", "Wall time of the last Open's index rebuild.",
+		func() float64 { return float64(l.openNanos.Load()) / 1e9 })
+	reg.CounterFunc("mutps_cold_torn_truncations_total", "", "Torn segment tails truncated at Open.",
+		func() float64 { return float64(l.recTorn.Load()) })
+	reg.CounterFunc("mutps_cold_orphans_removed_total", "", "Orphaned tmp/invalid files garbage-collected at Open.",
+		func() float64 { return float64(l.recOrphans.Load()) })
 }

@@ -315,6 +315,14 @@ func (s *Store) promote(w int, key uint64, val []byte, exp uint64, loc coldtier.
 	if l, ok := s.cold.Locate(key); !ok || l != loc {
 		return
 	}
+	// Crash contract: retire the cold copy BEFORE the key goes back into
+	// RAM. In-place writes to the RAM item never reach the SSD, so a
+	// surviving cold entry would serve a stale generation after a crash; a
+	// tombstone instead turns that crash into a clean miss. If the tombstone
+	// cannot be appended, skip promotion — the value was still served.
+	if !s.cold.Delete(key) {
+		return
+	}
 	n := s.newItem(w, val)
 	if exp != 0 {
 		n.SetExpire(exp)

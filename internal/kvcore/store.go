@@ -58,6 +58,13 @@ type Config struct {
 	ColdDir          string // SSD value-log directory ("" = no cold tier)
 	ColdSegmentBytes int64  // cold-tier segment size (default 64 MiB)
 
+	// ColdCheckpointInterval is the period of the cold tier's background
+	// location-index checkpoint (0 = coldtier default of 30s, <0 = disable
+	// checkpointing entirely, including the clean-Close checkpoint).
+	// Restart from a checkpoint replays only the log suffix past its
+	// frontier instead of rescanning every segment.
+	ColdCheckpointInterval time.Duration
+
 	// DefaultTTL is stamped on every put that carries no explicit TTL
 	// (0 = items never expire). Expiry is lazy: expired items read as
 	// missing and are unlinked by the first read that notices, or by the
@@ -240,8 +247,9 @@ func Open(cfg Config) (*Store, error) {
 	}
 	if cfg.ColdDir != "" {
 		cold, err := coldtier.Open(coldtier.Options{
-			Dir:          cfg.ColdDir,
-			SegmentBytes: cfg.ColdSegmentBytes,
+			Dir:                cfg.ColdDir,
+			SegmentBytes:       cfg.ColdSegmentBytes,
+			CheckpointInterval: cfg.ColdCheckpointInterval,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("kvcore: cold tier: %w", err)

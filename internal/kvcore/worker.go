@@ -594,6 +594,13 @@ func (s *Store) putMR(w int, key uint64, val []byte, exp uint64) {
 		}
 		return
 	}
+	// New-key insert. Retire any cold shadow first: this put supersedes
+	// whatever generation the SSD holds, and RAM writes never flow back to
+	// it, so leaving it would hand out a stale value after a crash. Ordered
+	// before idx.Put so a crash in the gap yields a miss, never staleness.
+	if s.cold != nil {
+		s.cold.Delete(key)
+	}
 	n := s.newItem(w, val)
 	if exp != 0 {
 		n.SetExpire(exp)
