@@ -22,6 +22,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"mutps/internal/cluster"
@@ -67,6 +68,10 @@ func main() {
 		"append a machine-readable JSON-lines result record (ops/s, P50/P99, run parameters) to this file; works for single-node and cluster runs")
 	putTTL := flag.Duration("ttl", 0,
 		"stamp this TTL on every put (single-node mode), driving the server's expiry path under load (0 = no TTL)")
+	conns := flag.Int("conns", 0,
+		"sparse-activity mode: hold this many open connections and drive only an -active-fraction subset at a time, rotating; measures what mostly-idle connections cost the server (0 = off)")
+	activeFraction := flag.Float64("active-fraction", 0.01,
+		"sparse-activity mode: fraction of -conns issuing requests at any instant; activity rotates across the whole set in short pipelined bursts")
 	flag.Parse()
 	// -inflight supersedes -depth; the old name keeps working as an alias.
 	if *inflight > 0 {
@@ -145,6 +150,25 @@ func main() {
 		}
 		cli.Close()
 		fmt.Printf("loaded %d keys in %v\n", *keys, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *conns > 0 {
+		runSparse(sparseRun{
+			addr:      *addr,
+			conns:     *conns,
+			fraction:  *activeFraction,
+			inflight:  *depth,
+			mixName:   *mixName,
+			mix:       mix,
+			sizeDist:  sizeDist,
+			keys:      *keys,
+			theta:     *theta,
+			valueSize: *valueSize,
+			ops:       *ops,
+			opTimeout: *opTimeout,
+			benchJSON: *benchJSON,
+		})
+		return
 	}
 
 	// Latencies land in a fixed-bucket log₂ histogram sharded per client —
@@ -552,6 +576,256 @@ func writeBenchJSON(path string, rec map[string]any) {
 		log.Fatal(err)
 	}
 	fmt.Printf("bench record appended to %s\n", path)
+}
+
+// sparseRun carries the sparse-activity parameters from flag parsing:
+// hold -conns open connections, drive only an -active-fraction subset at
+// any instant, and rotate which connections are active. This is the
+// million-connection front-end workload shape — most clients idle, a few
+// bursting — that separates the transports: per-connection goroutines and
+// buffers charge for every open socket, the epoll transport only for the
+// active ones.
+type sparseRun struct {
+	addr      string
+	conns     int
+	fraction  float64
+	inflight  int
+	mixName   string
+	mix       workload.Mix
+	sizeDist  workload.SizeDist
+	keys      uint64
+	theta     float64
+	valueSize int
+	ops       int
+	opTimeout time.Duration
+	benchJSON string
+}
+
+// sparseBurstOps is how many pipelined requests one activation issues
+// before the worker rotates to the next connection. Short enough that
+// every connection cycles through idle many times per run, long enough to
+// amortize the wakeup.
+const sparseBurstOps = 32
+
+// requireNOFILE fails fast, before any dialing, when the fd limit cannot
+// cover the requested connection count — a late EMFILE after thousands of
+// dials is a much worse error message.
+func requireNOFILE(need int) {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return // no rlimit introspection here: let a real dial error surface
+	}
+	if rl.Cur < uint64(need) {
+		log.Fatalf("RLIMIT_NOFILE is %d but this run needs about %d file descriptors "+
+			"(-conns plus headroom); raise it with `ulimit -n %d` or lower -conns",
+			rl.Cur, need, need)
+	}
+}
+
+// runSparse opens the full connection population, then lets a worker pool
+// the size of the active fraction claim connections round-robin, each
+// issuing one short pipelined burst per claim. Instantaneous concurrency
+// equals the pool size, so the server sees fraction×conns active and the
+// rest idle at every moment, with the active set continuously rotating.
+func runSparse(r sparseRun) {
+	if r.fraction <= 0 || r.fraction > 1 {
+		log.Fatalf("-active-fraction must be in (0, 1], got %g", r.fraction)
+	}
+	requireNOFILE(r.conns + 64)
+	win := r.inflight
+	if win < 8 {
+		win = 8
+	}
+
+	pcs := make([]*netserver.PipelineClient, r.conns)
+	dialStart := time.Now()
+	dialers := min(64, r.conns)
+	var dialErr atomic.Value
+	var nextDial atomic.Int64
+	var dwg sync.WaitGroup
+	for d := 0; d < dialers; d++ {
+		dwg.Add(1)
+		go func() {
+			defer dwg.Done()
+			for dialErr.Load() == nil {
+				i := int(nextDial.Add(1)) - 1
+				if i >= r.conns {
+					return
+				}
+				pc, err := netserver.DialPipeline(r.addr, win)
+				if err != nil {
+					dialErr.Store(err)
+					return
+				}
+				pcs[i] = pc
+			}
+		}()
+	}
+	dwg.Wait()
+	if err, _ := dialErr.Load().(error); err != nil {
+		log.Fatalf("dialing %d connections: %v (server -max-conns or its RLIMIT_NOFILE too low?)",
+			r.conns, err)
+	}
+	fmt.Printf("%d connections open in %v\n", r.conns, time.Since(dialStart).Round(time.Millisecond))
+	defer func() {
+		for _, pc := range pcs {
+			pc.Close()
+		}
+	}()
+
+	// Let the accept storm drain and idle buffers strip before measuring.
+	time.Sleep(500 * time.Millisecond)
+
+	active := int(float64(r.conns)*r.fraction + 0.5)
+	active = max(min(active, r.conns), 1)
+
+	hist := obs.NewHistogram(active)
+	locks := make([]sync.Mutex, r.conns)
+	var remaining, cursor atomic.Int64
+	remaining.Store(int64(r.ops))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < active; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gen := workload.NewGenerator(workload.Config{
+				Keys: r.keys, Theta: r.theta, Mix: r.mix,
+				ValueSize: r.sizeDist, Seed: uint64(w + 1),
+			})
+			buf := make([]byte, r.valueSize)
+			window := make([]sparseInflight, 0, win)
+			for {
+				burst := sparseBurstOps
+				if n := remaining.Add(-sparseBurstOps); n < 0 {
+					burst += int(n) // final partial burst
+					if burst <= 0 {
+						return
+					}
+				}
+				// Round-robin claim; the mutex only matters when the cursor
+				// laps a still-busy connection (active ≈ conns).
+				i := int(cursor.Add(1)-1) % r.conns
+				locks[i].Lock()
+				window = sparseDrive(w, pcs[i], gen, buf, window, burst, hist)
+				locks[i].Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	after := serverGCSnapshot(r.addr, r.opTimeout)
+
+	snap := hist.Snapshot()
+	pct := func(p float64) time.Duration { return time.Duration(snap.Quantile(p)) }
+	opsPerSec := float64(snap.Count) / elapsed.Seconds()
+	fmt.Printf("sparse: %d conns, %d active at a time (fraction %g), burst %d, window %d\n",
+		r.conns, active, r.fraction, sparseBurstOps, win)
+	fmt.Printf("%d ops in %v\n", snap.Count, elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.0f ops/s\n", opsPerSec)
+	fmt.Printf("latency: P50 %v  P95 %v  P99 %v  max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), time.Duration(snap.Max).Round(time.Microsecond))
+	if n := backlogged.Load(); n > 0 {
+		fmt.Printf("backpressure: server shed %d requests\n", n)
+	}
+	sv := func(k string) float64 {
+		if after == nil {
+			return 0
+		}
+		return after[k]
+	}
+	if after != nil {
+		fmt.Printf("server: %.0f goroutines, %.0f conns (%.0f idle), leased buffers %.1f KiB, heap live %.1f MiB, RSS %.1f MiB\n",
+			sv("mutps_go_goroutines"), sv("mutps_net_connections"), sv("mutps_net_idle_conns"),
+			sv("mutps_net_leased_buffer_bytes")/1024,
+			sv("mutps_go_heap_live_bytes")/(1<<20), sv("mutps_proc_rss_bytes")/(1<<20))
+	}
+	if r.benchJSON != "" {
+		writeBenchJSON(r.benchJSON, map[string]any{
+			"bench":               "sparse-net",
+			"conns":               r.conns,
+			"active_fraction":     r.fraction,
+			"active_conns":        active,
+			"inflight":            win,
+			"mix":                 r.mixName,
+			"ops":                 snap.Count,
+			"ops_per_sec":         opsPerSec,
+			"p50_ns":              snap.Quantile(0.50),
+			"p99_ns":              snap.Quantile(0.99),
+			"max_ns":              snap.Max,
+			"backlogged":          backlogged.Load(),
+			"server_goroutines":   sv("mutps_go_goroutines"),
+			"server_idle_conns":   sv("mutps_net_idle_conns"),
+			"server_leased_bytes": sv("mutps_net_leased_buffer_bytes"),
+			"server_heap_live":    sv("mutps_go_heap_live_bytes"),
+			"server_rss_bytes":    sv("mutps_proc_rss_bytes"),
+		})
+	}
+}
+
+// sparseInflight pairs a pipelined future with its send time.
+type sparseInflight struct {
+	fut *netserver.Future
+	t0  time.Time
+}
+
+// sparseDrive issues one activation burst on pc: n ops pipelined through
+// the (reused) window slice, every response drained before returning so
+// the connection goes back to fully idle. Returns the window slice for
+// reuse by the next burst.
+func sparseDrive(shard int, pc *netserver.PipelineClient,
+	gen interface{ Next() workload.Request }, buf []byte,
+	window []sparseInflight, n int, hist *obs.Histogram) []sparseInflight {
+	drainOldest := func() {
+		f := window[0]
+		switch _, _, err := f.fut.Wait(); {
+		case err == nil:
+			hist.Record(shard, uint64(time.Since(f.t0)))
+		case errors.Is(err, netserver.ErrBacklogged):
+			backlogged.Add(1)
+		default:
+			log.Fatalf("sparse worker %d: %v", shard, err)
+		}
+		f.fut.Release()
+		window = append(window[:0], window[1:]...)
+	}
+	var scanPl [4]byte
+	for i := 0; i < n; i++ {
+		req := gen.Next()
+		var op byte
+		var payload []byte
+		switch req.Op {
+		case workload.OpGet:
+			op = netserver.OpGet
+		case workload.OpPut:
+			op = netserver.OpPut
+			payload = buf
+			if req.ValueSize > 0 && req.ValueSize != len(buf) {
+				payload = make([]byte, req.ValueSize)
+			}
+		case workload.OpDelete:
+			op = netserver.OpDelete
+		case workload.OpScan:
+			op = netserver.OpScan
+			binary.LittleEndian.PutUint32(scanPl[:], uint32(req.ScanCount))
+			payload = scanPl[:]
+		}
+		if len(window) == cap(window) {
+			pc.Flush()
+			drainOldest()
+		}
+		f, err := pc.Send(op, req.Key, payload)
+		if err != nil {
+			log.Fatalf("sparse worker %d: %v", shard, err)
+		}
+		window = append(window, sparseInflight{fut: f, t0: time.Now()})
+	}
+	pc.Flush()
+	for len(window) > 0 {
+		drainOldest()
+	}
+	return window[:0]
 }
 
 // runPipelined drives one connection with depth requests in flight using

@@ -50,6 +50,10 @@ func main() {
 		"period of the cold tier's location-index checkpoint; restart replays only the log written since the last checkpoint (0 = 30s default, negative = disable)")
 	defaultTTL := flag.Duration("default-ttl", 0,
 		"TTL applied to puts that carry no explicit TTL, e.g. 10m (0 = never expire)")
+	transport := flag.String("transport", "",
+		"connection transport: goroutine (portable, one goroutine per connection) or epoll (Linux event loops, idle connections cost ~0); empty honors MUTPS_TRANSPORT then defaults to goroutine")
+	eventLoops := flag.Int("event-loops", 0,
+		"epoll transport: number of event-loop shards, each one epoll instance + SO_REUSEPORT listener + completer goroutine (0 = GOMAXPROCS, capped at 32)")
 	flag.Parse()
 
 	budget, err := parseSize(*memBudget)
@@ -100,18 +104,22 @@ func main() {
 		// pins at 0).
 		store.StartRefresher(100 * time.Millisecond)
 	}
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	srv := netserver.ServeConfig(store, ln, netserver.Config{
+	// ListenAndServe owns socket creation so the epoll transport can open
+	// its SO_REUSEPORT-sharded listeners; the goroutine transport (or a
+	// non-Linux build) gets a plain listener on the same address.
+	srv, err := netserver.ListenAndServe(store, *addr, netserver.Config{
 		IdleTimeout: *idleTimeout,
 		MaxConns:    *maxConns,
 		MaxInflight: *inflight,
+		Transport:   *transport,
+		EventLoops:  *eventLoops,
 	})
-	log.Printf("μTPS-%s serving on %s (%d workers, %d at CR layer, hot=%d)",
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("μTPS-%s serving on %s via %s transport (%d workers, %d at CR layer, hot=%d)",
 		map[kvcore.Engine]string{kvcore.Hash: "H", kvcore.Tree: "T"}[eng],
-		srv.Addr(), *workers, *cr, *hot)
+		srv.Addr(), srv.Transport(), *workers, *cr, *hot)
 
 	if *metricsAddr != "" {
 		mln, err := net.Listen("tcp", *metricsAddr)

@@ -1,0 +1,155 @@
+package arena
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLeaseClassFor(t *testing.T) {
+	cases := []struct {
+		n, class int
+	}{
+		{1, 0}, {511, 0}, {512, 0},
+		{513, 1}, {1024, 1},
+		{1025, 2}, {2048, 2},
+		{4096, 3}, {4097, 4},
+		{32 << 10, 6}, {(32 << 10) + 1, 7}, {64 << 10, 7},
+	}
+	for _, c := range cases {
+		if got := leaseClassFor(c.n); got != c.class {
+			t.Errorf("leaseClassFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+	for cl := 0; cl < leaseClasses; cl++ {
+		cb := leaseClassBytes(cl)
+		if got := leaseClassFor(cb); got != cl {
+			t.Errorf("leaseClassFor(leaseClassBytes(%d)=%d) = %d, want %d", cl, cb, got, cl)
+		}
+	}
+	if leaseClassBytes(leaseClasses-1) != LeaseMaxBytes {
+		t.Errorf("top class is %d bytes, want LeaseMaxBytes=%d",
+			leaseClassBytes(leaseClasses-1), LeaseMaxBytes)
+	}
+}
+
+func TestLeaserGetPutAccounting(t *testing.T) {
+	l := NewLeaser()
+	b := l.Get(700) // class 1: 1 KiB
+	if len(b) != 0 || cap(b) != 1024 {
+		t.Fatalf("Get(700): len=%d cap=%d, want 0/1024", len(b), cap(b))
+	}
+	if got := l.LeasedBytes(); got != 1024 {
+		t.Fatalf("LeasedBytes after Get = %d, want 1024", got)
+	}
+	if l.HeldBytes() != 0 {
+		t.Fatalf("HeldBytes with one buffer on lease = %d, want 0", l.HeldBytes())
+	}
+	l.Put(b)
+	if got := l.LeasedBytes(); got != 0 {
+		t.Fatalf("LeasedBytes after Put = %d, want 0", got)
+	}
+	if got := l.HeldBytes(); got != 1024 {
+		t.Fatalf("HeldBytes after Put = %d, want 1024", got)
+	}
+	// The returned buffer is reused, capacity intact, length reset.
+	b2 := l.Get(1000)
+	if cap(b2) != 1024 || len(b2) != 0 {
+		t.Fatalf("reused Get: len=%d cap=%d, want 0/1024", len(b2), cap(b2))
+	}
+	if l.HeldBytes() != 0 || l.LeasedBytes() != 1024 {
+		t.Fatalf("held=%d leased=%d after reuse, want 0/1024", l.HeldBytes(), l.LeasedBytes())
+	}
+	l.Put(b2)
+	if got := l.Leases(); got != 2 {
+		t.Fatalf("Leases = %d, want 2", got)
+	}
+}
+
+func TestLeaserFallbackBeyondMax(t *testing.T) {
+	l := NewLeaser()
+	b := l.Get(LeaseMaxBytes + 1)
+	if cap(b) != LeaseMaxBytes+1 || len(b) != 0 {
+		t.Fatalf("fallback Get: len=%d cap=%d", len(b), cap(b))
+	}
+	if l.LeasedBytes() != 0 {
+		t.Fatalf("fallback counted as leased: %d", l.LeasedBytes())
+	}
+	if l.LeaseFallbacks() != 1 {
+		t.Fatalf("LeaseFallbacks = %d, want 1", l.LeaseFallbacks())
+	}
+	// Put of a non-class capacity is a drop, not an accounting event.
+	l.Put(b)
+	if l.LeasedBytes() != 0 || l.HeldBytes() != 0 {
+		t.Fatalf("fallback Put settled accounting: leased=%d held=%d",
+			l.LeasedBytes(), l.HeldBytes())
+	}
+}
+
+func TestLeaserPutNilAndOddCaps(t *testing.T) {
+	l := NewLeaser()
+	l.Put(nil)
+	l.Put(make([]byte, 0, 777)) // not a class size: dropped silently
+	if l.LeasedBytes() != 0 || l.HeldBytes() != 0 {
+		t.Fatalf("nil/odd Put moved accounting: leased=%d held=%d",
+			l.LeasedBytes(), l.HeldBytes())
+	}
+}
+
+func TestLeaserRetainCap(t *testing.T) {
+	l := NewLeaser()
+	bufs := make([][]byte, classRetain+16)
+	for i := range bufs {
+		bufs[i] = l.Get(LeaseMinBytes)
+	}
+	for _, b := range bufs {
+		l.Put(b)
+	}
+	// Only classRetain buffers are held; the rest went to the GC.
+	wantHeld := int64(classRetain * LeaseMinBytes)
+	if got := l.HeldBytes(); got != wantHeld {
+		t.Fatalf("HeldBytes after over-retain churn = %d, want %d", got, wantHeld)
+	}
+	if l.LeasedBytes() != 0 {
+		t.Fatalf("LeasedBytes after full return = %d, want 0", l.LeasedBytes())
+	}
+}
+
+func TestLeaserConcurrentChurn(t *testing.T) {
+	l := NewLeaser()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sizes := []int{64, 600, 4096, 30 << 10, LeaseMaxBytes}
+			for i := 0; i < 2000; i++ {
+				b := l.Get(sizes[(i+w)%len(sizes)])
+				b = append(b, byte(i))
+				l.Put(b)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := l.LeasedBytes(); got != 0 {
+		t.Fatalf("LeasedBytes after churn = %d, want 0 (every lease returned)", got)
+	}
+	if l.HeldBytes() < 0 {
+		t.Fatalf("HeldBytes went negative: %d", l.HeldBytes())
+	}
+	if l.Leases() != 8*2000 {
+		t.Fatalf("Leases = %d, want %d", l.Leases(), 8*2000)
+	}
+}
+
+func BenchmarkLeaserGetPut(b *testing.B) {
+	for _, n := range []int{512, 4096, 64 << 10} {
+		b.Run(fmt.Sprintf("size=%d", n), func(b *testing.B) {
+			l := NewLeaser()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				l.Put(l.Get(n))
+			}
+		})
+	}
+}

@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"mutps/internal/kvcore"
+	"mutps/internal/netserver"
+	"mutps/internal/obs"
+)
+
+// BenchmarkSparseConns is the million-connection-front-end scaling probe:
+// N open connections with only ~1% active at any instant (rotating), the
+// workload shape the epoll transport exists for. It compares the two
+// transports on throughput, tail latency, and — the real subject — what
+// the idle 99% cost: goroutines, leased transport buffers, and live heap.
+//
+// Run in-process, so the goroutine count and heap include the client side
+// (one pipelined client per connection, ~1 goroutine and a small bufio
+// each); that cost is identical across transports, so the *difference*
+// between the goroutine and epoll rows isolates the server transport.
+// Client and server split the fd budget in one process (2 fds/conn), so
+// tiers the RLIMIT_NOFILE can't cover skip; the canonical 10k-conn
+// numbers are measured out-of-process by mutps-loadgen -conns (see
+// EXPERIMENTS.md), where each side gets its own fd budget.
+//
+// Set BENCH_NET_OUT=path to append one machine-readable JSON record per
+// sub-benchmark (ops/s, P50/P99, goroutines, leased/heap bytes).
+func BenchmarkSparseConns(b *testing.B) {
+	for _, tr := range []string{netserver.TransportGoroutine, netserver.TransportEpoll} {
+		for _, conns := range []int{1000, 4000, 10000} {
+			b.Run(fmt.Sprintf("transport=%s/conns=%d", tr, conns), func(b *testing.B) {
+				benchSparseConns(b, tr, conns)
+			})
+		}
+	}
+}
+
+func benchSparseConns(b *testing.B, tr string, conns int) {
+	// Client and server share this process: 2 fds per connection plus
+	// slack. Skip (rather than die mid-dial) where the limit can't cover
+	// the tier — CI raises ulimit -n for the 10k point.
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err == nil && rl.Cur < uint64(conns*2+128) {
+		b.Skipf("RLIMIT_NOFILE %d < %d needed for %d in-process conns", rl.Cur, conns*2+128, conns)
+	}
+	store, err := kvcore.Open(kvcore.Config{Engine: kvcore.Hash, Workers: 4, CRWorkers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	const nKeys = 4096
+	val := make([]byte, 64)
+	for k := uint64(0); k < nKeys; k++ {
+		store.Preload(k, val)
+	}
+	srv, err := netserver.ListenAndServe(store, "127.0.0.1:0", netserver.Config{Transport: tr})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Transport() != tr {
+		b.Skipf("%s transport unavailable on this platform", tr)
+	}
+
+	const win = 16
+	pcs := make([]*netserver.PipelineClient, conns)
+	var dialIdx atomic.Int64
+	var dwg sync.WaitGroup
+	var dialErr atomic.Value
+	for d := 0; d < 64; d++ {
+		dwg.Add(1)
+		go func() {
+			defer dwg.Done()
+			for dialErr.Load() == nil {
+				i := int(dialIdx.Add(1)) - 1
+				if i >= conns {
+					return
+				}
+				pc, err := netserver.DialPipeline(srv.Addr().String(), win)
+				if err != nil {
+					dialErr.Store(err)
+					return
+				}
+				pcs[i] = pc
+			}
+		}()
+	}
+	dwg.Wait()
+	if err, _ := dialErr.Load().(error); err != nil {
+		b.Fatalf("dialing %d conns: %v (RLIMIT_NOFILE too low for an in-process run?)", conns, err)
+	}
+	defer func() {
+		for _, pc := range pcs {
+			pc.Close()
+		}
+	}()
+	time.Sleep(300 * time.Millisecond) // settle: idle buffers strip, accept drains
+
+	active := max(conns/100, 8)
+	const burst = 32
+	hist := obs.NewHistogram(active)
+	locks := make([]sync.Mutex, conns)
+	var remaining atomic.Int64
+	remaining.Store(int64(b.N))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for w := 0; w < active; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			type sent struct {
+				f  *netserver.Future
+				t0 time.Time
+			}
+			futs := make([]sent, 0, win)
+			retire := func(s sent) {
+				if st, _, err := s.f.Wait(); err != nil || st != netserver.StatusFound {
+					b.Errorf("get: status %d err %v", st, err)
+				}
+				hist.Record(w, uint64(time.Since(s.t0)))
+				s.f.Release()
+			}
+			for {
+				n := burst
+				if left := remaining.Add(-burst); left < 0 {
+					n += int(left)
+					if n <= 0 {
+						return
+					}
+				}
+				i := int(cursor.Add(1)-1) % conns
+				locks[i].Lock()
+				pc := pcs[i]
+				for j := 0; j < n; j++ {
+					if len(futs) == win {
+						pc.Flush()
+						retire(futs[0])
+						copy(futs, futs[1:])
+						futs = futs[:win-1]
+					}
+					f, err := pc.Send(netserver.OpGet, uint64((w*burst+j)%nKeys), nil)
+					if err != nil {
+						b.Errorf("send: %v", err)
+						locks[i].Unlock()
+						return
+					}
+					futs = append(futs, sent{f, time.Now()})
+				}
+				pc.Flush()
+				for _, s := range futs {
+					retire(s)
+				}
+				futs = futs[:0]
+				locks[i].Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	goroutines := runtime.NumGoroutine()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	leased := 0.0
+	idle := 0.0
+	if !obs.Disabled {
+		m := store.Metrics().SnapshotMap()
+		leased = m["mutps_net_leased_buffer_bytes"]
+		idle = m["mutps_net_idle_conns"]
+	}
+	opsPerSec := float64(b.N) / elapsed.Seconds()
+	b.ReportMetric(opsPerSec, "ops/s")
+	b.ReportMetric(float64(goroutines), "goroutines")
+	b.ReportMetric(leased/1024, "leased-KiB")
+	b.ReportMetric(float64(ms.HeapInuse)/(1<<20), "heap-MiB")
+
+	snap := hist.Snapshot()
+	if out := os.Getenv("BENCH_NET_OUT"); out != "" && b.N > 1 {
+		appendBenchRecord(b, out, map[string]any{
+			"bench":           "BenchmarkSparseConns",
+			"transport":       tr,
+			"conns":           conns,
+			"active":          active,
+			"window":          win,
+			"ops":             b.N,
+			"ops_per_sec":     opsPerSec,
+			"p50_ns":          snap.Quantile(0.50),
+			"p99_ns":          snap.Quantile(0.99),
+			"goroutines":      goroutines,
+			"leased_bytes":    leased,
+			"idle_conns":      idle,
+			"heap_inuse":      ms.HeapInuse,
+			"client_overhead": conns, // ~1 client goroutine per conn rides in `goroutines`
+		})
+	}
+}

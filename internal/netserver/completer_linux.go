@@ -1,0 +1,304 @@
+//go:build linux
+
+// Completion side of the epoll transport: one completer goroutine per
+// event loop retires every connection's window FIFO and flushes responses
+// with writev bursts that span connections.
+//
+// The completer is where blocking is allowed. Retiring a window head
+// means waiting on its store completion (rpc.Call.Wait) — exactly what
+// the goroutine transport's per-connection writeLoop does, except one
+// goroutine here serves every connection on its loop: the FIFO order each
+// connection requires is per-connection, so draining connections in
+// arrival order preserves it while letting one goroutine amortize across
+// thousands of sockets.
+//
+// Flush coalescing is two-level. Within a connection, retired responses
+// append to a chain of leased buffers (no syscall per response). Across
+// connections, the completer keeps draining as long as more work is
+// queued (up to a burst cap) and only then flushes every touched
+// connection back-to-back — one writev per connection, issued while the
+// kernel still has the previous socket's bytes in its send path. The
+// writev-batch histogram records how many responses each such burst
+// carried. A chain that hits EAGAIN parks on EPOLLOUT (the loop finishes
+// it when the socket drains) so a slow reader never blocks the completer.
+package netserver
+
+import (
+	"encoding/binary"
+	"syscall"
+	"unsafe"
+
+	"mutps/internal/obs"
+)
+
+// burstConns caps how many connections one flush burst may gather before
+// their chains are pushed to the wire: coalescing must not grow into
+// unbounded latency for the first connection drained.
+const burstConns = 64
+
+// wchainMinBytes floors the leased write-chain buffer size so tiny
+// responses don't fragment the chain into many iovecs.
+const wchainMinBytes = 4096
+
+// wchainHigh/wchainLow bound a connection's unflushed response chain:
+// past wchainHigh the connection stops reading (its slow consumer, not
+// the server, eats the backpressure — the epoll analogue of the
+// goroutine transport blocking in bufio.Flush), and reads resume once a
+// flush drains the chain under wchainLow. A single oversized response
+// (scan, large value) may still exceed the high mark — the cap is a
+// stall threshold, not a hard truncation.
+const (
+	wchainHigh = 128 << 10
+	wchainLow  = 32 << 10
+)
+
+// iovBatch caps iovecs per writev call (IOV_MAX is 1024; 64 covers two
+// full windows of small responses per syscall).
+const iovBatch = 64
+
+// completer drains connection FIFOs handed over by the event loop and
+// flushes their response chains in cross-connection bursts.
+func (l *eventLoop) completer() {
+	var touched []*eConn
+	for c := range l.work {
+		l.drainConn(c, &touched)
+		for len(l.work) > 0 && len(touched) < burstConns {
+			c2, ok := <-l.work
+			if !ok {
+				break
+			}
+			l.drainConn(c2, &touched)
+		}
+		l.flushBurst(&touched)
+	}
+	l.flushBurst(&touched)
+}
+
+// drainConn retires c's pending FIFO until it is empty, then clears the
+// queued mark (under the same lock that guards new arrivals, so a frame
+// landing mid-drain either gets popped here or re-queues the connection).
+func (l *eventLoop) drainConn(c *eConn, touched *[]*eConn) {
+	s := l.t.s
+	for {
+		c.mu.Lock()
+		if c.pendHead == len(c.pendq) {
+			c.pendq = c.pendq[:0]
+			c.pendHead = 0
+			c.queued = false
+			c.mu.Unlock()
+			break
+		}
+		e := c.pendq[c.pendHead]
+		c.pendq[c.pendHead] = nil
+		c.pendHead++
+		c.mu.Unlock()
+
+		c.exec.retire(e, c) // blocks on the store completion; no locks held
+		e.releaseBufs(s.leaser)
+		opPool.Put(e)
+
+		c.mu.Lock()
+		c.inflight--
+		idleEdge := c.inflight == 0 && !c.closed
+		// Resume with hysteresis: waking the reader the moment one slot
+		// frees would cycle pause→resume (two epoll_ctls and a wake-pipe
+		// write) around every op at a saturated window. Waiting for half
+		// the window amortizes that cycle over window/2 frames.
+		if c.paused && c.inflight <= s.window()/2 {
+			l.notify(c, noteResume)
+		}
+		c.mu.Unlock()
+		if idleEdge && !obs.Disabled {
+			s.idleConns.Add(1)
+		}
+	}
+	if !c.inTouched {
+		c.inTouched = true
+		*touched = append(*touched, c)
+	}
+}
+
+// flushBurst pushes every touched connection's chain to the wire and
+// records the cross-connection batch size. Connections that drained
+// completely get a kick note so the loop can strip idle buffers or finish
+// a close.
+func (l *eventLoop) flushBurst(touched *[]*eConn) {
+	if len(*touched) == 0 {
+		return
+	}
+	burst := 0
+	for _, c := range *touched {
+		c.inTouched = false
+		burst += l.flushConn(c)
+		c.mu.Lock()
+		if c.pendHead == len(c.pendq) && !c.queued && c.inflight == 0 && !c.closed {
+			l.notify(c, noteKick)
+		}
+		c.mu.Unlock()
+	}
+	if burst > 0 && !obs.Disabled {
+		l.t.s.writevBatch.Record(l.id, uint64(burst))
+	}
+	*touched = (*touched)[:0]
+}
+
+// flushConn writes c's chain until it drains or the socket pushes back;
+// a blocked remainder is parked on EPOLLOUT via the loop. Returns how
+// many responses the chain carried into this flush.
+func (l *eventLoop) flushConn(c *eConn) int {
+	c.mu.Lock()
+	resp := c.wresp
+	c.wresp = 0
+	l.flushChainLocked(c)
+	if len(c.wbufs) > 0 && !c.writeDead && !c.closed {
+		l.notify(c, noteWrite)
+	}
+	c.mu.Unlock()
+	return resp
+}
+
+// continueWrite finishes a chain parked on EPOLLOUT. Loop thread only.
+func (l *eventLoop) continueWrite(c *eConn) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	l.flushChainLocked(c)
+	if len(c.wbufs) == 0 || c.writeDead {
+		l.modEventsLocked(c, c.events&^uint32(syscall.EPOLLOUT))
+	}
+	c.mu.Unlock()
+	l.maybeClose(c)
+}
+
+// flushChainLocked drives writev over the chain; c.mu held. Fully-written
+// buffers return to the lease pool immediately. EAGAIN leaves the
+// remainder chained (the caller arms EPOLLOUT); a write error marks the
+// connection writeDead and drops the chain — the peer can't receive, so
+// retirement continues without encoding.
+func (l *eventLoop) flushChainLocked(c *eConn) {
+	if c.closed || c.writeDead {
+		return
+	}
+	// However this flush ends, lift the read stall if it drained the chain
+	// under the low-water mark.
+	defer func() {
+		if c.wstall && c.wbytes <= wchainLow {
+			c.wstall = false
+			if c.paused {
+				l.notify(c, noteResume)
+			}
+		}
+	}()
+	s := l.t.s
+	var iovs [iovBatch]syscall.Iovec
+	for len(c.wbufs) > 0 {
+		n := 0
+		for i := 0; i < len(c.wbufs) && n < iovBatch; i++ {
+			b := c.wbufs[i]
+			if i == 0 {
+				b = b[c.woff:]
+			}
+			if len(b) == 0 {
+				continue
+			}
+			iovs[n] = syscall.Iovec{Base: &b[0], Len: uint64(len(b))}
+			n++
+		}
+		if n == 0 {
+			l.dropChainLocked(c) // chain of empty buffers: nothing owed
+			return
+		}
+		r, _, errno := syscall.Syscall(syscall.SYS_WRITEV,
+			uintptr(c.fd), uintptr(unsafe.Pointer(&iovs[0])), uintptr(n))
+		switch errno {
+		case 0:
+		case syscall.EINTR:
+			continue
+		case syscall.EAGAIN:
+			return
+		default:
+			c.writeDead = true
+			l.dropChainLocked(c)
+			return
+		}
+		written := int(r)
+		c.wbytes -= written
+		for written > 0 && len(c.wbufs) > 0 {
+			head := c.wbufs[0]
+			rem := len(head) - c.woff
+			if written < rem {
+				c.woff += written
+				written = 0
+				break
+			}
+			written -= rem
+			s.leaser.Put(head)
+			c.wbufs[0] = nil
+			c.wbufs = c.wbufs[1:]
+			c.woff = 0
+		}
+		if len(c.wbufs) == 0 {
+			c.wbufs = c.wbufs[:0]
+		}
+	}
+}
+
+// writeOut implements respWriter: one encoded response appended to the
+// connection's leased chain. Called by the completer during retirement; a
+// dead or closed connection swallows the bytes (draining continues so
+// in-flight store calls are still waited out).
+func (c *eConn) writeOut(status byte, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.writeDead {
+		return
+	}
+	var hdr [5]byte
+	hdr[0] = status
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(body)))
+	c.appendChainLocked(hdr[:])
+	c.appendChainLocked(body)
+	c.wresp++
+	c.wbytes += 5 + len(body)
+	if c.wbytes > wchainHigh {
+		c.wstall = true // parseFrames pauses reads at the next frame edge
+	}
+}
+
+// flushBarrier implements respWriter's pre-barrier flush: everything
+// already retired goes to the wire before a barrier op (scan, stats)
+// executes, so a slow barrier never holds earlier responses hostage.
+func (c *eConn) flushBarrier() {
+	l := c.l
+	if n := l.flushConn(c); n > 0 && !obs.Disabled {
+		l.t.s.flushBatch.Record(c.exec.connID, uint64(n))
+	}
+}
+
+// appendChainLocked copies p onto the chain, leasing buffers as needed;
+// c.mu held. Response bytes beyond the largest lease class fall back to
+// one exactly-sized heap buffer (dropped to the GC when written).
+func (c *eConn) appendChainLocked(p []byte) {
+	leaser := c.l.t.s.leaser
+	for len(p) > 0 {
+		if n := len(c.wbufs); n > 0 {
+			tail := c.wbufs[n-1]
+			if len(tail) < cap(tail) {
+				take := cap(tail) - len(tail)
+				if take > len(p) {
+					take = len(p)
+				}
+				c.wbufs[n-1] = append(tail, p[:take]...)
+				p = p[take:]
+				continue
+			}
+		}
+		want := len(p)
+		if want < wchainMinBytes {
+			want = wchainMinBytes
+		}
+		c.wbufs = append(c.wbufs, leaser.Get(want))
+	}
+}

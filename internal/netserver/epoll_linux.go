@@ -1,0 +1,691 @@
+//go:build linux
+
+// The epoll event-loop transport: a small fixed pool of event-loop
+// goroutines multiplexing every connection, instead of a goroutine pair
+// per connection.
+//
+// Shape (one of eventLoopCount() shards):
+//
+//	event loop goroutine:  epoll_wait → accept4 / nonblocking reads →
+//	                       decode frames → submit into the store's async
+//	                       facade → hand the connection to the completer
+//	completer goroutine:   retire each connection's window FIFO (blocking
+//	                       on store completions is fine here — it is not
+//	                       the readiness thread), encode responses into
+//	                       leased buffer chains, flush with writev bursts
+//	                       that span connections (completer_linux.go)
+//
+// The division of labour is strict: the LOOP is the only thread that
+// touches epoll_ctl, close(fd), the fd→conn map, and the read-side decode
+// state; the COMPLETER only retires ops and builds/flushes write chains.
+// Everything shared (the pending FIFO, write chain, lifecycle flags) sits
+// behind the per-connection mutex, and the completer asks the loop to do
+// fd work (re-arm reads after backpressure, arm EPOLLOUT, close a drained
+// connection) through a note queue plus wake pipe.
+//
+// Idle cost: an idle connection is one fd plus one eConn struct — no
+// goroutine, no stack, and no buffers: the read-staging buffer, request
+// payloads, response destinations, and write chains are all leased from
+// the server's arena.Leaser while work is in flight and returned the
+// moment the connection drains. Buffer memory scales with in-flight
+// requests, not open sockets.
+//
+// Accept paths: ListenAndServe gives every loop its own SO_REUSEPORT
+// listener (the kernel shards the accept stream); ServeConfig adopts the
+// caller's TCPListener by dup'ing its descriptor into every loop's epoll
+// set with EPOLLEXCLUSIVE (one loop wakes per pending accept), so the
+// whole existing test suite runs against this transport unmodified via
+// MUTPS_TRANSPORT=epoll.
+package netserver
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"mutps/internal/obs"
+)
+
+// epollSupported reports whether this build carries the epoll transport.
+const epollSupported = true
+
+// Constants missing from the stdlib syscall package (no new dependencies:
+// x/sys is off-limits, so the two socket/epoll flags newer than the frozen
+// syscall API are spelled out here).
+const (
+	sysSO_REUSEPORT   = 0xf
+	sysEPOLLEXCLUSIVE = 1 << 28
+)
+
+// rbufBytes sizes the per-connection read-staging buffer leased while a
+// connection has bytes in flight. Frames larger than this spill directly
+// into the op's payload buffer, so it bounds staging, not frame size.
+const rbufBytes = 32 << 10
+
+// note bits: what a completer asks the loop to do with a connection.
+const (
+	noteResume uint8 = 1 << iota // window freed: re-arm EPOLLIN, re-parse
+	noteWrite                    // write chain blocked on EAGAIN: arm EPOLLOUT
+	noteKick                     // drained: re-check close conditions
+)
+
+// epollTransport multiplexes every connection over a fixed pool of event
+// loops. It implements the transport interface.
+type epollTransport struct {
+	s     *Server
+	loops []*eventLoop
+	addr  net.Addr
+
+	// lns holds the Go-side listeners kept alive for the loops' dup'd
+	// accept descriptors (reuseport listeners, or the adopted caller
+	// listener); closed with the transport.
+	lns []net.Listener
+
+	connCount atomic.Int64
+	closed    atomic.Bool
+	wg        sync.WaitGroup
+}
+
+// eConn is one connection's state: ~200 bytes plus its fd. The top block
+// is loop-owned single-threaded decode state; everything under mu is
+// shared with the completer.
+type eConn struct {
+	l  *eventLoop
+	fd int
+
+	// Loop-owned decode state (only the event-loop goroutine touches it
+	// while the connection is registered; the close path reclaims it).
+	rbuf    []byte // leased staging buffer; nil while idle
+	rstart  int    // parse cursor into rbuf
+	rlen    int    // valid bytes in rbuf
+	cur     *netOp // claimed slot mid-payload (large frame spill)
+	curN    int    // payload bytes already filled
+	curLen  int    // payload length of the in-progress frame
+	lastAct int64  // UnixNano of the last completed frame (idle sweep)
+
+	exec protoExec
+
+	mu          sync.Mutex
+	pendq       []*netOp // submitted ops awaiting FIFO retirement
+	pendHead    int      // retirement cursor into pendq (backing is reused)
+	queued      bool     // sitting in (or headed for) the completer queue
+	inflight    int      // submitted minus retired
+	paused      bool     // window full: EPOLLIN disarmed
+	doneReading bool     // EOF / read error / fatal frame: no more requests
+	writeDead   bool     // write error: drop responses, drain only
+	closed      bool     // fd closed, struct dead
+	events      uint32   // currently-armed epoll event mask
+	noted       uint8    // pending note bits (deduped)
+	wbufs       [][]byte // leased response chain, wbufs[0][woff:] unsent
+	woff        int
+	wbytes      int  // unflushed chain bytes (write-side backpressure)
+	wstall      bool // chain over wchainHigh: reads pause until it drains
+	wresp       int  // responses appended since last writev-burst record
+
+	inTouched bool // completer-owned: already in the current flush burst
+}
+
+// eventLoop is one epoll shard: its own epoll set, optional accept
+// descriptor, wake pipe, fd→conn map, and completer.
+type eventLoop struct {
+	t  *epollTransport
+	id int
+
+	epfd  int
+	lfd   int // accept descriptor, -1 if this loop does not accept
+	wakeR int
+	wakeW int
+
+	conns map[int32]*eConn // loop-thread only
+
+	mu    sync.Mutex
+	notes []*eConn
+	woken bool
+
+	work chan *eConn // loop → completer handoff
+
+	wakeups *obs.Counter
+	gconns  *obs.Gauge
+}
+
+// newEpollTransport binds addr with one SO_REUSEPORT listener per event
+// loop and starts the loop/completer pairs.
+func newEpollTransport(s *Server, addr string) (transport, error) {
+	t := &epollTransport{s: s}
+	fail := func(err error) (transport, error) {
+		t.abort()
+		for _, ln := range t.lns {
+			ln.Close()
+		}
+		return nil, err
+	}
+	n := s.eventLoopCount()
+	for i := 0; i < n; i++ {
+		ln, err := listenReusePort(addr)
+		if err != nil {
+			return fail(err)
+		}
+		t.lns = append(t.lns, ln)
+		if t.addr == nil {
+			t.addr = ln.Addr()
+			// Later listeners bind the resolved port, not another ephemeral
+			// one, when the caller asked for :0.
+			addr = ln.Addr().String()
+		}
+		lfd, err := dupListenerFD(ln)
+		if err != nil {
+			return fail(err)
+		}
+		if err := t.addLoop(i, lfd, 0); err != nil {
+			syscall.Close(lfd)
+			return fail(err)
+		}
+	}
+	t.start()
+	return t, nil
+}
+
+// adoptEpollTransport serves an existing TCP listener on the epoll
+// transport: its descriptor is dup'd into every loop's epoll set with
+// EPOLLEXCLUSIVE so one loop wakes per pending accept. On failure the
+// caller's listener is left open (ServeConfig falls back to the
+// goroutine transport with it).
+func adoptEpollTransport(s *Server, ln net.Listener) (transport, error) {
+	tl, ok := ln.(*net.TCPListener)
+	if !ok {
+		return nil, fmt.Errorf("netserver: epoll transport cannot adopt %T", ln)
+	}
+	t := &epollTransport{s: s, addr: ln.Addr()}
+	n := s.eventLoopCount()
+	for i := 0; i < n; i++ {
+		lfd, err := dupListenerFD(tl)
+		if err != nil {
+			t.abort()
+			return nil, err
+		}
+		if err := t.addLoop(i, lfd, sysEPOLLEXCLUSIVE); err != nil {
+			syscall.Close(lfd)
+			t.abort()
+			return nil, err
+		}
+	}
+	t.lns = []net.Listener{ln}
+	t.start()
+	return t, nil
+}
+
+// abort releases the descriptors of a transport that never started (a
+// constructor failed partway): no goroutines exist yet, so the fds can be
+// closed inline. The lns slice is untouched — constructors only close
+// listeners they themselves created.
+func (t *epollTransport) abort() {
+	for _, l := range t.loops {
+		l.closeFDs()
+	}
+}
+
+// listenReusePort binds one TCP listener with SO_REUSEPORT set before
+// bind, so several listeners can share the port and the kernel shards the
+// accept stream across them.
+func listenReusePort(addr string) (net.Listener, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, sysSO_REUSEPORT, 1)
+			})
+			if err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	ln, err := lc.Listen(nil, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return ln, nil
+}
+
+// dupListenerFD dups a TCP listener's descriptor for raw accept4 use and
+// puts it in nonblocking mode. The dup shares the listening socket (same
+// open file description), so no extra reuseport member appears.
+func dupListenerFD(ln net.Listener) (int, error) {
+	tl, ok := ln.(*net.TCPListener)
+	if !ok {
+		return -1, fmt.Errorf("netserver: not a TCP listener: %T", ln)
+	}
+	f, err := tl.File()
+	if err != nil {
+		return -1, err
+	}
+	fd, err := syscall.Dup(int(f.Fd()))
+	f.Close()
+	if err != nil {
+		return -1, err
+	}
+	syscall.CloseOnExec(fd)
+	if err := syscall.SetNonblock(fd, true); err != nil {
+		syscall.Close(fd)
+		return -1, err
+	}
+	return fd, nil
+}
+
+// addLoop builds one event loop around an accept descriptor (epoll set,
+// wake pipe, accept registration, instruments). exclusive carries the
+// EPOLLEXCLUSIVE bit for the shared-listener accept path.
+func (t *epollTransport) addLoop(id, lfd int, exclusive uint32) error {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return err
+	}
+	var p [2]int
+	if err := syscall.Pipe2(p[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		syscall.Close(epfd)
+		return err
+	}
+	l := &eventLoop{
+		t: t, id: id, epfd: epfd, lfd: lfd, wakeR: p[0], wakeW: p[1],
+		conns: map[int32]*eConn{},
+		work:  make(chan *eConn, 1024),
+	}
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(l.wakeR)}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, l.wakeR, &ev); err != nil {
+		l.closeFDs()
+		return err
+	}
+	ev = syscall.EpollEvent{Events: syscall.EPOLLIN | exclusive, Fd: int32(lfd)}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, lfd, &ev); err != nil && exclusive != 0 {
+		// Pre-4.5 kernel without EPOLLEXCLUSIVE: accept with the
+		// thundering herd instead of failing the transport.
+		ev.Events = syscall.EPOLLIN
+		err = syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, lfd, &ev)
+		if err != nil {
+			l.closeFDs()
+			return err
+		}
+	} else if err != nil {
+		l.closeFDs()
+		return err
+	}
+	reg := t.s.store.Metrics()
+	label := fmt.Sprintf(`loop="%d"`, id)
+	l.wakeups = reg.Counter("mutps_net_eventloop_wakeups_total", label,
+		"epoll_wait returns per event loop.", 1)
+	l.gconns = reg.Gauge("mutps_net_eventloop_conns", label,
+		"Connections owned by this event loop.")
+	t.loops = append(t.loops, l)
+	return nil
+}
+
+// start launches every loop/completer pair.
+func (t *epollTransport) start() {
+	for _, l := range t.loops {
+		t.wg.Add(2)
+		go func(l *eventLoop) { defer t.wg.Done(); l.run() }(l)
+		go func(l *eventLoop) { defer t.wg.Done(); l.completer() }(l)
+	}
+}
+
+// Addr returns the listen address.
+func (t *epollTransport) Addr() net.Addr { return t.addr }
+
+func (t *epollTransport) name() string { return TransportEpoll }
+
+// Close stops accepting, force-closes every connection (completers still
+// drain in-flight store calls so no pooled call or leased buffer is
+// abandoned), and waits for the loop and completer goroutines to exit.
+// The wake pipes are closed last: a completer may notify a loop right up
+// until it exits, and writing into a recycled descriptor number would
+// corrupt an unrelated file.
+func (t *epollTransport) Close() error {
+	if !t.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, l := range t.loops {
+		l.wake()
+	}
+	t.wg.Wait()
+	for _, l := range t.loops {
+		syscall.Close(l.wakeR)
+		syscall.Close(l.wakeW)
+	}
+	for _, ln := range t.lns {
+		ln.Close()
+	}
+	return nil
+}
+
+// wake forces the loop's next epoll_wait to return.
+func (l *eventLoop) wake() {
+	l.mu.Lock()
+	if !l.woken {
+		l.woken = true
+		var b [1]byte
+		syscall.Write(l.wakeW, b[:])
+	}
+	l.mu.Unlock()
+}
+
+// notify queues a note for the loop about c and wakes it. Callers hold
+// c.mu; the note bits are deduped there.
+func (l *eventLoop) notify(c *eConn, bits uint8) {
+	if c.noted&bits == bits {
+		return
+	}
+	enqueue := c.noted == 0
+	c.noted |= bits
+	if enqueue {
+		l.mu.Lock()
+		l.notes = append(l.notes, c)
+		if !l.woken {
+			l.woken = true
+			var b [1]byte
+			syscall.Write(l.wakeW, b[:])
+		}
+		l.mu.Unlock()
+	}
+}
+
+// closeFDs releases the loop's own descriptors (not its connections).
+func (l *eventLoop) closeFDs() {
+	if l.lfd >= 0 {
+		syscall.Close(l.lfd)
+		l.lfd = -1
+	}
+	syscall.Close(l.wakeR)
+	syscall.Close(l.wakeW)
+	syscall.Close(l.epfd)
+}
+
+// run is the event-loop goroutine: epoll_wait, dispatch accepts, reads,
+// write continuations, and completer notes, and sweep idle connections.
+func (l *eventLoop) run() {
+	defer close(l.work)
+	events := make([]syscall.EpollEvent, 128)
+	idle := l.t.s.cfg.IdleTimeout
+	timeoutMs := 1000
+	if idle > 0 {
+		if ms := int(idle / (4 * time.Millisecond)); ms < timeoutMs {
+			timeoutMs = ms
+		}
+		if timeoutMs < 10 {
+			timeoutMs = 10
+		}
+	}
+	var lastSweep time.Time
+	for {
+		n, err := syscall.EpollWait(l.epfd, events, timeoutMs)
+		if err != nil && err != syscall.EINTR {
+			break
+		}
+		if !obs.Disabled {
+			l.wakeups.Inc(0)
+		}
+		if l.t.closed.Load() {
+			break
+		}
+		for i := 0; i < n; i++ {
+			ev := &events[i]
+			switch int(ev.Fd) {
+			case l.wakeR:
+				l.drainWake()
+			case l.lfd:
+				l.acceptAll()
+			default:
+				c := l.conns[ev.Fd]
+				if c == nil {
+					continue
+				}
+				if ev.Events&syscall.EPOLLOUT != 0 {
+					l.continueWrite(c)
+				}
+				if ev.Events&(syscall.EPOLLIN|syscall.EPOLLRDHUP|syscall.EPOLLHUP|syscall.EPOLLERR) != 0 {
+					l.readable(c)
+				}
+			}
+		}
+		l.processNotes()
+		if idle > 0 {
+			if now := time.Now(); now.Sub(lastSweep) >= idle/4 {
+				lastSweep = now
+				l.sweepIdle(now, idle)
+			}
+		}
+	}
+	l.shutdown()
+}
+
+// drainWake empties the wake pipe and re-arms the wake flag.
+func (l *eventLoop) drainWake() {
+	var buf [64]byte
+	for {
+		n, _ := syscall.Read(l.wakeR, buf[:])
+		if n < len(buf) {
+			break
+		}
+	}
+	l.mu.Lock()
+	l.woken = false
+	l.mu.Unlock()
+}
+
+// processNotes serves the completer's queued requests: re-arm reads after
+// window backpressure, arm EPOLLOUT for blocked write chains, and
+// re-check close conditions for drained connections.
+func (l *eventLoop) processNotes() {
+	l.mu.Lock()
+	notes := l.notes
+	l.notes = nil
+	l.mu.Unlock()
+	for _, c := range notes {
+		c.mu.Lock()
+		bits := c.noted
+		c.noted = 0
+		if c.closed {
+			c.mu.Unlock()
+			continue
+		}
+		if bits&noteWrite != 0 && len(c.wbufs) > 0 && !c.writeDead {
+			l.modEventsLocked(c, c.events|syscall.EPOLLOUT)
+		}
+		resume := bits&noteResume != 0 && c.paused && !c.wstall &&
+			c.inflight < l.t.s.window()
+		if resume {
+			c.paused = false
+			if !c.doneReading {
+				l.modEventsLocked(c, c.events|syscall.EPOLLIN|syscall.EPOLLRDHUP)
+			}
+		}
+		kick := bits&noteKick != 0
+		c.mu.Unlock()
+		if resume {
+			l.readable(c) // parse bytes stashed while paused, then read more
+		}
+		if kick {
+			l.maybeClose(c)
+			// The connection may simply be idle (not closing): make sure it
+			// holds no staging buffer while it waits for the next burst.
+			if !c.closed {
+				l.stripReadBuf(c)
+			}
+		}
+	}
+}
+
+// modEventsLocked updates the connection's armed epoll mask; c.mu held.
+func (l *eventLoop) modEventsLocked(c *eConn, events uint32) {
+	if events == c.events || c.closed {
+		return
+	}
+	c.events = events
+	ev := syscall.EpollEvent{Events: events, Fd: int32(c.fd)}
+	syscall.EpollCtl(l.epfd, syscall.EPOLL_CTL_MOD, c.fd, &ev)
+}
+
+// acceptAll accepts until the listener drains, registering each
+// connection with this loop (or rejecting it over the MaxConns cap).
+func (l *eventLoop) acceptAll() {
+	t := l.t
+	for {
+		fd, _, err := syscall.Accept4(l.lfd, syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC)
+		if err != nil {
+			return // EAGAIN, or the listener is gone
+		}
+		if t.s.cfg.MaxConns > 0 && int(t.connCount.Load()) >= t.s.cfg.MaxConns {
+			l.rejectFD(fd)
+			continue
+		}
+		syscall.SetsockoptInt(fd, syscall.IPPROTO_TCP, syscall.TCP_NODELAY, 1)
+		c := &eConn{
+			l: l, fd: fd,
+			exec:    protoExec{s: t.s, connID: int(t.s.nextConn.Add(1))},
+			events:  syscall.EPOLLIN | syscall.EPOLLRDHUP,
+			lastAct: time.Now().UnixNano(),
+		}
+		ev := syscall.EpollEvent{Events: c.events, Fd: int32(fd)}
+		if err := syscall.EpollCtl(l.epfd, syscall.EPOLL_CTL_ADD, fd, &ev); err != nil {
+			syscall.Close(fd)
+			continue
+		}
+		l.conns[int32(fd)] = c
+		t.connCount.Add(1)
+		t.s.openConns.Add(1)
+		t.s.idleConns.Add(1)
+		if !obs.Disabled {
+			l.gconns.Add(1)
+		}
+	}
+}
+
+// rejectFD refuses a connection over the MaxConns cap with a proper
+// protocol frame, best-effort on the nonblocking socket.
+func (l *eventLoop) rejectFD(fd int) {
+	l.t.s.rejected.Inc(0)
+	msg := "connection limit reached"
+	frame := make([]byte, 5+len(msg))
+	frame[0] = StatusError
+	binary.LittleEndian.PutUint32(frame[1:5], uint32(len(msg)))
+	copy(frame[5:], msg)
+	syscall.Write(fd, frame)
+	syscall.Close(fd)
+}
+
+// sweepIdle closes connections that completed no frame within the idle
+// timeout and have nothing in flight — the epoll transport's equivalent
+// of the goroutine transport's per-frame read deadline.
+func (l *eventLoop) sweepIdle(now time.Time, idle time.Duration) {
+	cut := now.Add(-idle).UnixNano()
+	var reap []*eConn
+	for _, c := range l.conns {
+		if c.lastAct >= cut {
+			continue
+		}
+		c.mu.Lock()
+		quiet := !c.closed && c.inflight == 0 && c.pendHead == len(c.pendq) && !c.queued && len(c.wbufs) == 0
+		c.mu.Unlock()
+		if quiet {
+			reap = append(reap, c)
+		}
+	}
+	for _, c := range reap {
+		l.closeConn(c, true)
+	}
+}
+
+// shutdown force-closes every connection and the loop's accept/epoll
+// descriptors when the transport closes. Connections with in-flight store
+// calls keep their pending FIFOs; the completer drains them (responses
+// are dropped — the fd is gone) so every pooled call and leased buffer is
+// recovered. The wake pipe stays open for the completer's last notifies;
+// transport Close reclaims it after both goroutines exit.
+func (l *eventLoop) shutdown() {
+	for _, c := range l.conns {
+		c.mu.Lock()
+		c.doneReading = true
+		c.writeDead = true
+		l.dropChainLocked(c)
+		c.mu.Unlock()
+		l.closeConn(c, c.inflightIs0())
+	}
+	if l.lfd >= 0 {
+		syscall.Close(l.lfd)
+		l.lfd = -1
+	}
+	syscall.Close(l.epfd)
+}
+
+// inflightIs0 reports whether nothing is in flight (for the idle-gauge
+// edge at close time).
+func (c *eConn) inflightIs0() bool {
+	c.mu.Lock()
+	z := c.inflight == 0
+	c.mu.Unlock()
+	return z
+}
+
+// maybeClose closes c if reading has stopped and everything owed has been
+// retired and flushed. Loop thread only.
+func (l *eventLoop) maybeClose(c *eConn) {
+	c.mu.Lock()
+	ready := !c.closed && c.doneReading &&
+		c.pendHead == len(c.pendq) && !c.queued && c.inflight == 0 &&
+		(len(c.wbufs) == 0 || c.writeDead)
+	c.mu.Unlock()
+	if ready {
+		l.closeConn(c, true)
+	}
+}
+
+// closeConn tears one connection down: deregister, close the fd, reclaim
+// every leased buffer the loop side still holds, and settle the gauges.
+// Loop thread only; idempotent. wasIdle reports whether the connection
+// had nothing in flight (the idle gauge counts it).
+func (l *eventLoop) closeConn(c *eConn, wasIdle bool) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	l.dropChainLocked(c)
+	c.mu.Unlock()
+	syscall.EpollCtl(l.epfd, syscall.EPOLL_CTL_DEL, c.fd, nil)
+	syscall.Close(c.fd)
+	delete(l.conns, int32(c.fd))
+	s := l.t.s
+	if c.rbuf != nil {
+		s.leaser.Put(c.rbuf)
+		c.rbuf = nil
+	}
+	if c.cur != nil {
+		c.cur.releaseBufs(s.leaser)
+		opPool.Put(c.cur)
+		c.cur = nil
+	}
+	l.t.connCount.Add(-1)
+	s.openConns.Add(-1)
+	if wasIdle {
+		s.idleConns.Add(-1)
+	}
+	if !obs.Disabled {
+		l.gconns.Add(-1)
+	}
+}
+
+// dropChainLocked releases the write chain (write path is dead); c.mu held.
+func (l *eventLoop) dropChainLocked(c *eConn) {
+	for i, b := range c.wbufs {
+		l.t.s.leaser.Put(b)
+		c.wbufs[i] = nil
+	}
+	c.wbufs = c.wbufs[:0]
+	c.woff = 0
+	c.wbytes = 0
+	c.wstall = false
+}

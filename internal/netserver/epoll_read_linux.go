@@ -1,0 +1,276 @@
+//go:build linux
+
+// Read-side decode for the epoll transport: nonblocking reads feeding the
+// same frame semantics as the goroutine transport's readLoop, restated as
+// a state machine because a frame may arrive across any number of epoll
+// wakeups.
+//
+// States, all kept on the eConn (loop-thread owned):
+//
+//	idle           rbuf == nil, cur == nil: the connection holds no buffer
+//	staging        rbuf holds 0..n unparsed bytes (partial header, or a
+//	               partial small frame); parseFrames consumes it
+//	payload spill  cur != nil: a frame bigger than the staged bytes was
+//	               claimed; reads land directly in cur.payload[curN:], no
+//	               second copy through rbuf
+//
+// EAGAIN can interrupt anywhere — mid-header, mid-payload — and the state
+// simply persists until the next EPOLLIN. Window backpressure (inflight ==
+// window) pauses parsing with bytes still staged and disarms EPOLLIN; the
+// completer's resume note re-arms it and re-enters parseFrames before the
+// next read, so paused bytes are never lost. A read of 0 is the peer's
+// half-close (shutdown(SHUT_WR)): reading stops but every in-flight
+// response is still retired and flushed before the fd closes.
+package netserver
+
+import (
+	"encoding/binary"
+	"sync"
+	"syscall"
+	"time"
+
+	"mutps/internal/obs"
+)
+
+// opPool recycles window-slot structs across connections. Unlike the
+// goroutine transport's per-connection slot ring, the epoll transport has
+// no per-connection preallocation at all — an idle connection holds zero
+// slots — so slots circulate through this pool: claimed at frame arrival,
+// returned (buffers stripped) right after retirement.
+var opPool = sync.Pool{New: func() any { return new(netOp) }}
+
+// readable drains the socket: spill reads fill the in-progress payload
+// directly, everything else stages through rbuf and parses. Loop thread
+// only.
+func (l *eventLoop) readable(c *eConn) {
+	c.mu.Lock()
+	stop := c.closed || c.doneReading
+	c.mu.Unlock()
+	if stop {
+		return
+	}
+	s := l.t.s
+	// A read that returns fewer bytes than asked means the socket buffer
+	// drained: stop instead of paying a guaranteed-EAGAIN confirmation
+	// read. Registration is level-triggered, so anything that lands
+	// between the short read and the next epoll_wait is re-reported —
+	// the skip can delay nothing.
+	for {
+		if c.cur != nil {
+			e := c.cur
+			want := c.curLen - c.curN
+			n, err := syscall.Read(c.fd, e.payload[c.curN:c.curLen])
+			switch {
+			case n > 0:
+				c.curN += n
+				if c.curN == c.curLen {
+					c.cur = nil
+					l.finishFrame(c, e, false)
+				}
+				if n < want {
+					if c.cur == nil {
+						l.stripReadBuf(c)
+					}
+					return
+				}
+				continue
+			case n == 0 && err == nil:
+				l.readClosed(c, false)
+				return
+			case err == syscall.EAGAIN:
+				return
+			case err == syscall.EINTR:
+				continue
+			default:
+				l.readClosed(c, true)
+				return
+			}
+		}
+		if !l.parseFrames(c) {
+			return // paused on a full window, or a fatal frame stopped reads
+		}
+		if c.cur != nil {
+			continue // parse switched to payload spill: read there, not rbuf
+		}
+		if c.rbuf == nil {
+			b := s.leaser.Get(rbufBytes)
+			c.rbuf = b[:cap(b)]
+			c.rstart, c.rlen = 0, 0
+		}
+		space := len(c.rbuf) - c.rlen
+		n, err := syscall.Read(c.fd, c.rbuf[c.rlen:])
+		switch {
+		case n > 0:
+			c.rlen += n
+			if n == space {
+				continue // staging filled: more may be queued in the kernel
+			}
+			if !l.parseFrames(c) {
+				return
+			}
+			if c.cur != nil {
+				continue // spill claimed mid-short-read: finish it above
+			}
+			l.stripReadBuf(c)
+			return
+		case n == 0 && err == nil:
+			l.readClosed(c, false)
+			return
+		case err == syscall.EAGAIN:
+			l.stripReadBuf(c)
+			return
+		case err == syscall.EINTR:
+			continue
+		default:
+			l.readClosed(c, true)
+			return
+		}
+	}
+}
+
+// parseFrames consumes staged bytes: complete small frames are claimed,
+// copied into leased payload buffers, and submitted; a frame extending
+// past the staging buffer switches the connection into payload-spill
+// mode. Returns false when reading must stop (window full, fatal frame).
+func (l *eventLoop) parseFrames(c *eConn) bool {
+	s := l.t.s
+	for c.rbuf != nil && c.rlen-c.rstart >= 13 {
+		hdr := c.rbuf[c.rstart : c.rstart+13]
+		plen := binary.LittleEndian.Uint32(hdr[9:13])
+		if plen > maxPayload {
+			// Same fatal path as the goroutine transport: a pre-resolved
+			// error response retires through the FIFO, then the connection
+			// closes. The oversized payload is never read.
+			e := opPool.Get().(*netOp)
+			e.reset(hdr[0], binary.LittleEndian.Uint64(hdr[1:9]))
+			e.status, e.msg, e.closeAfter = StatusError, errMsgPayloadTooLarge, true
+			c.rstart = c.rlen
+			l.finishFrame(c, e, true)
+			return false
+		}
+		c.mu.Lock()
+		if c.inflight >= s.window() || c.wstall {
+			// Window full, or the write chain is over its high-water mark
+			// (a slow reader): stop reading, leave the bytes staged. The
+			// completer re-arms EPOLLIN (noteResume) once the head retires
+			// or the chain drains.
+			c.paused = true
+			l.modEventsLocked(c, c.events&^uint32(syscall.EPOLLIN|syscall.EPOLLRDHUP))
+			c.mu.Unlock()
+			return false
+		}
+		c.mu.Unlock()
+		e := opPool.Get().(*netOp)
+		e.reset(hdr[0], binary.LittleEndian.Uint64(hdr[1:9]))
+		total := 13 + int(plen)
+		if c.rlen-c.rstart >= total {
+			if plen > 0 {
+				b := s.leaser.Get(int(plen))
+				e.payload = b[:plen]
+				copy(e.payload, c.rbuf[c.rstart+13:c.rstart+total])
+			}
+			c.rstart += total
+			l.finishFrame(c, e, false)
+			continue
+		}
+		// Frame extends past the staged bytes: spill. The payload buffer is
+		// leased now and filled directly by subsequent reads.
+		avail := c.rlen - (c.rstart + 13)
+		b := s.leaser.Get(int(plen))
+		e.payload = b[:plen]
+		copy(e.payload, c.rbuf[c.rstart+13:c.rlen])
+		c.rstart = c.rlen
+		c.cur, c.curN, c.curLen = e, avail, int(plen)
+		return true
+	}
+	if c.rbuf != nil && c.rstart > 0 {
+		// Compact the partial header (< 13 bytes) to the front so the next
+		// read appends after it.
+		copy(c.rbuf, c.rbuf[c.rstart:c.rlen])
+		c.rlen -= c.rstart
+		c.rstart = 0
+	}
+	return true
+}
+
+// finishFrame submits one complete frame (or enqueues a pre-resolved
+// fatal one) and hands the connection to the completer.
+func (l *eventLoop) finishFrame(c *eConn, e *netOp, fatal bool) {
+	s := l.t.s
+	if !obs.Disabled && latIndex(e.op) >= 0 {
+		e.t0 = time.Now()
+	}
+	if !fatal {
+		c.exec.submit(e, e.payload)
+	}
+	if s.cfg.IdleTimeout > 0 {
+		// lastAct only feeds sweepIdle; without an idle timeout the clock
+		// read would be pure per-frame overhead.
+		c.lastAct = time.Now().UnixNano()
+	}
+	closeAfter := e.closeAfter
+	c.mu.Lock()
+	c.pendq = append(c.pendq, e)
+	c.inflight++
+	first := c.inflight == 1
+	enq := !c.queued
+	c.queued = true
+	if closeAfter {
+		c.doneReading = true
+		l.modEventsLocked(c, c.events&^uint32(syscall.EPOLLIN|syscall.EPOLLRDHUP))
+	}
+	c.mu.Unlock()
+	if !obs.Disabled {
+		s.submitted.Inc(c.exec.connID)
+		s.inflight.Add(1)
+		if first {
+			s.idleConns.Add(-1)
+		}
+	}
+	if enq {
+		l.work <- c
+	}
+}
+
+// readClosed handles EOF (half-close: responses still owed are retired
+// and flushed before the fd closes) and read errors (the write side is
+// dead too — drop the chain and drain).
+func (l *eventLoop) readClosed(c *eConn, fail bool) {
+	s := l.t.s
+	if c.cur != nil {
+		// A partial frame owes no response; reclaim its slot.
+		c.cur.releaseBufs(s.leaser)
+		opPool.Put(c.cur)
+		c.cur = nil
+	}
+	if c.rbuf != nil {
+		s.leaser.Put(c.rbuf)
+		c.rbuf = nil
+	}
+	c.mu.Lock()
+	c.doneReading = true
+	if fail {
+		c.writeDead = true
+		l.dropChainLocked(c)
+	}
+	l.modEventsLocked(c, c.events&^uint32(syscall.EPOLLIN|syscall.EPOLLRDHUP))
+	c.mu.Unlock()
+	l.maybeClose(c)
+}
+
+// stripReadBuf returns the staging buffer to the pool when the socket
+// drained with nothing staged and nothing in flight: the idle-connection
+// zero-buffer guarantee.
+func (l *eventLoop) stripReadBuf(c *eConn) {
+	if c.rbuf == nil || c.rlen != c.rstart || c.cur != nil {
+		return
+	}
+	c.rstart, c.rlen = 0, 0
+	c.mu.Lock()
+	idle := c.inflight == 0
+	c.mu.Unlock()
+	if idle {
+		l.t.s.leaser.Put(c.rbuf)
+		c.rbuf = nil
+	}
+}

@@ -1,0 +1,20 @@
+//go:build !linux
+
+// Non-Linux stub for the epoll transport: constructors report
+// errEpollUnsupported so ServeConfig and ListenAndServe fall back to the
+// portable goroutine transport, keeping -transport=epoll a soft request
+// on platforms without epoll.
+package netserver
+
+import "net"
+
+// epollSupported reports whether this build carries the epoll transport.
+const epollSupported = false
+
+func adoptEpollTransport(s *Server, ln net.Listener) (transport, error) {
+	return nil, errEpollUnsupported
+}
+
+func newEpollTransport(s *Server, addr string) (transport, error) {
+	return nil, errEpollUnsupported
+}

@@ -49,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mutps/internal/arena"
 	"mutps/internal/kvcore"
 	"mutps/internal/obs"
 	"mutps/internal/rpc"
@@ -126,6 +127,19 @@ type Config struct {
 	// TCP flow control). 1 degenerates to the old synchronous
 	// one-op-at-a-time loop; zero or negative means DefaultInflight.
 	MaxInflight int
+
+	// Transport selects the connection-handling tier: TransportGoroutine
+	// (one goroutine per connection; portable default) or TransportEpoll
+	// (a fixed pool of event-loop goroutines over epoll readiness; Linux
+	// only — elsewhere it falls back to goroutine). Empty consults the
+	// MUTPS_TRANSPORT environment variable, then defaults to goroutine.
+	Transport string
+
+	// EventLoops sets the epoll transport's event-loop goroutine count
+	// (each with its own epoll set and, under ListenAndServe, its own
+	// SO_REUSEPORT listener). Zero or negative picks a default from
+	// GOMAXPROCS. Ignored by the goroutine transport.
+	EventLoops int
 }
 
 // DefaultInflight is the per-connection window used when
@@ -134,19 +148,18 @@ type Config struct {
 // hundreds of connections.
 const DefaultInflight = 128
 
-// Server serves a kvcore store over TCP.
+// Server serves a kvcore store over TCP through one of the pluggable
+// transports (transport.go): it owns the protocol layer, the shared
+// buffer leaser, and the instruments; the transport owns the sockets.
 type Server struct {
-	store *kvcore.Store
-	ln    net.Listener
-	cfg   Config
-
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	store  *kvcore.Store
+	cfg    Config
+	tr     transport
+	leaser *arena.Leaser
 
 	nextConn  atomic.Uint64
 	openConns *obs.Gauge
+	idleConns *obs.Gauge
 	rejected  *obs.Counter
 	lat       [5]*obs.Histogram // wire op 0..3 + mget latency, ns
 	mgetKeys  *obs.Histogram    // keys carried per served mget frame
@@ -158,6 +171,18 @@ type Server struct {
 	submitted  *obs.Counter
 	retired    *obs.Counter
 	flushBatch *obs.Histogram
+
+	// Event-loop transport instruments (registered lazily by the epoll
+	// transport): responses carried per writev burst.
+	writevBatch *obs.Histogram
+}
+
+// window returns the effective per-connection pipelining window.
+func (s *Server) window() int {
+	if s.cfg.MaxInflight > 0 {
+		return s.cfg.MaxInflight
+	}
+	return DefaultInflight
 }
 
 // netOpLabels renders wire-op labels; index 4 is OpMGet (see latIndex).
@@ -186,14 +211,63 @@ func Serve(store *kvcore.Store, ln net.Listener) *Server {
 	return ServeConfig(store, ln, Config{})
 }
 
-// ServeConfig starts accepting connections on ln and returns immediately.
+// ServeConfig starts serving the store on ln and returns immediately.
 // The server registers its connection gauge and per-op latency histograms
 // into the store's metric registry; registration is idempotent, so several
 // servers over one store share series.
+//
+// When the configured transport is epoll (Config.Transport or the
+// MUTPS_TRANSPORT environment variable), the listener's descriptor is
+// adopted into the event loops; if adoption fails (not a *net.TCPListener,
+// or a platform without epoll), the portable goroutine transport serves ln
+// instead — the caller always gets a working server.
 func ServeConfig(store *kvcore.Store, ln net.Listener, cfg Config) *Server {
-	s := &Server{store: store, ln: ln, cfg: cfg, conns: map[net.Conn]struct{}{}}
+	s := newServer(store, cfg)
+	if chooseTransport(cfg) == TransportEpoll {
+		if tr, err := adoptEpollTransport(s, ln); err == nil {
+			s.tr = tr
+			return s
+		}
+	}
+	s.tr = newGoroutineTransport(s, ln)
+	return s
+}
+
+// ListenAndServe binds addr and serves the store on the configured
+// transport. Unlike ServeConfig it owns socket creation, so the epoll
+// transport gets its full accept path: one SO_REUSEPORT listener per event
+// loop, with the kernel sharding incoming connections across them. On
+// platforms without epoll the goroutine transport serves a plain listener,
+// so the same flags work everywhere.
+func ListenAndServe(store *kvcore.Store, addr string, cfg Config) (*Server, error) {
+	s := newServer(store, cfg)
+	if chooseTransport(cfg) == TransportEpoll {
+		tr, err := newEpollTransport(s, addr)
+		if err == nil {
+			s.tr = tr
+			return s, nil
+		}
+		if !errors.Is(err, errEpollUnsupported) {
+			return nil, err
+		}
+		// No epoll on this platform: fall through and serve portably.
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.tr = newGoroutineTransport(s, ln)
+	return s, nil
+}
+
+// newServer builds the transport-independent server core: protocol state,
+// the buffer leaser, and the instrument set shared by both transports.
+func newServer(store *kvcore.Store, cfg Config) *Server {
+	s := &Server{store: store, cfg: cfg, leaser: arena.NewLeaser()}
 	reg := store.Metrics()
 	s.openConns = reg.Gauge("mutps_net_connections", "", "Open client connections.")
+	s.idleConns = reg.Gauge("mutps_net_idle_conns", "",
+		"Open connections with no request in flight; they hold no leased buffers.")
 	s.rejected = reg.Counter("mutps_net_conn_rejected_total", "",
 		"Connections refused at the MaxConns cap.", 1)
 	for op, l := range netOpLabels {
@@ -211,82 +285,24 @@ func ServeConfig(store *kvcore.Store, ln net.Listener, cfg Config) *Server {
 		"Responses retired in FIFO order by connection completion stages.", latShards)
 	s.flushBatch = reg.Histogram("mutps_net_flush_coalesce", "",
 		"Responses carried by one connection flush (coalesced write syscalls per burst).", latShards)
-	s.wg.Add(1)
-	go s.acceptLoop()
+	s.writevBatch = reg.Histogram("mutps_net_writev_batch", "",
+		"Responses carried by one cross-connection writev burst (epoll transport).", latShards)
+	reg.GaugeFunc("mutps_net_leased_buffer_bytes", "",
+		"Request/response buffer bytes currently leased by in-flight requests; idle connections hold none.",
+		func() float64 { return float64(s.leaser.LeasedBytes()) })
 	return s
 }
 
-// Addr returns the listener address.
-func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+// Addr returns the listen address.
+func (s *Server) Addr() net.Addr { return s.tr.Addr() }
 
 // Close stops accepting and closes every connection.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
-	err := s.ln.Close()
-	s.wg.Wait()
-	return err
-}
+func (s *Server) Close() error { return s.tr.Close() }
 
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return
-		}
-		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
-			s.mu.Unlock()
-			s.rejectConn(conn)
-			continue
-		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go s.serveConn(conn)
-	}
-}
-
-// rejectConn refuses a connection over the MaxConns cap with a proper
-// protocol frame so the client reports "connection limit reached" instead
-// of an opaque EOF. The write gets a short deadline — a rejection must
-// never tie up the accept loop.
-func (s *Server) rejectConn(conn net.Conn) {
-	s.rejected.Inc(0)
-	conn.SetWriteDeadline(time.Now().Add(time.Second))
-	w := bufio.NewWriter(conn)
-	writeResp(w, StatusError, []byte("connection limit reached"))
-	w.Flush()
-	conn.Close()
-}
-
-// serveConn runs one connection's pipelined executor (pipeserve.go): a
-// decode stage that reads frames and submits them asynchronously into the
-// store, and a completion stage that retires responses in FIFO order with
-// coalesced flushes.
-func (s *Server) serveConn(conn net.Conn) {
-	defer s.wg.Done()
-	connID := int(s.nextConn.Add(1))
-	s.openConns.Add(1)
-	defer func() {
-		s.openConns.Add(-1)
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		conn.Close()
-	}()
-	newConnPipeline(s, conn, connID).run()
-}
+// Transport reports which transport actually serves this server —
+// TransportEpoll only when it was requested and the platform delivered
+// it, so startup logs show the real connection cost model.
+func (s *Server) Transport() string { return s.tr.name() }
 
 // legacyStatNames are the five counters the fixed-layout op 4 frame
 // carries, re-exported under stable names in the stats2 payload so

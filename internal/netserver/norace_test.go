@@ -1,0 +1,5 @@
+//go:build !race
+
+package netserver
+
+const raceEnabled = false

@@ -169,7 +169,7 @@ func TestPipelineAllocsPerOp(t *testing.T) {
 		f.Release()
 	})
 	t.Logf("pipelined get: %.2f allocs/op", avg)
-	if avg > 4 {
+	if avg > 4 && !raceEnabled {
 		t.Fatalf("pipelined get allocates %.2f times per op, want <= 4", avg)
 	}
 }

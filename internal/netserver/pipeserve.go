@@ -1,5 +1,6 @@
-// Pipelined server-side execution: the per-connection serve loop as a
-// submit/complete FSM instead of run-to-completion.
+// Pipelined server-side execution for the goroutine transport: the
+// per-connection serve loop as a submit/complete FSM instead of
+// run-to-completion.
 //
 // The old loop read one frame, blocked on the synchronous store facade,
 // wrote the response, and issued one Flush syscall per reply — so a
@@ -20,98 +21,54 @@
 // wedged behind a slow reader — the decode stage stops reading and the
 // client backs up onto TCP flow control, so per-connection server memory
 // is bounded at MaxInflight request/response contexts no matter how fast
-// the client writes. Each slot owns its payload and value buffers, so the
-// steady-state path allocates nothing per request (the zero-alloc GetInto
-// discipline, preserved asynchronously: gets submit with Dst drawn from
-// the slot).
+// the client writes. Frame semantics (submit, FIFO retirement, barriers,
+// shed-to-StatusBacklogged) live in the shared protocol layer
+// (protocol.go); this file owns only the goroutine transport's halves of
+// the exchange: blocking reads on one side, bufio-coalesced writes on the
+// other.
 //
-// Ops the store cannot execute asynchronously (Scan, Stats, Stats2) are
-// barriers: they ride the window as ordinary slots but execute inline in
-// the completion stage, which by FIFO order means every earlier response
-// has already been retired and written — the window drains itself in front
-// of them. Store-level overload surfaces per-op: a submit that fails with
-// rpc.ErrBacklogged becomes an in-order StatusBacklogged reply and the
-// connection keeps streaming.
+// Buffer lifetime: slot buffers are leased from the server's arena.Leaser
+// the first time a slot needs them and KEPT while the window is busy (the
+// zero-alloc steady state), but the completion stage strips every slot's
+// buffers back to the pool whenever the window drains — so a connection
+// that goes idle holds no payload or destination buffers at all, no
+// matter how large its bursts were.
 package netserver
 
 import (
 	"bufio"
 	"encoding/binary"
-	"errors"
-	"fmt"
 	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"mutps/internal/kvcore"
 	"mutps/internal/obs"
-	"mutps/internal/rpc"
 )
-
-// Pre-resolved error payloads for protocol violations, allocated once so
-// rejecting a malformed frame stays allocation-free.
-var (
-	errMsgPayloadTooLarge = []byte("payload too large")
-	errMsgScanPayload     = []byte("scan payload must be a uint32 count")
-	errMsgScanCount       = []byte("scan count too large")
-	errMsgMGetPayload     = []byte("mget payload must be count(4) + count*key(8)")
-	errMsgMGetCount       = []byte("mget count too large")
-	errMsgPutTTLPayload   = []byte("put-ttl payload must lead with ttl_nanos(8)")
-)
-
-// submitHook, when set, intercepts asynchronous submission with an
-// injected error before the store sees the request. It exists so tests can
-// drive the shed path (rpc.ErrBacklogged → StatusBacklogged) and the
-// closed path deterministically; production code never sets it. Atomic so
-// a test can install/clear it while server goroutines are live.
-var submitHook atomic.Pointer[func(op byte, key uint64) error]
-
-// netOp is one slot of a connection's in-flight window: the decoded
-// request header, either the store's completion future (async ops) or a
-// pre-resolved status (protocol errors, submit failures, barrier markers),
-// and the slot-owned buffers the request and response flow through.
-type netOp struct {
-	op         byte
-	status     byte // pre-resolved response status when call is nil
-	barrier    bool // execute inline at retire time (Scan/Stats/Stats2)
-	closeAfter bool // fatal protocol error: retire this, then drop the conn
-	key        uint64
-	scanCount  uint32
-	call       *rpc.Call
-	msg        []byte // pre-resolved response payload
-	payload    []byte // slot-owned put-payload buffer (stable until retire)
-	val        []byte // slot-owned get-destination buffer (rpc Dst)
-	t0         time.Time
-
-	// Batched multi-get state: one mget frame occupies one window slot but
-	// fans out into len(mcalls) async store gets, which the completion
-	// stage retires together as one response frame (one FIFO burst for the
-	// whole batch). mvals are the slot-owned per-key destination buffers,
-	// grown lazily and kept across requests like val.
-	mget    bool
-	mgetErr error // submit failed mid-batch: whole frame fails after drain
-	mcalls  []*rpc.Call
-	mvals   [][]byte
-}
 
 // connPipeline is the per-connection pipelined executor state shared by
 // the decode and completion stages.
 type connPipeline struct {
 	s      *Server
 	conn   net.Conn
-	connID int
+	window int
+	exec   protoExec
 	r      *bufio.Reader
 	w      *bufio.Writer
 
 	free    chan *netOp // window slots available to the decode stage
 	pending chan *netOp // submitted slots, in request order (the FIFO)
 
+	// opsInFlight tracks this connection's window occupancy for the
+	// idle-conns gauge: the decode stage increments, the completion stage
+	// decrements, and the 0↔1 edges flip the connection between idle and
+	// active.
+	opsInFlight atomic.Int32
+
 	// Completion-stage locals (never touched by the decode stage).
-	batch int    // responses encoded since the last flush
-	dead  bool   // transport write failed: stop writing, keep retiring
-	body  []byte // reusable scan/stats response build buffer
+	batch int  // responses encoded since the last flush
+	dead  bool // transport write failed: stop writing, keep retiring
 }
 
 // pipeWriterBuf sizes the response writer. Bursts larger than this
@@ -120,12 +77,10 @@ type connPipeline struct {
 const pipeWriterBuf = 32 << 10
 
 func newConnPipeline(s *Server, conn net.Conn, connID int) *connPipeline {
-	window := s.cfg.MaxInflight
-	if window <= 0 {
-		window = DefaultInflight
-	}
+	window := s.window()
 	p := &connPipeline{
-		s: s, conn: conn, connID: connID,
+		s: s, conn: conn, window: window,
+		exec:    protoExec{s: s, connID: connID},
 		r:       bufio.NewReader(conn),
 		w:       bufio.NewWriterSize(conn, pipeWriterBuf),
 		free:    make(chan *netOp, window),
@@ -143,6 +98,7 @@ func newConnPipeline(s *Server, conn net.Conn, connID int) *connPipeline {
 // fatal protocol error), and the completion stage then drains every
 // still-pending slot — waiting out in-flight store calls so their buffers
 // and pooled rpc.Calls are never abandoned mid-use — before returning.
+// Every leased buffer is back in the pool by the time run returns.
 func (p *connPipeline) run() {
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -153,6 +109,7 @@ func (p *connPipeline) run() {
 	p.readLoop()
 	close(p.pending)
 	wg.Wait()
+	p.releaseAllBufs()
 }
 
 // readLoop is the decode stage: frame in, window slot claimed, request
@@ -171,14 +128,7 @@ func (p *connPipeline) readLoop() {
 		// this blocks until the completion stage retires the head, which in
 		// turn stops the reads that would grow per-connection memory.
 		e := <-p.free
-		e.op = hdr[0]
-		e.key = binary.LittleEndian.Uint64(hdr[1:9])
-		e.call = nil
-		e.barrier = false
-		e.closeAfter = false
-		e.status = 0
-		e.msg = nil
-		e.mget = false
+		e.reset(hdr[0], binary.LittleEndian.Uint64(hdr[1:9]))
 		plen := binary.LittleEndian.Uint32(hdr[9:13])
 		if plen > maxPayload {
 			e.status, e.msg, e.closeAfter = StatusError, errMsgPayloadTooLarge, true
@@ -187,18 +137,20 @@ func (p *connPipeline) readLoop() {
 			return
 		}
 		if uint32(cap(e.payload)) < plen {
-			e.payload = make([]byte, plen)
+			s.leaser.Put(e.payload)
+			e.payload = s.leaser.Get(int(plen))
 		}
 		payload := e.payload[:plen]
 		if _, err := io.ReadFull(p.r, payload); err != nil {
-			// Half a frame: no response owed. The slot is simply not
-			// recirculated; the whole window dies with the connection.
+			// Half a frame: no response owed. The slot was never submitted,
+			// so hand it straight back for the teardown sweep to strip.
+			p.free <- e
 			return
 		}
 		if !obs.Disabled && latIndex(e.op) >= 0 {
 			e.t0 = time.Now()
 		}
-		p.submit(e, payload)
+		p.exec.submit(e, payload)
 		p.track()
 		p.pending <- e
 		if e.closeAfter {
@@ -212,128 +164,19 @@ func (p *connPipeline) track() {
 	if obs.Disabled {
 		return
 	}
-	p.s.submitted.Inc(p.connID)
+	p.s.submitted.Inc(p.exec.connID)
 	p.s.inflight.Add(1)
-}
-
-// submit enters one decoded request into the store's async path, or
-// pre-resolves the slot for protocol errors, submit failures, and barrier
-// ops. payload is e.payload[:plen] (stable until the slot is retired —
-// the store reads a put's value only when a worker executes it).
-func (p *connPipeline) submit(e *netOp, payload []byte) {
-	if hook := submitHook.Load(); hook != nil {
-		if err := (*hook)(e.op, e.key); err != nil {
-			p.failSubmit(e, err)
-			return
-		}
+	if p.opsInFlight.Add(1) == 1 {
+		p.s.idleConns.Add(-1)
 	}
-	store := p.s.store
-	var err error
-	switch e.op {
-	case OpGet:
-		e.call, err = store.GetAsync(e.key, e.val[:0])
-	case OpGetTTL:
-		// Same store path as a get; the remaining TTL is encoded at retire
-		// time from the call's expiry stamp.
-		e.call, err = store.GetAsync(e.key, e.val[:0])
-	case OpPut:
-		e.call, err = store.PutAsync(e.key, payload)
-	case OpPutTTL:
-		if len(payload) < 8 {
-			e.status, e.msg = StatusError, errMsgPutTTLPayload
-			return
-		}
-		// ttl 0 on the wire selects the server's default, matching the
-		// store facade's ttl <= 0 convention. The value subslice stays
-		// valid until retire — it aliases the slot-owned payload buffer.
-		ttl := time.Duration(binary.LittleEndian.Uint64(payload))
-		e.call, err = store.PutTTLAsync(e.key, payload[8:], ttl)
-	case OpDelete:
-		e.call, err = store.DeleteAsync(e.key)
-	case OpScan:
-		if len(payload) != 4 {
-			e.status, e.msg = StatusError, errMsgScanPayload
-			return
-		}
-		count := binary.LittleEndian.Uint32(payload)
-		if count > kvcore.MaxScanCount {
-			e.status, e.msg = StatusError, errMsgScanCount
-			return
-		}
-		e.scanCount = count
-		e.barrier = true
-	case OpStats, OpStats2:
-		e.barrier = true
-	case OpMGet:
-		p.submitMGet(e, payload)
-	default:
-		e.status, e.msg = StatusError, []byte(fmt.Sprintf("unknown op %d", e.op))
-	}
-	if err != nil {
-		p.failSubmit(e, err)
-	}
-}
-
-// submitMGet fans one mget frame out into per-key async gets. Every key
-// enters the store's receive path at once (the batch shares the pipelined
-// window slot, so the whole frame costs one unit of connection-level
-// backpressure) and the completion stage retires them together. A submit
-// failure mid-batch (backlogged, closing) fails the whole frame — gets are
-// side-effect-free, so the client retries the frame safely — but the
-// already-submitted prefix is still waited out at retire time so no pooled
-// call or buffer is abandoned.
-func (p *connPipeline) submitMGet(e *netOp, payload []byte) {
-	if len(payload) < 4 {
-		e.status, e.msg = StatusError, errMsgMGetPayload
-		return
-	}
-	n := int(binary.LittleEndian.Uint32(payload))
-	if n > MaxMGetKeys {
-		e.status, e.msg = StatusError, errMsgMGetCount
-		return
-	}
-	if len(payload) != 4+8*n {
-		e.status, e.msg = StatusError, errMsgMGetPayload
-		return
-	}
-	e.mget = true
-	e.mgetErr = nil
-	e.mcalls = e.mcalls[:0]
-	for len(e.mvals) < n {
-		e.mvals = append(e.mvals, nil)
-	}
-	if !obs.Disabled {
-		p.s.mgetKeys.Record(p.connID, uint64(n))
-	}
-	store := p.s.store
-	for i := 0; i < n; i++ {
-		key := binary.LittleEndian.Uint64(payload[4+8*i:])
-		c, err := store.GetAsync(key, e.mvals[i][:0])
-		if err != nil {
-			e.mgetErr = err
-			return
-		}
-		e.mcalls = append(e.mcalls, c)
-	}
-}
-
-// failSubmit pre-resolves a slot whose request never entered the store:
-// overload shedding becomes the retryable StatusBacklogged (in request
-// order, exactly like the synchronous path), everything else a
-// StatusError carrying the message.
-func (p *connPipeline) failSubmit(e *netOp, err error) {
-	e.call = nil
-	if errors.Is(err, rpc.ErrBacklogged) {
-		e.status, e.msg = StatusBacklogged, nil
-		return
-	}
-	e.status, e.msg = StatusError, []byte(err.Error())
 }
 
 // writeLoop is the completion stage: strict FIFO retirement with
 // coalesced flushes — one Flush per burst of ready responses, not one per
 // op. It keeps draining after a transport failure (dead) so every
 // in-flight store call is waited out and every window slot recirculated.
+// When the window drains it strips every idle slot's leased buffers back
+// to the pool: a connection between bursts costs no buffer memory.
 func (p *connPipeline) writeLoop() {
 	for e := range p.pending {
 		if (e.call != nil && !e.call.Done()) ||
@@ -342,194 +185,50 @@ func (p *connPipeline) writeLoop() {
 			// burst onto the wire instead of sitting on it while we wait.
 			p.flushResponses()
 		}
-		p.retire(e)
+		p.exec.retire(e, p)
 		p.batch++
 		p.free <- e
+		if !obs.Disabled && p.opsInFlight.Add(-1) == 0 {
+			p.s.idleConns.Add(1)
+		}
 		if len(p.pending) == 0 {
 			p.flushResponses()
+			p.stripIdleBuffers()
 		}
 	}
 	p.flushResponses()
 }
 
-// retire resolves one window slot into its wire response: wait out the
-// store call (FIFO means the head must complete before anything later may
-// be written), execute barrier ops inline, or emit the pre-resolved
-// status. The slot's buffers are reusable as soon as this returns — the
-// response bytes have been copied into the write buffer (or written
-// through) and the pooled call released.
-func (p *connPipeline) retire(e *netOp) {
-	switch {
-	case e.call != nil:
-		c := e.call
-		c.Wait()
-		switch {
-		case c.Err != nil:
-			if errors.Is(c.Err, rpc.ErrBacklogged) {
-				p.writeOut(StatusBacklogged, nil)
-			} else {
-				p.writeOut(StatusError, []byte(c.Err.Error()))
-			}
-		case e.op == OpGet:
-			switch {
-			case c.Found:
-				p.writeOut(StatusFound, c.Value)
-			case c.Expired:
-				p.writeOut(StatusExpired, nil)
-			default:
-				p.writeOut(StatusNotFound, nil)
-			}
-		case e.op == OpGetTTL:
-			p.retireGetTTL(c)
-		case e.op == OpPut, e.op == OpPutTTL:
-			p.writeOut(StatusFound, nil)
-		default: // OpDelete
-			if c.Found {
-				p.writeOut(StatusFound, nil)
-			} else {
-				p.writeOut(StatusNotFound, nil)
-			}
-		}
-		// Keep a destination buffer the store had to grow, so the next get
-		// through this slot fits without allocating.
-		if cap(c.Value) > cap(e.val) {
-			e.val = c.Value
-		}
-		e.call = nil
-		c.Release()
-	case e.mget:
-		p.retireMGet(e)
-	case e.barrier:
-		p.retireBarrier(e)
-	default:
-		p.writeOut(e.status, e.msg)
-	}
-	if !obs.Disabled {
-		if li := latIndex(e.op); li >= 0 {
-			p.s.lat[li].Record(p.connID, uint64(time.Since(e.t0)))
-		}
-		p.s.retired.Inc(p.connID)
-		p.s.inflight.Add(-1)
-	}
-}
-
-// retireGetTTL encodes one completed get-ttl call: the found response
-// leads with the remaining TTL in nanoseconds (0 = no expiry) followed by
-// the value. A deadline that passed between the worker's check and encode
-// time retires as StatusExpired rather than shipping a dead value.
-func (p *connPipeline) retireGetTTL(c *rpc.Call) {
-	if !c.Found {
-		if c.Expired {
-			p.writeOut(StatusExpired, nil)
-		} else {
-			p.writeOut(StatusNotFound, nil)
-		}
-		return
-	}
-	var rem uint64
-	if c.Expiry != 0 {
-		d := int64(c.Expiry) - time.Now().UnixNano()
-		if d <= 0 {
-			p.writeOut(StatusExpired, nil)
+// stripIdleBuffers returns every idle slot's leased buffers to the pool.
+// Called by the completion stage when the pending FIFO is empty: the
+// window is (momentarily) drained, so all but at most one slot — the one
+// the decode stage may have claimed for a frame it is still reading — sit
+// in the free channel. Each is pulled, stripped, and pushed straight
+// back, so the decode stage never starves: it can hold at most one slot,
+// and the channel always regains each slot before the next is taken.
+func (p *connPipeline) stripIdleBuffers() {
+	for i := 0; i < p.window; i++ {
+		select {
+		case e := <-p.free:
+			e.releaseBufs(p.s.leaser)
+			p.free <- e
+		default:
 			return
 		}
-		rem = uint64(d)
 	}
-	body := append(p.body[:0], 0, 0, 0, 0, 0, 0, 0, 0)
-	binary.LittleEndian.PutUint64(body, rem)
-	body = append(body, c.Value...)
-	p.body = body
-	p.writeOut(StatusFound, body)
 }
 
-// retireMGet resolves one mget frame: wait every per-key call in request
-// order (by FIFO, the whole batch retires as one burst at this slot's
-// position), encode the positional response into the completion-stage
-// build buffer, and recirculate the grown destination buffers into the
-// slot. If any submit or call failed, the frame degrades to a single
-// whole-frame status — backlogged when retryable — after every in-flight
-// call has been drained.
-func (p *connPipeline) retireMGet(e *netOp) {
-	body := append(p.body[:0], 0, 0, 0, 0)
-	binary.LittleEndian.PutUint32(body, uint32(len(e.mcalls)))
-	failed := e.mgetErr
-	var hdr [5]byte
-	for i, c := range e.mcalls {
-		c.Wait()
-		if c.Err != nil && failed == nil {
-			failed = c.Err
-		}
-		if failed == nil {
-			hdr[0] = 0
-			if c.Found {
-				hdr[0] = 1
-			}
-			binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(c.Value)))
-			body = append(body, hdr[:]...)
-			body = append(body, c.Value...)
-		}
-		// Keep a destination buffer the store had to grow, as retire does
-		// for single gets.
-		if cap(c.Value) > cap(e.mvals[i]) {
-			e.mvals[i] = c.Value
-		}
-		c.Release()
-	}
-	e.mcalls = e.mcalls[:0]
-	e.mgetErr = nil
-	p.body = body
-	if failed != nil {
-		if errors.Is(failed, rpc.ErrBacklogged) {
-			p.writeOut(StatusBacklogged, nil)
-		} else {
-			p.writeOut(StatusError, []byte(failed.Error()))
-		}
-		return
-	}
-	p.writeOut(StatusFound, body)
-}
-
-// retireBarrier executes a Scan/Stats/Stats2 inline. Reaching here means
-// the FIFO has retired every earlier response — the barrier semantics —
-// so the op observes all prior writes on this connection; responses to
-// already-buffered bursts are flushed first so a slow scan doesn't hold
-// them hostage.
-func (p *connPipeline) retireBarrier(e *netOp) {
-	p.flushResponses()
-	switch e.op {
-	case OpStats:
-		st := p.s.store.Stats()
-		var body [40]byte
-		binary.LittleEndian.PutUint64(body[0:], st.Ops)
-		binary.LittleEndian.PutUint64(body[8:], st.CRHits)
-		binary.LittleEndian.PutUint64(body[16:], st.Forwarded)
-		binary.LittleEndian.PutUint64(body[24:], uint64(st.Items))
-		binary.LittleEndian.PutUint64(body[32:], uint64(st.HotSize))
-		p.writeOut(StatusFound, body[:])
-	case OpStats2:
-		p.body = p.s.appendStats2(p.body[:0])
-		p.writeOut(StatusFound, p.body)
-	case OpScan:
-		kvs, err := p.s.store.Scan(e.key, int(e.scanCount))
-		if err != nil {
-			if errors.Is(err, rpc.ErrBacklogged) {
-				p.writeOut(StatusBacklogged, nil)
-			} else {
-				p.writeOut(StatusError, []byte(err.Error()))
-			}
+// releaseAllBufs returns the whole window's buffers after both stages
+// have stopped (run's epilogue): every slot is either in free or was
+// claimed by the dead decode stage, and no store call is in flight.
+func (p *connPipeline) releaseAllBufs() {
+	for {
+		select {
+		case e := <-p.free:
+			e.releaseBufs(p.s.leaser)
+		default:
 			return
 		}
-		body := append(p.body[:0], 0, 0, 0, 0)
-		binary.LittleEndian.PutUint32(body, uint32(len(kvs)))
-		var tmp [12]byte
-		for _, kv := range kvs {
-			binary.LittleEndian.PutUint64(tmp[0:8], kv.Key)
-			binary.LittleEndian.PutUint32(tmp[8:12], uint32(len(kv.Value)))
-			body = append(body, tmp[:]...)
-			body = append(body, kv.Value...)
-		}
-		p.body = body
-		p.writeOut(StatusFound, body)
 	}
 }
 
@@ -545,11 +244,14 @@ func (p *connPipeline) writeOut(status byte, body []byte) {
 	}
 }
 
+// flushBarrier implements the protocol layer's pre-barrier flush.
+func (p *connPipeline) flushBarrier() { p.flushResponses() }
+
 // flushResponses pushes the coalesced burst to the wire and records how
 // many responses the flush carried.
 func (p *connPipeline) flushResponses() {
 	if p.batch > 0 && !obs.Disabled {
-		p.s.flushBatch.Record(p.connID, uint64(p.batch))
+		p.s.flushBatch.Record(p.exec.connID, uint64(p.batch))
 	}
 	p.batch = 0
 	if p.dead || p.w.Buffered() == 0 {

@@ -1,0 +1,184 @@
+// The transport layer of the network server: who owns sockets and how
+// readiness is discovered. A transport accepts connections, moves bytes,
+// and drives the shared protocol executor (protocol.go); it decides what
+// an idle connection costs.
+//
+// Two transports exist:
+//
+//   - goroutine (this file + pipeserve.go): one goroutine per connection
+//     with blocking reads and a per-connection completion goroutine.
+//     Portable everywhere Go runs, simple to reason about — but an idle
+//     connection still costs two goroutines (~8 KB of stack each) plus
+//     bufio buffers, so 100k mostly-idle clients cost hundreds of MB
+//     before a single request arrives.
+//   - epoll (epoll_linux.go): a small fixed pool of event-loop goroutines
+//     doing epoll_wait → nonblocking reads, SO_REUSEPORT-sharded accepts,
+//     and cross-connection writev flush coalescing. An idle connection is
+//     one file descriptor plus a ~200-byte struct: no goroutine, no
+//     buffers (TransportEpoll; Linux only, selected by build tag).
+//
+// Selection: Config.Transport, or the MUTPS_TRANSPORT environment
+// variable when the config is silent — which is how the full existing
+// test suite (FIFO equivalence, chaos) runs unmodified against the epoll
+// transport in CI. Unknown or unsupported values fall back to goroutine,
+// so binaries stay portable.
+package netserver
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Transport names for Config.Transport / MUTPS_TRANSPORT.
+const (
+	TransportGoroutine = "goroutine"
+	TransportEpoll     = "epoll"
+)
+
+// errEpollUnsupported reports that this platform has no epoll transport
+// (epoll_stub.go); callers fall back to the goroutine transport.
+var errEpollUnsupported = errors.New("netserver: epoll transport requires linux")
+
+// maxEventLoops caps the epoll transport's goroutine pool: each loop runs
+// one event goroutine plus one completer, so the transport never exceeds
+// 2×maxEventLoops goroutines no matter how many connections are open.
+const maxEventLoops = 32
+
+// eventLoopCount resolves Config.EventLoops to the loop-pool size.
+func (s *Server) eventLoopCount() int {
+	n := s.cfg.EventLoops
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > maxEventLoops {
+		n = maxEventLoops
+	}
+	return n
+}
+
+// transport is the socket-owning half of the server: it accepts
+// connections, feeds frames through the protocol layer, and reports the
+// listen address. Close stops accepting, closes every connection, and
+// waits for in-flight work to drain.
+type transport interface {
+	Addr() net.Addr
+	Close() error
+	name() string
+}
+
+// chooseTransport resolves the configured transport name: the explicit
+// config wins, then the MUTPS_TRANSPORT environment variable, then the
+// portable default.
+func chooseTransport(cfg Config) string {
+	if cfg.Transport != "" {
+		return cfg.Transport
+	}
+	if env := os.Getenv("MUTPS_TRANSPORT"); env != "" {
+		return env
+	}
+	return TransportGoroutine
+}
+
+// goroutineTransport is the portable goroutine-per-connection transport:
+// an accept loop hands each connection to a serve goroutine running the
+// pipelined executor (pipeserve.go).
+type goroutineTransport struct {
+	s  *Server
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newGoroutineTransport(s *Server, ln net.Listener) *goroutineTransport {
+	t := &goroutineTransport{s: s, ln: ln, conns: map[net.Conn]struct{}{}}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t
+}
+
+// Addr returns the listener address.
+func (t *goroutineTransport) Addr() net.Addr { return t.ln.Addr() }
+
+func (t *goroutineTransport) name() string { return TransportGoroutine }
+
+// Close stops accepting and closes every connection.
+func (t *goroutineTransport) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	for c := range t.conns {
+		c.Close()
+	}
+	t.mu.Unlock()
+	err := t.ln.Close()
+	t.wg.Wait()
+	return err
+}
+
+func (t *goroutineTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		if t.s.cfg.MaxConns > 0 && len(t.conns) >= t.s.cfg.MaxConns {
+			t.mu.Unlock()
+			t.rejectConn(conn)
+			continue
+		}
+		t.conns[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.serveConn(conn)
+	}
+}
+
+// rejectConn refuses a connection over the MaxConns cap with a proper
+// protocol frame so the client reports "connection limit reached" instead
+// of an opaque EOF. The write gets a short deadline — a rejection must
+// never tie up the accept loop.
+func (t *goroutineTransport) rejectConn(conn net.Conn) {
+	t.s.rejected.Inc(0)
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	w := bufio.NewWriter(conn)
+	writeResp(w, StatusError, []byte("connection limit reached"))
+	w.Flush()
+	conn.Close()
+}
+
+// serveConn runs one connection's pipelined executor (pipeserve.go): a
+// decode stage that reads frames and submits them asynchronously into the
+// store, and a completion stage that retires responses in FIFO order with
+// coalesced flushes. The connection counts as idle for the idle-conns
+// gauge only between bursts — the pipeline flips it active on the first
+// decoded frame (see track).
+func (t *goroutineTransport) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	s := t.s
+	connID := int(s.nextConn.Add(1))
+	s.openConns.Add(1)
+	s.idleConns.Add(1)
+	defer func() {
+		s.idleConns.Add(-1)
+		s.openConns.Add(-1)
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+		conn.Close()
+	}()
+	newConnPipeline(s, conn, connID).run()
+}

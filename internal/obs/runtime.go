@@ -2,7 +2,11 @@ package obs
 
 import (
 	"math"
+	"os"
+	"runtime"
 	"runtime/metrics"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -143,4 +147,31 @@ func RegisterRuntimeMetrics(r *Registry) {
 			"Stop-the-world GC pause duration quantiles in seconds (runtime/metrics "+rmGCPause+").",
 			func() float64 { return c.pauseQuantile(q) })
 	}
+	r.GaugeFunc("mutps_go_goroutines", "",
+		"Live goroutines in the process. The transport-cost signal: the "+
+			"goroutine transport scales this with open connections, the "+
+			"epoll transport holds it flat.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("mutps_proc_rss_bytes", "",
+		"Resident set size of the process from /proc/self/statm "+
+			"(0 where procfs is unavailable).",
+		func() float64 { return procRSSBytes() })
+}
+
+// procRSSBytes reads the resident page count from /proc/self/statm
+// (second field) — the cheapest RSS source on Linux; zero elsewhere.
+func procRSSBytes() float64 {
+	b, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	f := strings.Fields(string(b))
+	if len(f) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseUint(f[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return float64(pages) * float64(os.Getpagesize())
 }
