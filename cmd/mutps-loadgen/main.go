@@ -11,7 +11,6 @@ package main
 
 import (
 	"encoding/binary"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -25,9 +24,11 @@ import (
 	"syscall"
 	"time"
 
+	"mutps/internal/benchfmt"
 	"mutps/internal/cluster"
 	"mutps/internal/netserver"
 	"mutps/internal/obs"
+	"mutps/internal/scenario"
 	"mutps/internal/workload"
 )
 
@@ -72,10 +73,29 @@ func main() {
 		"sparse-activity mode: hold this many open connections and drive only an -active-fraction subset at a time, rotating; measures what mostly-idle connections cost the server (0 = off)")
 	activeFraction := flag.Float64("active-fraction", 0.01,
 		"sparse-activity mode: fraction of -conns issuing requests at any instant; activity rotates across the whole set in short pipelined bursts")
+	scenarioName := flag.String("scenario", "",
+		"run a scripted dynamic-workload scenario from the benchmark matrix against the server, emitting one normalized record per measurement window ('list' prints the matrix); supersedes -mix/-ops")
+	scenarioScale := flag.Float64("scenario-scale", 1,
+		"multiply every scenario phase duration by this factor (CI smoke runs use ~0.05)")
+	scenarioWindow := flag.Duration("scenario-window", 100*time.Millisecond,
+		"measurement-window width of -scenario records")
 	flag.Parse()
 	// -inflight supersedes -depth; the old name keeps working as an alias.
 	if *inflight > 0 {
 		*depth = *inflight
+	}
+
+	if *scenarioName != "" {
+		runScenario(scenarioRun{
+			name:      *scenarioName,
+			scale:     *scenarioScale,
+			addr:      *addr,
+			window:    *scenarioWindow,
+			load:      *load,
+			opTimeout: *opTimeout,
+			benchJSON: *benchJSON,
+		})
+		return
 	}
 
 	mixes := map[string]workload.Mix{
@@ -259,23 +279,26 @@ func main() {
 	}
 	printAllocSummary(snap.Count, elapsed, &memBefore, &memAfter, serverBefore, serverAfter)
 	if *benchJSON != "" {
-		writeBenchJSON(*benchJSON, map[string]any{
-			"bench":       "loadgen",
-			"mix":         *mixName,
-			"keys":        *keys,
-			"theta":       *theta,
-			"value_size":  *valueSize,
-			"ttl_ns":      int64(*putTTL),
-			"ops":         snap.Count,
-			"clients":     *clients,
-			"inflight":    *depth,
-			"ops_per_sec": float64(snap.Count) / elapsed.Seconds(),
-			"p50_ns":      snap.Quantile(0.50),
-			"p95_ns":      snap.Quantile(0.95),
-			"p99_ns":      snap.Quantile(0.99),
-			"max_ns":      snap.Max,
-			"backlogged":  backlogged.Load(),
-		})
+		rec := benchfmt.New("loadgen")
+		rec.Config = map[string]any{
+			"mix":        *mixName,
+			"keys":       *keys,
+			"theta":      *theta,
+			"value_size": *valueSize,
+			"ttl_ns":     int64(*putTTL),
+			"clients":    *clients,
+			"inflight":   *depth,
+		}
+		rec.Ops = snap.Count
+		rec.OpsPerSec = float64(snap.Count) / elapsed.Seconds()
+		rec.P50Ns = float64(snap.Quantile(0.50))
+		rec.P99Ns = float64(snap.Quantile(0.99))
+		rec.Extra = map[string]any{
+			"p95_ns":     snap.Quantile(0.95),
+			"max_ns":     snap.Max,
+			"backlogged": backlogged.Load(),
+		}
+		appendBench(*benchJSON, rec)
 	}
 }
 
@@ -463,23 +486,26 @@ func runCluster(r clusterRun) {
 			frames, keysPerFrame, m["mutps_cluster_mget_fallback_total"], m["mutps_cluster_large_routed_total"])
 	}
 	if r.benchJSON != "" {
-		writeBenchJSON(r.benchJSON, map[string]any{
-			"bench":              "cluster-loadgen",
-			"shards":             cli.Shards(),
-			"mix":                r.mixName,
-			"ops":                snap.Count,
-			"clients":            r.clients,
-			"inflight":           r.inflight,
-			"batch_size":         r.mgetBatch,
-			"size_threshold":     r.threshold,
-			"ops_per_sec":        opsPerSec,
-			"p50_ns":             snap.Quantile(0.50),
-			"p99_ns":             snap.Quantile(0.99),
+		rec := benchfmt.New("cluster-loadgen")
+		rec.Config = map[string]any{
+			"shards":         cli.Shards(),
+			"mix":            r.mixName,
+			"clients":        r.clients,
+			"inflight":       r.inflight,
+			"batch_size":     r.mgetBatch,
+			"size_threshold": r.threshold,
+		}
+		rec.Ops = snap.Count
+		rec.OpsPerSec = opsPerSec
+		rec.P50Ns = float64(snap.Quantile(0.50))
+		rec.P99Ns = float64(snap.Quantile(0.99))
+		rec.Extra = map[string]any{
 			"avg_keys_per_frame": keysPerFrame,
 			"mget_frames":        frames,
 			"fallback_frames":    m["mutps_cluster_mget_fallback_total"],
 			"backlogged":         backlogged.Load(),
-		})
+		}
+		appendBench(r.benchJSON, rec)
 	}
 }
 
@@ -558,24 +584,189 @@ func clusterWorker(c int, cli *cluster.Client,
 	flushBatch()
 }
 
-// writeBenchJSON appends one result record to path as a JSON object per
-// line when the file exists (so successive runs build a trajectory), or
-// creates it.
-func writeBenchJSON(path string, rec map[string]any) {
-	rec["timestamp"] = time.Now().UTC().Format(time.RFC3339)
-	b, err := json.Marshal(rec)
-	if err != nil {
-		log.Fatal(err)
-	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	if _, err := f.Write(append(b, '\n')); err != nil {
+// appendBench stamps and appends one normalized record (schema
+// mutps-bench/v1, the same shape every BENCH_*.json artifact carries) so
+// successive runs accumulate into a comparable JSON-lines series.
+func appendBench(path string, rec benchfmt.Record) {
+	rec.UnixNanos = time.Now().UnixNano()
+	if err := benchfmt.Append(path, rec); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("bench record appended to %s\n", path)
+}
+
+// scenarioRun carries the dynamic-scenario parameters from flag parsing.
+type scenarioRun struct {
+	name      string
+	scale     float64
+	addr      string
+	window    time.Duration
+	load      bool
+	opTimeout time.Duration
+	benchJSON string
+}
+
+// scenarioClient adapts a synchronous network connection to the scenario
+// runner's Client interface, with the usual shed-request retry.
+type scenarioClient struct {
+	cli *netserver.Client
+	buf []byte
+}
+
+func (sc *scenarioClient) Do(req workload.Request) error {
+	for {
+		var err error
+		switch req.Op {
+		case workload.OpGet:
+			_, _, err = sc.cli.Get(req.Key)
+		case workload.OpPut:
+			if req.ValueSize > cap(sc.buf) {
+				sc.buf = make([]byte, req.ValueSize)
+			}
+			err = sc.cli.Put(req.Key, sc.buf[:req.ValueSize])
+		case workload.OpDelete:
+			_, err = sc.cli.Delete(req.Key)
+		case workload.OpScan:
+			_, err = sc.cli.Scan(req.Key, req.ScanCount)
+		}
+		if errors.Is(err, netserver.ErrBacklogged) {
+			backlogged.Add(1)
+			time.Sleep(backloggedRetryDelay)
+			continue
+		}
+		return err
+	}
+}
+
+// runScenario drives one scripted dynamic workload from the scenario
+// matrix against a live server — the network-side counterpart of the
+// in-process harness in internal/bench — emitting one normalized record
+// per measurement window into -bench-json. This is what produces a
+// BENCH_scenarios.json series for a real (possibly autotuned) server
+// rather than an in-process store.
+func runScenario(r scenarioRun) {
+	if r.name == "list" {
+		fmt.Println("scenario matrix:")
+		for _, n := range scenario.Names() {
+			s, _ := scenario.Lookup(n)
+			fmt.Printf("  %-16s %s (%v)\n", n, s.Description, s.Duration())
+		}
+		return
+	}
+	sc, ok := scenario.Lookup(r.name)
+	if !ok {
+		log.Fatalf("unknown scenario %q; -scenario list shows the matrix", r.name)
+	}
+	if r.scale != 1 {
+		sc = scenario.Scaled(sc, r.scale)
+	}
+	cli, err := netserver.DialTimeout(r.addr, 0, r.opTimeout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+
+	if r.load {
+		val := make([]byte, sc.MaxValueSize())
+		start := time.Now()
+		for k := uint64(0); k < sc.Keys; k++ {
+			for {
+				err := cli.Put(k, val)
+				if errors.Is(err, netserver.ErrBacklogged) {
+					backlogged.Add(1)
+					time.Sleep(backloggedRetryDelay)
+					continue
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+				break
+			}
+		}
+		fmt.Printf("loaded %d keys in %v\n", sc.Keys, time.Since(start).Round(time.Millisecond))
+	}
+
+	runner := &scenario.Runner{
+		Scenario: sc,
+		Client:   &scenarioClient{cli: cli, buf: make([]byte, sc.MaxValueSize())},
+		Bench:    "scenario-net",
+		Window:   r.window,
+		Seed:     1,
+		OnPhase: func(i int, ph scenario.Phase) {
+			fmt.Printf("phase %d/%d: %s (%v)\n", i+1, len(sc.Phases), ph.Name, ph.Duration)
+		},
+	}
+	// A second connection samples the server at each window close, so
+	// every record also carries the adaptation observables: GC activity,
+	// reconfigurations (tuner probes and applies land here), hot-set
+	// size, and the live thread split. Best effort — a server too old
+	// for stats2 just yields records without extras.
+	if statsCli, err := netserver.DialTimeout(r.addr, 0, r.opTimeout); err == nil {
+		defer statsCli.Close()
+		var lastGC, lastReconf float64
+		lastT := time.Now()
+		if m, err := statsCli.StatsMap(); err == nil {
+			lastGC, lastReconf = m["mutps_go_gc_cycles_total"], m["mutps_reconfigurations_total"]
+		}
+		runner.Extra = func() map[string]any {
+			m, err := statsCli.StatsMap()
+			if err != nil {
+				return nil
+			}
+			now := time.Now()
+			ex := map[string]any{
+				"server_reconfigs":  m["mutps_reconfigurations_total"] - lastReconf,
+				"server_hot_items":  m["mutps_hotset_size"],
+				"server_cr_workers": m[`mutps_workers{layer="cr"}`],
+			}
+			if dt := now.Sub(lastT).Seconds(); dt > 0 {
+				ex["server_gc_cycles_per_sec"] = (m["mutps_go_gc_cycles_total"] - lastGC) / dt
+			}
+			lastGC, lastReconf, lastT = m["mutps_go_gc_cycles_total"], m["mutps_reconfigurations_total"], now
+			return ex
+		}
+	}
+	if r.benchJSON != "" {
+		runner.Emit = func(rec benchfmt.Record) {
+			if err := benchfmt.Append(r.benchJSON, rec); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	recs, err := runner.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Per-phase summary in script order: mean window throughput and the
+	// worst window P99 — the quick-look version of the recovery curve.
+	fmt.Printf("scenario %s: %d windows\n", sc.Name, len(recs))
+	for _, ph := range sc.Phases {
+		var ops, secs, worstP99 float64
+		for _, rec := range recs {
+			if rec.Phase != ph.Name {
+				continue
+			}
+			ops += float64(rec.Ops)
+			if rec.OpsPerSec > 0 {
+				secs += float64(rec.Ops) / rec.OpsPerSec
+			}
+			if rec.P99Ns > worstP99 {
+				worstP99 = rec.P99Ns
+			}
+		}
+		if secs == 0 {
+			continue
+		}
+		fmt.Printf("  %-20s %10.0f ops/s  worst-window P99 %v\n",
+			ph.Name, ops/secs, time.Duration(worstP99).Round(time.Microsecond))
+	}
+	if n := backlogged.Load(); n > 0 {
+		fmt.Printf("backpressure: server shed %d requests (retried)\n", n)
+	}
+	if r.benchJSON != "" {
+		fmt.Printf("%d window records appended to %s\n", len(recs), r.benchJSON)
+	}
 }
 
 // sparseRun carries the sparse-activity parameters from flag parsing:
@@ -742,17 +933,19 @@ func runSparse(r sparseRun) {
 			sv("mutps_go_heap_live_bytes")/(1<<20), sv("mutps_proc_rss_bytes")/(1<<20))
 	}
 	if r.benchJSON != "" {
-		writeBenchJSON(r.benchJSON, map[string]any{
-			"bench":               "sparse-net",
-			"conns":               r.conns,
-			"active_fraction":     r.fraction,
-			"active_conns":        active,
-			"inflight":            win,
-			"mix":                 r.mixName,
-			"ops":                 snap.Count,
-			"ops_per_sec":         opsPerSec,
-			"p50_ns":              snap.Quantile(0.50),
-			"p99_ns":              snap.Quantile(0.99),
+		rec := benchfmt.New("sparse-net")
+		rec.Config = map[string]any{
+			"conns":           r.conns,
+			"active_fraction": r.fraction,
+			"active_conns":    active,
+			"inflight":        win,
+			"mix":             r.mixName,
+		}
+		rec.Ops = snap.Count
+		rec.OpsPerSec = opsPerSec
+		rec.P50Ns = float64(snap.Quantile(0.50))
+		rec.P99Ns = float64(snap.Quantile(0.99))
+		rec.Extra = map[string]any{
 			"max_ns":              snap.Max,
 			"backlogged":          backlogged.Load(),
 			"server_goroutines":   sv("mutps_go_goroutines"),
@@ -760,7 +953,8 @@ func runSparse(r sparseRun) {
 			"server_leased_bytes": sv("mutps_net_leased_buffer_bytes"),
 			"server_heap_live":    sv("mutps_go_heap_live_bytes"),
 			"server_rss_bytes":    sv("mutps_proc_rss_bytes"),
-		})
+		}
+		appendBench(r.benchJSON, rec)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"mutps/internal/kvcore"
 	"mutps/internal/netserver"
 	"mutps/internal/obs"
+	"mutps/internal/tuner"
 )
 
 func main() {
@@ -54,6 +55,18 @@ func main() {
 		"connection transport: goroutine (portable, one goroutine per connection) or epoll (Linux event loops, idle connections cost ~0); empty honors MUTPS_TRANSPORT then defaults to goroutine")
 	eventLoops := flag.Int("event-loops", 0,
 		"epoll transport: number of event-loop shards, each one epoll instance + SO_REUSEPORT listener + completer goroutine (0 = GOMAXPROCS, capped at 32)")
+	autotune := flag.Bool("autotune", false,
+		"run the closed-loop auto-tuner: sample throughput/latency, and on a sustained shift re-search the thread split and hot-set size online, without pausing traffic")
+	autotuneWindow := flag.Duration("autotune-window", 10*time.Millisecond,
+		"measurement window per search probe (the paper's 10ms feedback monitor)")
+	autotuneInterval := flag.Duration("autotune-interval", 100*time.Millisecond,
+		"sampling cadence of the trigger monitors")
+	autotuneCooldown := flag.Duration("autotune-cooldown", 3*time.Second,
+		"minimum time between retunes (anti-oscillation hysteresis)")
+	autotuneMinGain := flag.Float64("autotune-min-gain", 0.05,
+		"minimum relative improvement a search winner must show over the incumbent; below it the tuner reverts")
+	tunerPriors := flag.String("tuner-priors", "",
+		"per-workload-signature best-known-config JSON (seed offline with 'mutps-bench -sweep-priors'); loaded at startup, rewritten with online refinements at shutdown (empty = start cold)")
 	flag.Parse()
 
 	budget, err := parseSize(*memBudget)
@@ -121,6 +134,55 @@ func main() {
 		map[kvcore.Engine]string{kvcore.Hash: "H", kvcore.Tree: "T"}[eng],
 		srv.Addr(), srv.Transport(), *workers, *cr, *hot)
 
+	// Closed-loop autotuning (§3.5): started after the network server so the
+	// latency trigger can tap its per-op histograms, which are registered on
+	// the store's shared metrics registry.
+	var ctl *tuner.Controller
+	var priors *tuner.Priors
+	if *autotune {
+		priors = tuner.NewPriors()
+		if *tunerPriors != "" {
+			if p, err := tuner.LoadPriors(*tunerPriors); err == nil {
+				priors = p
+				log.Printf("autotune: %d workload-signature priors loaded from %s", p.Len(), *tunerPriors)
+			} else if !os.IsNotExist(err) {
+				log.Fatalf("-tuner-priors: %v", err)
+			}
+		}
+		tn := &kvcore.Tunable{S: store, Window: *autotuneWindow}
+		// Exact-mean latency feed: sum the _sum/_count series of every per-op
+		// network latency histogram (never interpolated bucket quantiles).
+		var hists []*obs.Histogram
+		for _, l := range []string{`op="get"`, `op="put"`, `op="delete"`, `op="scan"`, `op="mget"`} {
+			if h, ok := store.Metrics().FindHistogram("mutps_net_op_latency_nanoseconds", l); ok {
+				hists = append(hists, h)
+			}
+		}
+		ccfg := tuner.ControllerConfig{
+			Interval:  *autotuneInterval,
+			Cooldown:  *autotuneCooldown,
+			MinGain:   *autotuneMinGain,
+			Rate:      store.Ops,
+			Priors:    priors,
+			Signature: tn.Signature,
+			Trace:     store.Trace(),
+		}
+		if len(hists) > 0 {
+			ccfg.LatFeed = func() (sum, count uint64) {
+				for _, h := range hists {
+					snap := h.Snapshot()
+					sum += snap.Sum
+					count += snap.Count
+				}
+				return sum, count
+			}
+		}
+		ctl = tuner.NewController(tn, ccfg)
+		ctl.Start()
+		log.Printf("autotune: on (window=%v interval=%v cooldown=%v min-gain=%.0f%%)",
+			*autotuneWindow, *autotuneInterval, *autotuneCooldown, *autotuneMinGain*100)
+	}
+
 	if *metricsAddr != "" {
 		mln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -141,6 +203,17 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	log.Printf("shutting down; stats: %+v", store.Stats())
+	if ctl != nil {
+		ctl.Stop()
+		ticks, triggers, retunes, reverts := ctl.Counters()
+		log.Printf("autotune: ticks=%d triggers=%d retunes=%d reverts=%d", ticks, triggers, retunes, reverts)
+		if *tunerPriors != "" {
+			// Persist online refinements so the next start re-seeds from them.
+			if err := priors.Save(*tunerPriors); err != nil {
+				log.Printf("autotune: saving priors: %v", err)
+			}
+		}
+	}
 	srv.Close()
 	store.Close()
 }

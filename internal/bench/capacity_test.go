@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"mutps/internal/benchfmt"
 	"mutps/internal/kvcore"
 	"mutps/internal/obs"
 )
@@ -100,20 +101,24 @@ func BenchmarkEvictionChurn(b *testing.B) {
 			}
 			snap := lat.Snapshot()
 			if out := os.Getenv("BENCH_CAPACITY_OUT"); out != "" && b.N > 1 {
-				appendBenchRecord(b, out, map[string]any{
-					"bench":             "BenchmarkEvictionChurn",
-					"mode":              mode,
+				rec := benchfmt.New("BenchmarkEvictionChurn")
+				rec.Config = map[string]any{
+					"mode":         mode,
+					"budget_bytes": budget,
+					"keys":         nKeys,
+					"value_size":   valSize,
+					"drivers":      drivers,
+				}
+				rec.Ops = uint64(ops)
+				rec.OpsPerSec = opsPerSec
+				rec.P50Ns = float64(snap.Quantile(0.50))
+				rec.P99Ns = float64(snap.Quantile(0.99))
+				rec.Extra = map[string]any{
+					"latency_of":        "put",
 					"live_bytes":        s.BudgetedBytes(),
-					"budget_bytes":      budget,
-					"keys":              nKeys,
-					"value_size":        valSize,
-					"drivers":           drivers,
-					"ops":               ops,
-					"ops_per_sec":       opsPerSec,
-					"put_p50_ns":        snap.Quantile(0.50),
-					"put_p99_ns":        snap.Quantile(0.99),
 					"bytes_over_budget": over,
-				})
+				}
+				appendBenchRecord(b, out, rec)
 			}
 		})
 	}

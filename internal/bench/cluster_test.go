@@ -1,13 +1,13 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"sync"
 	"testing"
 	"time"
 
+	"mutps/internal/benchfmt"
 	"mutps/internal/cluster"
 	"mutps/internal/kvcore"
 	"mutps/internal/obs"
@@ -111,36 +111,34 @@ func BenchmarkClusterGets(b *testing.B) {
 			snap := lat.Snapshot()
 			b.ReportMetric(opsPerSec, "gets/s")
 			if out := os.Getenv("BENCH_CLUSTER_OUT"); out != "" && b.N > 1 {
-				appendBenchRecord(b, out, map[string]any{
-					"bench":              "BenchmarkClusterGets",
-					"shards":             shards,
-					"batch_size":         batch,
-					"drivers":            drivers,
-					"ops":                perDriver * drivers,
-					"ops_per_sec":        opsPerSec,
-					"frame_p50_ns":       snap.Quantile(0.50),
-					"frame_p99_ns":       snap.Quantile(0.99),
+				rec := benchfmt.New("BenchmarkClusterGets")
+				rec.Config = map[string]any{
+					"shards":     shards,
+					"batch_size": batch,
+					"drivers":    drivers,
+				}
+				rec.Ops = uint64(perDriver * drivers)
+				rec.OpsPerSec = opsPerSec
+				// P50/P99 here are per mget *frame*, not per key.
+				rec.P50Ns = float64(snap.Quantile(0.50))
+				rec.P99Ns = float64(snap.Quantile(0.99))
+				rec.Extra = map[string]any{
+					"latency_of":         "mget-frame",
 					"avg_keys_per_frame": keysPerFrame,
-				})
+				}
+				appendBenchRecord(b, out, rec)
 			}
 		})
 	}
 }
 
-// appendBenchRecord writes one JSON object per line so repeated runs (and
-// the two sub-benchmarks) accumulate into a comparable series.
-func appendBenchRecord(b *testing.B, path string, rec map[string]any) {
+// appendBenchRecord stamps and appends one normalized record (schema
+// mutps-bench/v1) so repeated runs (and sub-benchmarks) accumulate into a
+// comparable series all BENCH_*.json artifacts share.
+func appendBenchRecord(b *testing.B, path string, rec benchfmt.Record) {
 	b.Helper()
-	buf, err := json.Marshal(rec)
-	if err != nil {
-		b.Fatal(err)
-	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer f.Close()
-	if _, err := f.Write(append(buf, '\n')); err != nil {
+	rec.UnixNanos = time.Now().UnixNano()
+	if err := benchfmt.Append(path, rec); err != nil {
 		b.Fatal(err)
 	}
 }

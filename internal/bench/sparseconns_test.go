@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"mutps/internal/benchfmt"
 	"mutps/internal/kvcore"
 	"mutps/internal/netserver"
 	"mutps/internal/obs"
@@ -187,21 +188,24 @@ func benchSparseConns(b *testing.B, tr string, conns int) {
 
 	snap := hist.Snapshot()
 	if out := os.Getenv("BENCH_NET_OUT"); out != "" && b.N > 1 {
-		appendBenchRecord(b, out, map[string]any{
-			"bench":           "BenchmarkSparseConns",
-			"transport":       tr,
-			"conns":           conns,
-			"active":          active,
-			"window":          win,
-			"ops":             b.N,
-			"ops_per_sec":     opsPerSec,
-			"p50_ns":          snap.Quantile(0.50),
-			"p99_ns":          snap.Quantile(0.99),
+		rec := benchfmt.New("BenchmarkSparseConns")
+		rec.Config = map[string]any{
+			"transport": tr,
+			"conns":     conns,
+			"active":    active,
+			"inflight":  win,
+		}
+		rec.Ops = uint64(b.N)
+		rec.OpsPerSec = opsPerSec
+		rec.P50Ns = float64(snap.Quantile(0.50))
+		rec.P99Ns = float64(snap.Quantile(0.99))
+		rec.Extra = map[string]any{
 			"goroutines":      goroutines,
 			"leased_bytes":    leased,
 			"idle_conns":      idle,
 			"heap_inuse":      ms.HeapInuse,
 			"client_overhead": conns, // ~1 client goroutine per conn rides in `goroutines`
-		})
+		}
+		appendBenchRecord(b, out, rec)
 	}
 }

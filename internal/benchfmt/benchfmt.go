@@ -1,0 +1,125 @@
+// Package benchfmt defines the normalized JSON-lines record every bench
+// artifact in this repo emits (BENCH_net.json, BENCH_cluster.json,
+// BENCH_capacity.json, BENCH_scenarios.json). One schema means one
+// plotting script: every record carries the same core measurement fields
+// at the top level, with emitter-specific knobs under "config" and
+// emitter-specific observations under "extra".
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SchemaV1 is the schema tag stamped on every record.
+const SchemaV1 = "mutps-bench/v1"
+
+// Record is one measurement: a whole benchmark run, or one window of one
+// phase of a dynamic scenario.
+type Record struct {
+	Schema string `json:"schema"`
+	Bench  string `json:"bench"` // emitter name, e.g. "BenchmarkSparseConns"
+
+	// Scenario position, set only by scenario runs.
+	Scenario string `json:"scenario,omitempty"`
+	Phase    string `json:"phase,omitempty"`
+	Window   int    `json:"window,omitempty"` // 1-based window index within the phase
+
+	// Config holds the knob values that produced this measurement
+	// (workers, conns, batch size, tuner configuration, ...).
+	Config map[string]any `json:"config,omitempty"`
+
+	Ops       uint64  `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Ns     float64 `json:"p50_ns,omitempty"`
+	P99Ns     float64 `json:"p99_ns,omitempty"`
+
+	// Extra holds emitter-specific observations (heap bytes, frames,
+	// eviction counts, tuner counters, ...).
+	Extra map[string]any `json:"extra,omitempty"`
+
+	UnixNanos int64 `json:"unix_nanos,omitempty"`
+}
+
+// New returns a record stamped with the schema tag.
+func New(bench string) Record {
+	return Record{Schema: SchemaV1, Bench: bench}
+}
+
+// Validate checks the invariants every consumer may rely on.
+func (r *Record) Validate() error {
+	if r.Schema != SchemaV1 {
+		return fmt.Errorf("benchfmt: schema %q, want %q", r.Schema, SchemaV1)
+	}
+	if r.Bench == "" {
+		return fmt.Errorf("benchfmt: empty bench name")
+	}
+	if r.OpsPerSec < 0 {
+		return fmt.Errorf("benchfmt: negative ops_per_sec %v", r.OpsPerSec)
+	}
+	if r.Window < 0 {
+		return fmt.Errorf("benchfmt: negative window %d", r.Window)
+	}
+	if r.Phase != "" && r.Scenario == "" {
+		return fmt.Errorf("benchfmt: phase %q without a scenario", r.Phase)
+	}
+	return nil
+}
+
+// Append validates rec and writes it as one JSON line to path, creating
+// the file if needed. Repeated runs accumulate into a comparable series.
+func Append(path string, rec Record) error {
+	if rec.Schema == "" {
+		rec.Schema = SchemaV1
+	}
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(append(buf, '\n'))
+	return err
+}
+
+// ReadFile parses a JSON-lines artifact, validating every record. Blank
+// lines are skipped; any malformed or schema-violating line is an error
+// naming its line number.
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("benchfmt: %s:%d: %v", path, line, err)
+		}
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,63 @@
+package hotset
+
+import "sync/atomic"
+
+// Recent is the eviction-aware admission filter: a fixed-size,
+// direct-mapped set of recently evicted keys. The lifecycle evictor
+// Notes each victim; the hot-set refresher Contains-checks candidates
+// before admitting them and Sweeps once per refresh, so a veto lasts one
+// to two refresh cycles. Without it, a key the evictor judged coldest
+// can still rank high in the tracker's sketch (the CMS decays slowly)
+// and bounce straight back into the hot set — pinning a freshly evicted
+// item's replacement chain and defeating the eviction.
+//
+// The structure is two generations of atomic slots holding key+1
+// (0 = empty). Lookups require an exact key match, so a veto never hits
+// the wrong key (no false positives); hash collisions overwrite, so a
+// veto can be lost (false negatives) — acceptable for a heuristic that
+// only delays re-admission. Note and Contains are wait-free; Sweep is
+// called under the refresher's serialization.
+type Recent struct {
+	mask uint64
+	gens [2][]atomic.Uint64
+	cur  atomic.Uint32 // generation Note writes into; Contains checks both
+}
+
+// NewRecent creates a filter with capacity rounded up to a power of two
+// (minimum 64 slots per generation).
+func NewRecent(size int) *Recent {
+	n := 64
+	for n < size {
+		n <<= 1
+	}
+	r := &Recent{mask: uint64(n - 1)}
+	r.gens[0] = make([]atomic.Uint64, n)
+	r.gens[1] = make([]atomic.Uint64, n)
+	return r
+}
+
+// Note records an evicted key.
+func (r *Recent) Note(key uint64) {
+	g := r.gens[r.cur.Load()&1]
+	g[hvMix(key)&r.mask].Store(key + 1)
+}
+
+// Contains reports whether key was Noted within the last two sweep
+// periods (and not overwritten by a colliding victim).
+func (r *Recent) Contains(key uint64) bool {
+	slot := hvMix(key) & r.mask
+	want := key + 1
+	return r.gens[0][slot].Load() == want || r.gens[1][slot].Load() == want
+}
+
+// Sweep ages the filter: the generation that has been accumulating
+// becomes read-only history, and the other — holding the oldest vetoes —
+// is cleared for reuse. Call once per hot-set refresh.
+func (r *Recent) Sweep() {
+	next := (r.cur.Load() + 1) & 1
+	g := r.gens[next]
+	for i := range g {
+		g[i].Store(0)
+	}
+	r.cur.Store(next)
+}

@@ -1,0 +1,65 @@
+package hotset
+
+import "testing"
+
+func TestRecentNoteContainsSweep(t *testing.T) {
+	r := NewRecent(256)
+	if r.Contains(42) {
+		t.Fatal("empty filter contains 42")
+	}
+	r.Note(42)
+	if !r.Contains(42) {
+		t.Fatal("noted key not contained")
+	}
+	// Exact match: a different key mapping anywhere must not be vetoed.
+	if r.Contains(43) {
+		t.Fatal("unnoted key vetoed (false positive)")
+	}
+
+	// A veto survives exactly two sweeps.
+	r.Sweep()
+	if !r.Contains(42) {
+		t.Fatal("veto lost after one sweep")
+	}
+	r.Sweep()
+	if r.Contains(42) {
+		t.Fatal("veto survived two sweeps")
+	}
+}
+
+func TestRecentKeyZero(t *testing.T) {
+	r := NewRecent(64)
+	r.Note(0)
+	if !r.Contains(0) {
+		t.Fatal("key 0 not representable")
+	}
+}
+
+func TestRecentCollisionOverwrites(t *testing.T) {
+	r := NewRecent(1) // rounds up to 64 slots: collisions guaranteed below
+	// Find two keys that collide.
+	var a, b uint64
+	slot := func(k uint64) uint64 { return hvMix(k) & r.mask }
+	a = 1
+	for b = 2; slot(b) != slot(a); b++ {
+	}
+	r.Note(a)
+	r.Note(b)
+	if r.Contains(a) {
+		t.Fatal("overwritten veto still contained (want false negative on collision)")
+	}
+	if !r.Contains(b) {
+		t.Fatal("latest victim lost")
+	}
+}
+
+func TestRecentSizingRoundsUp(t *testing.T) {
+	r := NewRecent(100)
+	if got := r.mask + 1; got != 128 {
+		t.Fatalf("capacity = %d, want 128", got)
+	}
+	r = NewRecent(0)
+	if got := r.mask + 1; got != 64 {
+		t.Fatalf("minimum capacity = %d, want 64", got)
+	}
+}

@@ -118,6 +118,10 @@ func (s *Store) EvictKey(key uint64) (uint64, bool) {
 	exp := it.Expire()
 	expired := exp != 0 && uint64(time.Now().UnixNano()) >= exp
 	it.Kill()
+	// Veto hot-set admission for the next refresh cycles: the tracker's
+	// sketch may still rank this key hot, and re-admitting the victim
+	// would pin its chain and defeat the eviction.
+	s.recent.Note(key)
 
 	spilled := false
 	var loc coldtier.Loc

@@ -131,6 +131,7 @@ type Store struct {
 	cache   *hotset.Cache
 	tracker *hotset.Tracker
 	cms     *hotset.CMS
+	recent  *hotset.Recent // eviction veto: victims skip hot-set admission
 	slabs   []*slab
 	crp     []*crPersist
 	mrscr   []*mrScratch
@@ -212,6 +213,7 @@ func Open(cfg Config) (*Store, error) {
 	s.cache = hotset.NewCache()
 	s.tracker = hotset.NewTracker(cfg.Workers, cfg.SampleEvery, cfg.TrackRing)
 	s.cms = hotset.NewCMS(4 * cfg.TrackRing * cfg.Workers)
+	s.recent = hotset.NewRecent(4096)
 	s.slabs = make([]*slab, cfg.Workers)
 	s.crp = make([]*crPersist, cfg.Workers)
 	s.mrscr = make([]*mrScratch, cfg.Workers)
@@ -639,10 +641,20 @@ func (s *Store) RefreshHotSet() int {
 	hot := s.tracker.Snapshot(s.cms, k)
 	entries := make([]hotset.Entry, 0, len(hot))
 	for _, h := range hot {
+		if s.recent.Contains(h.Key) {
+			// Eviction-aware admission: the evictor just chose this key as a
+			// victim; re-admitting it would pin its replacement chain and
+			// undo the eviction. The veto ages out over the next two
+			// refreshes (Sweep below) — if the key is genuinely hot it will
+			// still rank in the sketch then.
+			s.met.hotVeto.Inc(0)
+			continue
+		}
 		if it, ok := s.idx.Get(h.Key); ok && !it.Dead() {
 			entries = append(entries, hotset.Entry{Key: h.Key, Item: it.Latest()})
 		}
 	}
+	s.recent.Sweep()
 	if s.dom != nil {
 		gen := s.cache.Installs() + 1 // the generation Install below gets
 		for _, e := range entries {

@@ -1,6 +1,7 @@
 package kvcore
 
 import (
+	"sync/atomic"
 	"time"
 
 	"mutps/internal/obs"
@@ -24,8 +25,17 @@ type Tunable struct {
 	// CacheStep is the linear-probe step (default MaxCache/8).
 	CacheStep int
 
-	lastWays int
+	// lastWays is atomic: the controller goroutine records it in Apply
+	// while observers (bench Extra hooks, stats scrapes) read it through
+	// Current concurrently.
+	lastWays atomic.Int32
 	sampler  *obs.WindowSampler
+
+	// Windowed workload-signature state: deltas since the previous
+	// Signature call classify *recent* traffic, not the lifetime mix.
+	lastOps    [4]uint64
+	lastValSum uint64
+	lastValCnt uint64
 }
 
 // Bounds implements tuner.Reconfigurable.
@@ -43,8 +53,11 @@ func (t *Tunable) Bounds() (threads, ways, maxCacheItems, cacheStep int) {
 	return t.S.cfg.Workers, 0, maxC, step
 }
 
-// Measure implements tuner.Reconfigurable.
-func (t *Tunable) Measure(c tuner.Config) float64 {
+// Apply implements tuner.System: install a configuration on the running
+// store without measuring. The thread split lands via the reconfigurable
+// RPC schedule and the hot-set size via the next epoch-switched view
+// install — traffic is never paused.
+func (t *Tunable) Apply(c tuner.Config) {
 	nCR := t.S.cfg.Workers - c.MRThreads
 	if nCR < 1 {
 		nCR = 1
@@ -52,12 +65,25 @@ func (t *Tunable) Measure(c tuner.Config) float64 {
 	if nCR > t.S.cfg.Workers-1 {
 		nCR = t.S.cfg.Workers - 1
 	}
-	if err := t.S.SetSplit(nCR); err != nil {
-		return 0
-	}
+	t.S.SetSplit(nCR) //nolint:errcheck // closed-store errors only; probing a closing store is moot
 	t.S.SetHotItems(c.CacheItems)
 	t.S.RefreshHotSet()
-	t.lastWays = c.MRWays
+	t.lastWays.Store(int32(c.MRWays))
+}
+
+// Current implements tuner.System.
+func (t *Tunable) Current() tuner.Config {
+	_, nMR := t.S.Split()
+	return tuner.Config{
+		CacheItems: t.S.HotItems(),
+		MRThreads:  nMR,
+		MRWays:     int(t.lastWays.Load()),
+	}
+}
+
+// Measure implements tuner.Reconfigurable.
+func (t *Tunable) Measure(c tuner.Config) float64 {
+	t.Apply(c)
 
 	w := t.Window
 	if w == 0 {
@@ -71,4 +97,40 @@ func (t *Tunable) Measure(c tuner.Config) float64 {
 	return t.sampler.Rate()
 }
 
-var _ tuner.Reconfigurable = (*Tunable)(nil)
+// Signature classifies the traffic observed since the previous Signature
+// call (read fraction, scan fraction, exact mean put value size from the
+// value-size histogram's sum/count deltas) for the controller's prior
+// table. With no traffic in the window it falls back to lifetime totals.
+func (t *Tunable) Signature() tuner.Signature {
+	ops := t.S.OpCounts()
+	vSum, vCnt := t.S.PutValueStats()
+
+	var d [4]uint64
+	var total uint64
+	for i := range ops {
+		d[i] = ops[i] - t.lastOps[i]
+		total += d[i]
+	}
+	dSum, dCnt := vSum-t.lastValSum, vCnt-t.lastValCnt
+	t.lastOps, t.lastValSum, t.lastValCnt = ops, vSum, vCnt
+
+	if total == 0 {
+		d = ops
+		for _, n := range ops {
+			total += n
+		}
+		dSum, dCnt = vSum, vCnt
+		if total == 0 {
+			return tuner.Signature{}
+		}
+	}
+	readFrac := float64(d[0]) / float64(total)
+	scanFrac := float64(d[3]) / float64(total)
+	meanVal := 0.0
+	if dCnt > 0 {
+		meanVal = float64(dSum) / float64(dCnt)
+	}
+	return tuner.MakeSignature(readFrac, scanFrac, meanVal)
+}
+
+var _ tuner.System = (*Tunable)(nil)

@@ -112,6 +112,20 @@ func (r *Registry) Histogram(name, labels, help string, shards int) *Histogram {
 	return s.h
 }
 
+// FindHistogram returns the histogram already registered under (name,
+// labels), without creating one. It lets a layer that did not register
+// an instrument (e.g. the tuner controller reading the netserver's
+// latency families) tap its _sum/_count feed.
+func (r *Registry) FindHistogram(name, labels string) (*Histogram, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.byKey[name+"{"+labels+"}"]
+	if !ok || s.kind != kindHistogram {
+		return nil, false
+	}
+	return s.h, true
+}
+
 // CounterFunc registers a computed cumulative metric: fn is called at
 // collection time (scrapes and snapshots), never on the hot path. Useful
 // for counters a lower layer already keeps as plain atomics.

@@ -38,3 +38,56 @@ func (s *WindowSampler) Rate() float64 {
 func (s *WindowSampler) Reset() {
 	s.lastN, s.lastT = s.read(), time.Now()
 }
+
+// MeanSampler turns a paired monotonic (sum, count) feed — exactly the
+// _sum/_count series every histogram exports — into a windowed mean.
+// Unlike a quantile interpolated from log₂ buckets, the delta-of-sums
+// mean is exact, which is what the paper's feedback controller consumes
+// as its latency signal. Single-consumer, like WindowSampler.
+type MeanSampler struct {
+	read      func() (sum, count uint64)
+	lastSum   uint64
+	lastCount uint64
+}
+
+// NewMeanSampler starts a sampler over the given paired reader. The
+// first window opens immediately.
+func NewMeanSampler(read func() (sum, count uint64)) *MeanSampler {
+	s := &MeanSampler{read: read}
+	s.lastSum, s.lastCount = read()
+	return s
+}
+
+// NewHistogramMeanSampler samples the exact mean of new recordings
+// across one or more histograms (e.g. the per-op latency families a
+// server registers) by summing their _sum and _count deltas.
+func NewHistogramMeanSampler(hs ...*Histogram) *MeanSampler {
+	return NewMeanSampler(func() (uint64, uint64) {
+		var sum, count uint64
+		for _, h := range hs {
+			snap := h.Snapshot()
+			sum += snap.Sum
+			count += snap.Count
+		}
+		return sum, count
+	})
+}
+
+// Mean closes the current window and returns the exact mean of the
+// values recorded during it, then opens the next window. ok is false
+// when the window saw no events (the mean is undefined, not zero).
+func (s *MeanSampler) Mean() (mean float64, ok bool) {
+	sum, count := s.read()
+	dSum, dCount := sum-s.lastSum, count-s.lastCount
+	s.lastSum, s.lastCount = sum, count
+	if dCount == 0 {
+		return 0, false
+	}
+	return float64(dSum) / float64(dCount), true
+}
+
+// Reset re-opens the window at the feed's current totals without
+// reporting a mean.
+func (s *MeanSampler) Reset() {
+	s.lastSum, s.lastCount = s.read()
+}

@@ -276,7 +276,7 @@ type Server struct {
 
 	reconfigs atomic.Uint64 // schedule changes applied (observability)
 
-	cursors    []cursorPad // per-worker next owned index (private to the worker)
+	cursors    []cursorPad // per-worker base: all slots below are consumed or disowned
 	maxWorkers int
 }
 
@@ -286,13 +286,14 @@ type cursorPad struct {
 }
 
 // NewServer creates a receive ring with the given capacity (rounded up to a
-// power of two) serving up to maxWorkers workers, initially n of them
+// power of two, minimum 4 — the slot state machine reserves seq offsets 0..2
+// within a lap) serving up to maxWorkers workers, initially n of them
 // active.
 func NewServer(capacity, maxWorkers, n int) *Server {
 	if n < 1 || n > maxWorkers {
 		panic("rpc: initial worker count out of range")
 	}
-	c := 2
+	c := 4
 	for c < capacity {
 		c <<= 1
 	}
@@ -306,11 +307,8 @@ func NewServer(capacity, maxWorkers, n int) *Server {
 		s.slots[i].seq.Store(uint64(i))
 	}
 	s.sched.Store(&schedule{phases: []phase{{0, n}}})
-	for w := 0; w < maxWorkers; w++ {
-		// Workers derive their own positions; everyone starts parked at 0
-		// and un-parks on first poll if the schedule includes them.
-		s.cursors[w].v.Store(parkedBit)
-	}
+	// Cursors start at base 0; each worker derives its owned slots from the
+	// schedule on every poll.
 	return s
 }
 
@@ -398,57 +396,63 @@ func (s *Server) Send(m Message) (*Call, error) {
 	}
 }
 
-// parkedBit marks a cursor that currently owns no slot: the low bits hold
-// the position ownership ran out at, so a later grow phase re-derives the
-// next owned slot from there with no slot ever skipped or double-claimed.
-// Cursors are entirely worker-local; the manager never touches them.
-const parkedBit = uint64(1) << 63
-
 // Poll is worker w's non-blocking one-shot check of its next owned slot.
 // It returns the message and its completion future when one is ready. ok
 // is false when nothing is ready; retired is true when the current
 // schedule gives worker w no further slots (after a shrink) — the worker
-// may switch to the memory-resident layer, and will automatically un-park
+// may switch to the memory-resident layer, and will automatically resume
 // here if a later grow re-activates it.
+//
+// The cursor holds only a base position: every index below it has been
+// consumed or disowned by this worker. Ownership of the next slot is
+// re-derived from the live schedule on every call, never cached — a cached
+// claim on a future slot can go stale when a later Reconfigure supersedes
+// the phase it was derived under, which would leave two workers believing
+// they own the same slot (and the loser camped forever on a slot whose
+// seq has already advanced past it).
+//
+// Slot seq states within a lap, for slot index idx:
+//
+//	idx        free (producers may claim)
+//	idx+1      published, unconsumed
+//	idx+2      claimed by a consumer (transient; ring capacity ≥ 4 keeps
+//	           this distinct from the next-lap free value idx+cap)
+//	idx+cap    consumed — the next lap's free value
+//
+// Consumption claims the slot by CAS(idx+1 → idx+2), so even a worker
+// acting on a superseded schedule snapshot can never double-consume; the
+// rightful owner that loses such a race observes seq > idx+1 and skips
+// past the slot instead of waiting on it forever.
 func (s *Server) Poll(w int) (m Message, ok bool, retired bool) {
-	idx := s.cursors[w].v.Load()
-	if idx&parkedBit != 0 {
-		base := idx &^ parkedBit
-		next, okN := s.sched.Load().nextOwned(base, w)
+	for {
+		base := s.cursors[w].v.Load()
+		idx, okN := s.sched.Load().nextOwned(base, w)
 		if !okN {
 			return Message{}, false, true
 		}
-		s.cursors[w].v.Store(next)
-		idx = next
-	}
-	sl := &s.slots[idx&s.capMask]
-	if sl.seq.Load() != idx+1 {
-		if s.closed.Load() {
-			// After Close installs the terminal phase, a cursor waiting at a
-			// never-published index must re-derive its ownership instead of
-			// waiting forever: under the terminal schedule it either still
-			// owns published slots below the frontier (keep polling) or owns
-			// nothing more (retire, completing the drain).
-			next, okN := s.sched.Load().nextOwned(idx, w)
-			if !okN {
-				s.cursors[w].v.Store(idx | parkedBit)
-				return Message{}, false, true
+		sl := &s.slots[idx&s.capMask]
+		seq := sl.seq.Load()
+		switch {
+		case seq == idx+1:
+			if !sl.seq.CompareAndSwap(idx+1, idx+2) {
+				continue // lost a claim race; re-derive and retry
 			}
-			if next != idx {
-				s.cursors[w].v.Store(next)
-			}
+			m = sl.msg
+			sl.msg = Message{} // drop references for GC
+			sl.seq.Store(idx + s.capMask + 1)
+			s.cursors[w].v.Store(idx + 1)
+			return m, true, false
+		case seq > idx+1:
+			// Already claimed or consumed this lap (by a worker that derived
+			// ownership under a schedule since superseded): nothing left to
+			// do here, release the index and look further.
+			s.cursors[w].v.Store(idx + 1)
+		default:
+			// seq <= idx: not yet published (possibly still holding the
+			// previous lap's state). Wait without advancing the base.
+			return Message{}, false, false
 		}
-		return Message{}, false, false
 	}
-	m = sl.msg
-	sl.msg = Message{} // drop references for GC
-	sl.seq.Store(idx + s.capMask + 1)
-	if next, okN := s.sched.Load().nextOwned(idx+1, w); okN {
-		s.cursors[w].v.Store(next)
-	} else {
-		s.cursors[w].v.Store((idx + 1) | parkedBit)
-	}
-	return m, true, false
 }
 
 // Call returns the future attached to a polled message.
@@ -479,13 +483,24 @@ func (s *Server) Reconfigure(newN int) uint64 {
 		sw := s.ticket.Load() + uint64(len(s.slots))
 		phases := make([]phase, 0, len(old.phases)+1)
 		phases = append(phases, old.phases...)
+		// A trailing phase with start >= sw governs only slots that cannot
+		// have been published or consumed yet (sw never decreases), so the
+		// new phase supersedes it entirely. Dropping it keeps a burst of
+		// reconfigurations with no traffic in between — the auto-tuner's
+		// probe pattern — from accumulating zero-width phases.
+		for len(phases) > 0 && phases[len(phases)-1].start >= sw {
+			phases = phases[:len(phases)-1]
+		}
 		phases = append(phases, phase{start: sw, n: newN})
-		// Prune history: phases entirely below every worker's position can
-		// never be consulted again (cursors only move forward), so keep
-		// only the newest phase at or below the frontier. Without this a
-		// long-lived server being auto-tuned would accumulate phases
+		// Prune history: phases entirely below every worker's next owned
+		// slot can never be consulted again (cursors only move forward), so
+		// keep only the newest phase at or below that frontier. Without
+		// this a long-lived server being auto-tuned would accumulate phases
 		// without bound and Poll's ownership walk would slow down.
-		frontier := s.minCursor()
+		frontier := s.frontier(old)
+		if frontier > sw {
+			frontier = sw
+		}
 		keepFrom := 0
 		for i := 1; i < len(phases); i++ {
 			if phases[i].start <= frontier {
@@ -502,13 +517,21 @@ func (s *Server) Reconfigure(newN int) uint64 {
 	}
 }
 
-// minCursor returns the smallest position any worker may still consult.
-func (s *Server) minCursor() uint64 {
+// frontier returns the smallest slot index any worker may still consume
+// under the given schedule: the minimum of the workers' derived next owned
+// positions. Workers the schedule retires are excluded — their frozen bases
+// say nothing about pending work, and any future phase that re-activates
+// them starts beyond every slot the pruned history governed. Cursors only
+// move forward, so a concurrent poll can only make the result conservative.
+func (s *Server) frontier(sched *schedule) uint64 {
 	min := ^uint64(0)
 	for w := range s.cursors {
-		c := s.cursors[w].v.Load() &^ parkedBit
-		if c < min {
-			min = c
+		next, ok := sched.nextOwned(s.cursors[w].v.Load(), w)
+		if !ok {
+			continue
+		}
+		if next < min {
+			min = next
 		}
 	}
 	return min
@@ -521,33 +544,19 @@ func (s *Server) PhaseCount() int { return len(s.sched.Load().phases) }
 func (s *Server) Reconfigurations() uint64 { return s.reconfigs.Load() }
 
 // Depth estimates the receive ring's occupancy: published requests not
-// yet consumed by the slowest worker that will still consume. A parked
-// cursor counts at the position it would resume from under the current
-// schedule (Poll's un-park derivation); workers the schedule retired are
-// excluded — their frozen cursors say nothing about pending work. It is a
-// scrape-time diagnostic — cursors move while it reads, so the value is
-// approximate — clamped to [0, capacity].
+// yet consumed by the slowest worker that will still consume. Each worker
+// counts at its derived next owned position under the current schedule;
+// workers the schedule retired are excluded — their frozen bases say
+// nothing about pending work. It is a scrape-time diagnostic — cursors
+// move while it reads, so the value is approximate — clamped to
+// [0, capacity].
 func (s *Server) Depth() int {
 	ticket := s.ticket.Load()
-	sched := s.sched.Load()
-	frontier := ^uint64(0)
-	for w := range s.cursors {
-		c := s.cursors[w].v.Load()
-		if c&parkedBit != 0 {
-			next, ok := sched.nextOwned(c&^parkedBit, w)
-			if !ok {
-				continue
-			}
-			c = next
-		}
-		if c < frontier {
-			frontier = c
-		}
-	}
-	if frontier == ^uint64(0) || ticket <= frontier {
+	f := s.frontier(s.sched.Load())
+	if f == ^uint64(0) || ticket <= f {
 		return 0
 	}
-	d := ticket - frontier
+	d := ticket - f
 	if d > uint64(len(s.slots)) {
 		d = uint64(len(s.slots))
 	}
@@ -557,13 +566,14 @@ func (s *Server) Depth() int {
 // PendingBefore reports whether worker w still owns unconsumed slots below
 // the given switch index (used to confirm drain during reassignment).
 func (s *Server) PendingBefore(w int, sw uint64) bool {
-	idx := s.cursors[w].v.Load()
-	if idx&parkedBit != 0 {
+	next, ok := s.sched.Load().nextOwned(s.cursors[w].v.Load(), w)
+	if !ok {
 		return false
 	}
 	// Only published slots can hold requests, so the worker is drained once
-	// its cursor passes either the switch index or the publication frontier.
-	return idx < sw && idx < s.ticket.Load()
+	// its next owned slot passes either the switch index or the publication
+	// frontier.
+	return next < sw && next < s.ticket.Load()
 }
 
 // Close initiates the shutdown drain; it is idempotent and safe against

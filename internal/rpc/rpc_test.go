@@ -141,12 +141,13 @@ func TestRingWrapAndRefill(t *testing.T) {
 }
 
 func TestSendBlocksUntilSlotFreed(t *testing.T) {
-	s := NewServer(2, 1, 1)
-	s.Send(Message{Key: 0})
-	s.Send(Message{Key: 1})
+	s := NewServer(4, 1, 1) // minimum ring: 4 slots
+	for i := 0; i < 4; i++ {
+		s.Send(Message{Key: uint64(i)})
+	}
 	done := make(chan struct{})
 	go func() {
-		s.Send(Message{Key: 2}) // must block until a slot frees
+		s.Send(Message{Key: 4}) // must block until a slot frees
 		close(done)
 	}()
 	select {
@@ -158,11 +159,10 @@ func TestSendBlocksUntilSlotFreed(t *testing.T) {
 		t.Fatal("poll failed")
 	}
 	<-done // now the blocked send can finish
-	if m, ok, _ := s.Poll(0); !ok || m.Key != 1 {
-		t.Fatal("order broken after blocking send")
-	}
-	if m, ok, _ := s.Poll(0); !ok || m.Key != 2 {
-		t.Fatal("blocked send's message lost")
+	for i := 1; i <= 4; i++ {
+		if m, ok, _ := s.Poll(0); !ok || m.Key != uint64(i) {
+			t.Fatalf("order broken after blocking send at %d", i)
+		}
 	}
 }
 
@@ -244,6 +244,68 @@ func TestReconfigureShrinkRetires(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("worker 0 must own all post-shrink slots")
+	}
+}
+
+// TestReconfigureBurstNoTraffic is the auto-tuner regression: a burst of
+// reconfigurations with zero traffic in between all compute the same switch
+// index (the ticket does not move), so every phase in the burst except the
+// last is superseded before any of its slots exist. A worker that derived a
+// future position under a superseded phase must not keep a stale claim on
+// it — historically that let the stale worker steal a slot from its
+// rightful owner when traffic resumed, wedging the owner (and the client
+// whose request landed on the owner's next slot) forever.
+func TestReconfigureBurstNoTraffic(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		s := NewServer(16, 4, 2)
+		// Warm traffic so cursors sit mid-ring, then stop.
+		for i := 0; i < 5; i++ {
+			s.Send(Message{Key: uint64(i)})
+			for w := 0; w < 2; w++ {
+				for {
+					if m, ok, _ := s.Poll(w); ok {
+						m.Call().Complete()
+					} else {
+						break
+					}
+				}
+			}
+		}
+		// Zero-traffic reconfiguration burst, polling all workers between
+		// steps like live worker loops do (this is what used to plant the
+		// stale claims).
+		for _, n := range []int{3, 1, 3, 2, 3, 1, 3, 2} {
+			s.Reconfigure(n)
+			for w := 0; w < 4; w++ {
+				if m, ok, _ := s.Poll(w); ok {
+					m.Call().Complete()
+				}
+			}
+		}
+		if pc := s.PhaseCount(); pc > 2 {
+			t.Fatalf("zero-traffic burst grew the schedule to %d phases", pc)
+		}
+		// Traffic resumes: every send must complete within a bounded number
+		// of polls across the currently active workers.
+		for i := 0; i < 64; i++ {
+			call, err := s.Send(Message{Key: 100 + uint64(i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			served := false
+			for spin := 0; spin < 1000 && !served; spin++ {
+				for w := 0; w < 4; w++ {
+					if m, ok, _ := s.Poll(w); ok {
+						m.Call().Complete()
+					}
+				}
+				served = call.Done()
+			}
+			if !served {
+				t.Fatalf("round %d: request %d lost after reconfiguration burst", round, i)
+			}
+			call.Release()
+		}
 	}
 }
 

@@ -1,0 +1,326 @@
+// Package scenario defines the dynamic-workload benchmark matrix: scripted
+// multi-phase workloads (mix switches, value-size shifts, hotspot
+// migration, load ramps, scan storms, overload) that exercise a store's
+// behaviour *across* a change, not just at steady state. A Runner drives
+// any Client through a scenario and emits one normalized benchfmt record
+// per measurement window, which is what the throughput-recovery curves
+// (paper Fig 14) are plotted from.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mutps/internal/benchfmt"
+	"mutps/internal/obs"
+	"mutps/internal/workload"
+)
+
+// Phase is one homogeneous stretch of a scenario. Zero-value fields
+// inherit the scenario defaults (Keys) or the package defaults (Theta
+// 0.99, ValueSize 64, ScanLen 50).
+type Phase struct {
+	Name     string
+	Duration time.Duration
+	Mix      workload.Mix
+	Theta    float64
+	// ThetaSet marks Theta as deliberate even when 0 (uniform); without
+	// it a zero Theta means "default to 0.99".
+	ThetaSet   bool
+	ValueSize  int
+	Keys       uint64
+	KeyOffset  uint64  // rotates the popularity ranking through the keyspace
+	TargetRate float64 // ops/s cap; 0 = open throttle
+	ScanLen    int
+}
+
+// Scenario is a named phase sequence over one keyspace.
+type Scenario struct {
+	Name        string
+	Description string
+	Keys        uint64 // keyspace every phase draws from
+	Phases      []Phase
+}
+
+// MaxValueSize returns the largest value any phase writes — the preload
+// sizing hint.
+func (s Scenario) MaxValueSize() int {
+	m := 0
+	for _, ph := range s.phases() {
+		if ph.ValueSize > m {
+			m = ph.ValueSize
+		}
+	}
+	return m
+}
+
+// Duration returns the scenario's total scripted length.
+func (s Scenario) Duration() time.Duration {
+	var d time.Duration
+	for _, ph := range s.Phases {
+		d += ph.Duration
+	}
+	return d
+}
+
+// phases returns the phase list with defaults resolved.
+func (s Scenario) phases() []Phase {
+	out := make([]Phase, len(s.Phases))
+	for i, ph := range s.Phases {
+		if ph.Keys == 0 {
+			ph.Keys = s.Keys
+		}
+		if ph.Theta == 0 && !ph.ThetaSet {
+			ph.Theta = 0.99
+		}
+		if ph.ValueSize == 0 {
+			ph.ValueSize = 64
+		}
+		if ph.ScanLen == 0 {
+			ph.ScanLen = 50
+		}
+		out[i] = ph
+	}
+	return out
+}
+
+// Scaled returns a copy with every phase duration multiplied by f — how
+// CI smoke runs shrink a multi-second scenario to a sub-second one
+// without changing its shape.
+func Scaled(s Scenario, f float64) Scenario {
+	out := s
+	out.Phases = append([]Phase(nil), s.Phases...)
+	for i := range out.Phases {
+		out.Phases[i].Duration = time.Duration(float64(out.Phases[i].Duration) * f)
+	}
+	return out
+}
+
+// registry holds the scenario matrix. Durations are the canonical values
+// used for the EXPERIMENTS.md figures; smoke runs scale them down.
+var registry = map[string]Scenario{
+	"ycsb-mix": {
+		Name:        "ycsb-mix",
+		Description: "YCSB A -> B -> C mix rotation at fixed size and skew",
+		Keys:        65536,
+		Phases: []Phase{
+			{Name: "ycsb-a", Duration: 2 * time.Second, Mix: workload.MixYCSBA, ValueSize: 128},
+			{Name: "ycsb-b", Duration: 2 * time.Second, Mix: workload.MixYCSBB, ValueSize: 128},
+			{Name: "ycsb-c", Duration: 2 * time.Second, Mix: workload.MixYCSBC, ValueSize: 128},
+		},
+	},
+	"size-shift": {
+		Name:        "size-shift",
+		Description: "YCSB-A values shrink 512B -> 8B mid-run (Fig 14 recovery curve)",
+		Keys:        65536,
+		Phases: []Phase{
+			{Name: "pre-shift", Duration: 3 * time.Second, Mix: workload.MixYCSBA, ValueSize: 512},
+			{Name: "post-shift", Duration: 3 * time.Second, Mix: workload.MixYCSBA, ValueSize: 8},
+		},
+	},
+	"hotspot-migrate": {
+		Name:        "hotspot-migrate",
+		Description: "read-mostly zipf traffic whose hot ranks jump to a disjoint key region",
+		Keys:        65536,
+		Phases: []Phase{
+			{Name: "hotspot-a", Duration: 2 * time.Second, Mix: workload.MixYCSBB, ValueSize: 128},
+			{Name: "hotspot-b", Duration: 2 * time.Second, Mix: workload.MixYCSBB, ValueSize: 128, KeyOffset: 32768},
+			{Name: "hotspot-c", Duration: 2 * time.Second, Mix: workload.MixYCSBB, ValueSize: 128, KeyOffset: 49152},
+		},
+	},
+	"diurnal": {
+		Name:        "diurnal",
+		Description: "YCSB-B under a night/morning/peak/evening load ramp",
+		Keys:        65536,
+		Phases: []Phase{
+			{Name: "night", Duration: 2 * time.Second, Mix: workload.MixYCSBB, ValueSize: 128, TargetRate: 20_000},
+			{Name: "morning", Duration: 2 * time.Second, Mix: workload.MixYCSBB, ValueSize: 128, TargetRate: 100_000},
+			{Name: "peak", Duration: 2 * time.Second, Mix: workload.MixYCSBB, ValueSize: 128},
+			{Name: "evening", Duration: 2 * time.Second, Mix: workload.MixYCSBB, ValueSize: 128, TargetRate: 50_000},
+		},
+	},
+	"scan-heavy": {
+		Name:        "scan-heavy",
+		Description: "point-read traffic turns into a YCSB-E scan storm",
+		Keys:        65536,
+		Phases: []Phase{
+			{Name: "point-reads", Duration: 2 * time.Second, Mix: workload.MixYCSBC, ValueSize: 128},
+			{Name: "scan-storm", Duration: 2 * time.Second, Mix: workload.MixYCSBE, ValueSize: 128, ScanLen: 50},
+			{Name: "point-reads-again", Duration: 2 * time.Second, Mix: workload.MixYCSBC, ValueSize: 128},
+		},
+	},
+	"overload-shed": {
+		Name:        "overload-shed",
+		Description: "paced steady state, open-throttle overload burst, recovery",
+		Keys:        65536,
+		Phases: []Phase{
+			{Name: "steady", Duration: 2 * time.Second, Mix: workload.MixYCSBA, ValueSize: 128, TargetRate: 50_000},
+			{Name: "overload", Duration: 2 * time.Second, Mix: workload.MixYCSBA, ValueSize: 128},
+			{Name: "recover", Duration: 2 * time.Second, Mix: workload.MixYCSBA, ValueSize: 128, TargetRate: 50_000},
+		},
+	},
+}
+
+// Lookup returns a scenario from the matrix by name.
+func Lookup(name string) (Scenario, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names lists the matrix in stable order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Client executes one request against a store. Implementations decide
+// what a miss means (the runner treats only returned errors as fatal).
+type Client interface {
+	Do(req workload.Request) error
+}
+
+// Runner drives a Client through a scenario, measuring windows of fixed
+// wall-clock length and emitting one normalized record per window.
+type Runner struct {
+	Scenario Scenario
+	Client   Client
+	// Bench names the emitter in the records (default "scenario").
+	Bench string
+	// Window is the measurement granularity (default 100ms).
+	Window time.Duration
+	Seed   uint64
+	// Emit, when set, receives every record as it is produced (for
+	// streaming to a file while the run is live).
+	Emit func(benchfmt.Record)
+	// OnPhase, when set, runs at each phase start — the hook scenario
+	// harnesses use to annotate or force retunes.
+	OnPhase func(i int, ph Phase)
+	// Extra, when set, is sampled at each window close and attached to
+	// the record (tuner counters, store gauges, ...).
+	Extra func() map[string]any
+}
+
+// Run executes the scenario to completion and returns every window
+// record. The first client error aborts the run.
+func (r *Runner) Run() ([]benchfmt.Record, error) {
+	if r.Client == nil {
+		return nil, fmt.Errorf("scenario: Runner.Client is nil")
+	}
+	bench := r.Bench
+	if bench == "" {
+		bench = "scenario"
+	}
+	win := r.Window
+	if win == 0 {
+		win = 100 * time.Millisecond
+	}
+	var records []benchfmt.Record
+	for i, ph := range r.Scenario.phases() {
+		if r.OnPhase != nil {
+			r.OnPhase(i, ph)
+		}
+		gen := workload.NewGenerator(workload.Config{
+			Keys:      ph.Keys,
+			Theta:     ph.Theta,
+			Mix:       ph.Mix,
+			ValueSize: workload.FixedSize(ph.ValueSize),
+			ScanLen:   ph.ScanLen,
+			Seed:      r.Seed + uint64(i),
+		})
+		phaseStart := time.Now()
+		windowStart := phaseStart
+		windowIdx := 1
+		var windowOps, phaseOps uint64
+		lat := obs.NewHistogram(1)
+
+		emit := func(end time.Time) {
+			elapsed := end.Sub(windowStart).Seconds()
+			if elapsed <= 0 {
+				elapsed = win.Seconds()
+			}
+			snap := lat.Snapshot()
+			rec := benchfmt.New(bench)
+			rec.Scenario = r.Scenario.Name
+			rec.Phase = ph.Name
+			rec.Window = windowIdx
+			rec.Config = map[string]any{
+				"mix":         mixName(ph.Mix),
+				"theta":       ph.Theta,
+				"value_size":  ph.ValueSize,
+				"keys":        ph.Keys,
+				"key_offset":  ph.KeyOffset,
+				"target_rate": ph.TargetRate,
+			}
+			rec.Ops = windowOps
+			rec.OpsPerSec = float64(windowOps) / elapsed
+			rec.P50Ns = float64(snap.Quantile(0.50))
+			rec.P99Ns = float64(snap.Quantile(0.99))
+			if r.Extra != nil {
+				rec.Extra = r.Extra()
+			}
+			rec.UnixNanos = end.UnixNano()
+			records = append(records, rec)
+			if r.Emit != nil {
+				r.Emit(rec)
+			}
+		}
+
+		for {
+			now := time.Now()
+			if now.Sub(phaseStart) >= ph.Duration {
+				if windowOps > 0 {
+					emit(now)
+				}
+				break
+			}
+			if now.Sub(windowStart) >= win {
+				emit(now)
+				windowStart = now
+				windowIdx++
+				windowOps = 0
+				lat = obs.NewHistogram(1)
+			}
+			if ph.TargetRate > 0 {
+				expect := ph.TargetRate * now.Sub(phaseStart).Seconds()
+				if float64(phaseOps) > expect {
+					time.Sleep(200 * time.Microsecond)
+					continue
+				}
+			}
+			req := gen.Next()
+			if ph.KeyOffset != 0 {
+				req.Key = (req.Key + ph.KeyOffset) % r.Scenario.Keys
+			}
+			t0 := time.Now()
+			if err := r.Client.Do(req); err != nil {
+				return records, fmt.Errorf("scenario %s/%s: %v", r.Scenario.Name, ph.Name, err)
+			}
+			lat.Record(0, uint64(time.Since(t0)))
+			windowOps++
+			phaseOps++
+		}
+	}
+	return records, nil
+}
+
+// mixName labels the standard mixes; anything custom falls back to its
+// fractions.
+func mixName(m workload.Mix) string {
+	switch m {
+	case workload.MixYCSBA:
+		return "ycsb-a"
+	case workload.MixYCSBB:
+		return "ycsb-b"
+	case workload.MixYCSBC:
+		return "ycsb-c"
+	case workload.MixYCSBE:
+		return "ycsb-e"
+	default:
+		return fmt.Sprintf("get%.2f-scan%.2f-del%.2f", m.GetFrac, m.ScanFrac, m.DeleteFrac)
+	}
+}

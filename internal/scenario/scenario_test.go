@@ -1,0 +1,190 @@
+package scenario
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mutps/internal/benchfmt"
+	"mutps/internal/workload"
+)
+
+// memClient counts requests and optionally slows down or fails.
+type memClient struct {
+	ops   int
+	delay time.Duration
+	fail  error
+	keys  []uint64
+}
+
+func (c *memClient) Do(req workload.Request) error {
+	if c.fail != nil {
+		return c.fail
+	}
+	c.ops++
+	c.keys = append(c.keys, req.Key)
+	if c.delay > 0 {
+		time.Sleep(c.delay)
+	}
+	return nil
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"diurnal", "hotspot-migrate", "overload-shed",
+		"scan-heavy", "size-shift", "ycsb-mix"}
+	names := Names()
+	if len(names) != len(want) {
+		t.Fatalf("matrix has %d scenarios, want %d: %v", len(names), len(want), names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Names()[%d] = %q, want %q", i, names[i], n)
+		}
+		s, ok := Lookup(n)
+		if !ok {
+			t.Fatalf("Lookup(%q) missing", n)
+		}
+		if s.Name != n || len(s.Phases) < 2 || s.Keys == 0 || s.Description == "" {
+			t.Fatalf("scenario %q malformed: %+v", n, s)
+		}
+		if s.Duration() <= 0 || s.MaxValueSize() <= 0 {
+			t.Fatalf("scenario %q has no duration or sizes", n)
+		}
+	}
+	if _, ok := Lookup("no-such"); ok {
+		t.Fatal("Lookup invented a scenario")
+	}
+}
+
+func TestScaledShrinksDurations(t *testing.T) {
+	s, _ := Lookup("size-shift")
+	half := Scaled(s, 0.5)
+	if half.Duration() != s.Duration()/2 {
+		t.Fatalf("scaled duration = %v, want %v", half.Duration(), s.Duration()/2)
+	}
+	if s.Phases[0].Duration != 3*time.Second {
+		t.Fatal("Scaled mutated the registry copy")
+	}
+}
+
+func TestRunnerEmitsWindowsPerPhase(t *testing.T) {
+	sc := Scenario{
+		Name: "t", Keys: 1024,
+		Phases: []Phase{
+			{Name: "p1", Duration: 120 * time.Millisecond, Mix: workload.MixYCSBC, ValueSize: 16},
+			{Name: "p2", Duration: 120 * time.Millisecond, Mix: workload.MixYCSBA, ValueSize: 32},
+		},
+	}
+	cli := &memClient{}
+	var streamed int
+	var phases []string
+	r := &Runner{
+		Scenario: sc, Client: cli, Window: 40 * time.Millisecond, Seed: 1,
+		Emit:    func(benchfmt.Record) { streamed++ },
+		OnPhase: func(_ int, ph Phase) { phases = append(phases, ph.Name) },
+		Extra:   func() map[string]any { return map[string]any{"probe": 7} },
+	}
+	recs, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 4 {
+		t.Fatalf("only %d windows emitted", len(recs))
+	}
+	if streamed != len(recs) {
+		t.Fatalf("Emit saw %d records, returned %d", streamed, len(recs))
+	}
+	if len(phases) != 2 || phases[0] != "p1" || phases[1] != "p2" {
+		t.Fatalf("OnPhase calls: %v", phases)
+	}
+	seenP2 := false
+	lastWindow := map[string]int{}
+	var totalOps uint64
+	for _, rec := range recs {
+		if err := rec.Validate(); err != nil {
+			t.Fatalf("invalid record: %v (%+v)", err, rec)
+		}
+		if rec.Scenario != "t" || rec.Bench != "scenario" {
+			t.Fatalf("bad identity: %+v", rec)
+		}
+		if rec.Window != lastWindow[rec.Phase]+1 {
+			t.Fatalf("phase %s window %d after %d", rec.Phase, rec.Window, lastWindow[rec.Phase])
+		}
+		lastWindow[rec.Phase] = rec.Window
+		if rec.Phase == "p2" {
+			seenP2 = true
+			if rec.Config["value_size"] != 32 {
+				t.Fatalf("p2 config: %+v", rec.Config)
+			}
+		}
+		if rec.Extra["probe"] != 7 {
+			t.Fatalf("Extra not sampled: %+v", rec.Extra)
+		}
+		totalOps += rec.Ops
+	}
+	if !seenP2 {
+		t.Fatal("no p2 windows")
+	}
+	if totalOps != uint64(cli.ops) {
+		t.Fatalf("window ops sum %d != client ops %d", totalOps, cli.ops)
+	}
+}
+
+func TestRunnerTargetRatePaces(t *testing.T) {
+	sc := Scenario{
+		Name: "paced", Keys: 1024,
+		Phases: []Phase{{
+			Name: "slow", Duration: 300 * time.Millisecond,
+			Mix: workload.MixYCSBC, ValueSize: 16, TargetRate: 1000,
+		}},
+	}
+	cli := &memClient{}
+	r := &Runner{Scenario: sc, Client: cli, Window: 100 * time.Millisecond}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1000 ops/s over 0.3 s ≈ 300 ops; unpaced this client would do
+	// millions. Allow generous jitter either way.
+	if cli.ops > 600 {
+		t.Fatalf("pacing failed: %d ops for a 300-op budget", cli.ops)
+	}
+	if cli.ops < 100 {
+		t.Fatalf("pacing starved the run: %d ops", cli.ops)
+	}
+}
+
+func TestRunnerKeyOffsetRotates(t *testing.T) {
+	sc := Scenario{
+		Name: "rot", Keys: 100,
+		Phases: []Phase{{
+			Name: "off", Duration: 30 * time.Millisecond,
+			Mix: workload.MixYCSBC, ValueSize: 16, Keys: 10, KeyOffset: 50,
+			Theta: 0, ThetaSet: true,
+		}},
+	}
+	cli := &memClient{}
+	r := &Runner{Scenario: sc, Client: cli, Window: 30 * time.Millisecond}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cli.keys) == 0 {
+		t.Fatal("no requests issued")
+	}
+	for _, k := range cli.keys {
+		if k >= 100 {
+			t.Fatalf("key %d outside the scenario keyspace", k)
+		}
+	}
+}
+
+func TestRunnerPropagatesClientError(t *testing.T) {
+	sc := Scenario{
+		Name: "err", Keys: 10,
+		Phases: []Phase{{Name: "p", Duration: time.Second, Mix: workload.MixYCSBC, ValueSize: 8}},
+	}
+	boom := errors.New("store exploded")
+	r := &Runner{Scenario: sc, Client: &memClient{fail: boom}}
+	if _, err := r.Run(); err == nil || !errors.Is(err, boom) && err.Error() == "" {
+		t.Fatalf("err = %v, want wrapped client error", err)
+	}
+}

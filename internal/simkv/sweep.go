@@ -1,0 +1,97 @@
+package simkv
+
+import (
+	"mutps/internal/simhw"
+	"mutps/internal/tuner"
+	"mutps/internal/workload"
+)
+
+// SweepPoint is one workload grid point of the offline prior sweep: a
+// named op mix at a fixed value size and skew.
+type SweepPoint struct {
+	Name      string
+	Mix       workload.Mix
+	Theta     float64
+	ValueSize int
+}
+
+// DefaultSweepGrid spans the scenario matrix's workload space: the YCSB
+// mixes the dynamic scenarios switch between, crossed with the value
+// sizes the size-shift scenario traverses. Each point maps to one
+// workload signature in the prior table, so a live shift onto any of
+// these regimes finds a pre-computed starting configuration.
+func DefaultSweepGrid() []SweepPoint {
+	// One mix per signature bucket: YCSB-B (95% get) rounds to the same
+	// r100 class as YCSB-C, so C's entry covers both; a 70/30 point fills
+	// the gap between the balanced and read-mostly regimes.
+	mixes := []struct {
+		name string
+		mix  workload.Mix
+	}{
+		{"ycsb-a", workload.MixYCSBA},
+		{"read-heavy", workload.Mix{GetFrac: 0.7}},
+		{"ycsb-c", workload.MixYCSBC},
+		{"ycsb-e", workload.MixYCSBE},
+	}
+	sizes := []int{8, 64, 512}
+	grid := make([]SweepPoint, 0, len(mixes)*len(sizes))
+	for _, m := range mixes {
+		for _, sz := range sizes {
+			grid = append(grid, SweepPoint{
+				Name:      m.name,
+				Mix:       m.mix,
+				Theta:     0.99,
+				ValueSize: sz,
+			})
+		}
+	}
+	return grid
+}
+
+// SweepParams returns the simulated machine used for prior sweeps: small
+// enough that a full grid finishes in seconds, but with the 1.5 MB LLC /
+// 200k-key ratio that makes the cache-vs-split trade-off non-trivial (a
+// hot set that fits trivially would make every prior degenerate).
+func SweepParams() SystemParams {
+	hw := simhw.DefaultParams()
+	hw.Cores = 8
+	hw.LLCSets = 2048
+	return SystemParams{
+		HW:        hw,
+		Keys:      200_000,
+		ItemSize:  64,
+		Workers:   8,
+		BatchSize: 8,
+		CRWorkers: 2,
+		HotItems:  2000,
+		MRWays:    8,
+	}
+}
+
+// SweepPriors runs the full auto-tuner at every grid point against a
+// fresh simulated system and returns the per-signature best-known
+// configurations (Source "simkv"). The signature for each point is
+// derived exactly as the live store derives it from traffic — read and
+// scan fractions plus the value-size class — so an online lookup under a
+// matching workload hits the sweep's entry.
+//
+// window overrides the per-probe simulated request count (0 = default).
+func SweepPriors(p SystemParams, grid []SweepPoint, window int, seed uint64) *tuner.Priors {
+	priors := tuner.NewPriors()
+	for i, pt := range grid {
+		sp := p
+		sp.ItemSize = pt.ValueSize
+		wl := workload.Config{
+			Keys:      sp.Keys,
+			Theta:     pt.Theta,
+			Mix:       pt.Mix,
+			ValueSize: workload.FixedSize(pt.ValueSize),
+			Seed:      seed + uint64(i),
+		}
+		sys := NewSystem(sp, ArchMuTPS, workload.NewGenerator(wl))
+		res := tuner.Optimize(&Tunable{S: sys, Window: window})
+		sig := tuner.MakeSignature(pt.Mix.GetFrac, pt.Mix.ScanFrac, float64(pt.ValueSize))
+		priors.Update(sig, tuner.Prior{Config: res.Best, Score: res.Score, Source: "simkv"})
+	}
+	return priors
+}

@@ -1,0 +1,82 @@
+package simkv
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mutps/internal/tuner"
+	"mutps/internal/workload"
+)
+
+// A reduced grid keeps the sweep test fast; the default grid is exercised
+// for shape only.
+func smallGrid() []SweepPoint {
+	return []SweepPoint{
+		{Name: "ycsb-a", Mix: workload.MixYCSBA, Theta: 0.99, ValueSize: 512},
+		{Name: "ycsb-c", Mix: workload.MixYCSBC, Theta: 0.99, ValueSize: 8},
+	}
+}
+
+func TestSweepPriorsCoversGrid(t *testing.T) {
+	grid := smallGrid()
+	priors := SweepPriors(SweepParams(), grid, 2000, 11)
+	if priors.Len() != len(grid) {
+		t.Fatalf("priors has %d entries, want %d", priors.Len(), len(grid))
+	}
+	for _, pt := range grid {
+		sig := tuner.MakeSignature(pt.Mix.GetFrac, pt.Mix.ScanFrac, float64(pt.ValueSize))
+		pr, ok := priors.Lookup(sig)
+		if !ok {
+			t.Fatalf("no prior for %s (%s)", pt.Name, sig)
+		}
+		if pr.Source != "simkv" {
+			t.Fatalf("%s: source = %q, want simkv", sig, pr.Source)
+		}
+		if pr.Score <= 0 {
+			t.Fatalf("%s: non-positive score %v", sig, pr.Score)
+		}
+		p := SweepParams()
+		if pr.Config.MRThreads < 1 || pr.Config.MRThreads > p.Workers-1 {
+			t.Fatalf("%s: MRThreads %d outside [1,%d]", sig, pr.Config.MRThreads, p.Workers-1)
+		}
+		if pr.Config.CacheItems < 0 {
+			t.Fatalf("%s: negative cache size %d", sig, pr.Config.CacheItems)
+		}
+	}
+}
+
+func TestSweepPriorsRoundTripFile(t *testing.T) {
+	priors := SweepPriors(SweepParams(), smallGrid()[:1], 2000, 3)
+	path := filepath.Join(t.TempDir(), "priors.json")
+	if err := priors.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tuner.LoadPriors(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != priors.Len() {
+		t.Fatalf("round-trip lost entries: %d != %d", got.Len(), priors.Len())
+	}
+	sig := tuner.MakeSignature(workload.MixYCSBA.GetFrac, 0, 512)
+	want, _ := priors.Lookup(sig)
+	pr, ok := got.Lookup(sig)
+	if !ok || pr != want {
+		t.Fatalf("round-trip prior = %+v ok=%v, want %+v", pr, ok, want)
+	}
+}
+
+func TestDefaultSweepGridShape(t *testing.T) {
+	grid := DefaultSweepGrid()
+	if len(grid) != 12 {
+		t.Fatalf("grid has %d points, want 12 (4 mixes x 3 sizes)", len(grid))
+	}
+	seen := map[tuner.Signature]bool{}
+	for _, pt := range grid {
+		sig := tuner.MakeSignature(pt.Mix.GetFrac, pt.Mix.ScanFrac, float64(pt.ValueSize))
+		if seen[sig] {
+			t.Fatalf("duplicate signature %s: grid points would overwrite each other", sig)
+		}
+		seen[sig] = true
+	}
+}

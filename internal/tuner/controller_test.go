@@ -1,0 +1,355 @@
+package tuner
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"mutps/internal/obs"
+)
+
+// ctlSystem is a deterministic System: score is a pure function of the
+// configuration.
+type ctlSystem struct {
+	cur      Config
+	threads  int
+	maxCache int
+	step     int
+	score    func(Config) float64
+	measured []Config
+}
+
+func (f *ctlSystem) Bounds() (int, int, int, int) {
+	return f.threads, 0, f.maxCache, f.step
+}
+
+func (f *ctlSystem) Measure(c Config) float64 {
+	f.cur = c
+	f.measured = append(f.measured, c)
+	return f.score(c)
+}
+
+func (f *ctlSystem) Current() Config { return f.cur }
+func (f *ctlSystem) Apply(c Config)  { f.cur = c }
+
+// synthRate is a counter that advances at a programmable rate per second
+// of wall time, so WindowSampler observes exactly the programmed rate no
+// matter how long the scheduler stretches a window — the tests stay
+// deterministic on a loaded single-core CI box.
+type synthRate struct {
+	mu     sync.Mutex
+	base   float64
+	lastT  time.Time
+	perSec float64
+}
+
+func newSynthRate(perSec float64) *synthRate {
+	return &synthRate{lastT: time.Now(), perSec: perSec}
+}
+
+func (s *synthRate) valueLocked(now time.Time) float64 {
+	return s.base + s.perSec*now.Sub(s.lastT).Seconds()
+}
+
+func (s *synthRate) set(perSec float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	s.base = s.valueLocked(now)
+	s.lastT = now
+	s.perSec = perSec
+}
+
+func (s *synthRate) read() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return uint64(s.valueLocked(time.Now()))
+}
+
+// tick closes one ≥2ms window at the given synthetic controller time.
+func tick(c *Controller, now *time.Time) bool {
+	time.Sleep(2 * time.Millisecond)
+	*now = now.Add(100 * time.Millisecond)
+	return c.Tick(*now)
+}
+
+// warm establishes the rate baseline without triggering.
+func warm(t *testing.T, c *Controller, now *time.Time) {
+	t.Helper()
+	for i := 0; i < 5; i++ {
+		if tick(c, now) {
+			t.Fatalf("retuned during warmup (window %d)", i)
+		}
+	}
+}
+
+// TestControllerRetunesOnShift: a load shift must trigger exactly one
+// search, and the search must land on (and apply) the score function's
+// optimum.
+func TestControllerRetunesOnShift(t *testing.T) {
+	optimum := Config{CacheItems: 400, MRThreads: 3}
+	sys := &ctlSystem{
+		cur: Config{CacheItems: 0, MRThreads: 1}, threads: 4, maxCache: 800, step: 200,
+		score: func(c Config) float64 {
+			d := func(a, b int) float64 {
+				if a > b {
+					return float64(a - b)
+				}
+				return float64(b - a)
+			}
+			return 10000 - 5*d(c.CacheItems, optimum.CacheItems) - 1000*d(c.MRThreads, optimum.MRThreads)
+		},
+	}
+	rate := newSynthRate(1e6)
+	trace := obs.NewDecisionTrace(64)
+	c := NewController(sys, ControllerConfig{
+		Rate:     rate.read,
+		Cooldown: time.Hour,
+		Trace:    trace,
+	})
+
+	now := time.Unix(1000, 0)
+	warm(t, c, &now)
+
+	// Load collapses 100x: trigger → retune.
+	rate.set(1e4)
+	if !tick(c, &now) {
+		t.Fatal("no retune after a 100x load shift")
+	}
+	if sys.Current() != optimum {
+		t.Fatalf("applied %+v, want optimum %+v", sys.Current(), optimum)
+	}
+	_, triggers, retunes, reverts := c.Counters()
+	if triggers != 1 || retunes != 1 || reverts != 0 {
+		t.Fatalf("counters: triggers=%d retunes=%d reverts=%d, want 1/1/0", triggers, retunes, reverts)
+	}
+	ds := trace.Snapshot()
+	last := ds[len(ds)-1]
+	if last.Event != "retune" || last.NewCache != optimum.CacheItems || last.NewSplit != optimum.MRThreads {
+		t.Fatalf("last decision = %+v, want a retune to the optimum", last)
+	}
+}
+
+// TestControllerCooldownBoundsRetunes: with every window triggering (a
+// pathologically noisy load), at most one search may run per cooldown
+// window — the anti-oscillation guarantee.
+func TestControllerCooldownBoundsRetunes(t *testing.T) {
+	sys := &ctlSystem{
+		cur: Config{MRThreads: 1}, threads: 4, maxCache: 400, step: 200,
+		score: func(c Config) float64 { return 1000 },
+	}
+	rate := newSynthRate(1e6)
+	cooldown := 10 * time.Second
+	c := NewController(sys, ControllerConfig{Rate: rate.read, Cooldown: cooldown})
+
+	now := time.Unix(2000, 0)
+	warm(t, c, &now)
+
+	// 50 windows inside one cooldown (5s of synthetic time), alternating
+	// 100x up/down so every window deviates >25% from any baseline.
+	levels := []float64{1e8, 1e4}
+	for i := 0; i < 50; i++ {
+		rate.set(levels[i%2])
+		tick(c, &now)
+	}
+	_, triggers, retunes, _ := c.Counters()
+	if retunes > 1 {
+		t.Fatalf("%d retunes inside one cooldown window, want ≤1 (triggers=%d)", retunes, triggers)
+	}
+	if triggers < 2 {
+		t.Fatalf("test not exercising suppression: only %d triggers", triggers)
+	}
+
+	// After the cooldown elapses, a persistent shift may retune again —
+	// the guard is a rate limit, not a latch. (The monitor re-warms after
+	// each trigger, so give it a few windows to fire.)
+	now = now.Add(cooldown)
+	for i := 0; i < 10; i++ {
+		rate.set(levels[i%2])
+		tick(c, &now)
+	}
+	_, _, retunes2, _ := c.Counters()
+	if retunes2 != retunes+1 {
+		t.Fatalf("retunes after cooldown elapsed: %d → %d, want exactly one more", retunes, retunes2)
+	}
+}
+
+// TestControllerStableWorkloadNoRetune: windows within the threshold of
+// the baseline must never trigger — zero searches on a stable workload.
+func TestControllerStableWorkloadNoRetune(t *testing.T) {
+	sys := &ctlSystem{
+		cur: Config{MRThreads: 1}, threads: 4, maxCache: 400, step: 200,
+		score: func(c Config) float64 { return 1000 },
+	}
+	rate := newSynthRate(1000e6)
+	c := NewController(sys, ControllerConfig{Rate: rate.read})
+
+	now := time.Unix(3000, 0)
+	// ±10% jitter, below the 25% threshold. High absolute rates keep the
+	// counter's integer truncation far below the jitter being tested.
+	jitter := []float64{1000e6, 1100e6, 950e6, 1050e6, 900e6, 1000e6, 1080e6, 930e6}
+	for i := 0; i < 40; i++ {
+		rate.set(jitter[i%len(jitter)])
+		tick(c, &now)
+	}
+	_, triggers, retunes, _ := c.Counters()
+	if triggers != 0 || retunes != 0 {
+		t.Fatalf("stable workload produced triggers=%d retunes=%d, want 0/0", triggers, retunes)
+	}
+}
+
+// TestControllerMinGainRevert: when the search's winner does not beat the
+// incumbent by MinGain, the incumbent stays — and the revert is counted
+// and traced.
+func TestControllerMinGainRevert(t *testing.T) {
+	incumbent := Config{CacheItems: 200, MRThreads: 2}
+	sys := &ctlSystem{
+		cur: incumbent, threads: 4, maxCache: 400, step: 200,
+		// Nearly flat landscape: the search's winner beats the incumbent by
+		// only 2% — real gain, but below the 5% MinGain bar, i.e. the noise
+		// band a probe window can fabricate.
+		score: func(c Config) float64 {
+			if (c == Config{CacheItems: 400, MRThreads: 3}) {
+				return 5100
+			}
+			return 5000
+		},
+	}
+	rate := newSynthRate(1000)
+	trace := obs.NewDecisionTrace(64)
+	c := NewController(sys, ControllerConfig{Rate: rate.read, Trace: trace})
+
+	res := c.Retune()
+	if res.Best != incumbent {
+		t.Fatalf("flat landscape moved config to %+v, want incumbent %+v kept", res.Best, incumbent)
+	}
+	if sys.Current() != incumbent {
+		t.Fatalf("applied %+v, want incumbent restored", sys.Current())
+	}
+	_, _, _, reverts := c.Counters()
+	if reverts != 1 {
+		t.Fatalf("reverts = %d, want 1", reverts)
+	}
+	found := false
+	for _, d := range trace.Snapshot() {
+		if d.Event == "revert" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no revert decision in trace")
+	}
+}
+
+// TestControllerPriorSeeding: a known prior is probed during retune, and
+// the winner is written back with source "online".
+func TestControllerPriorSeeding(t *testing.T) {
+	optimum := Config{CacheItems: 400, MRThreads: 3}
+	sys := &ctlSystem{
+		cur: Config{MRThreads: 1}, threads: 4, maxCache: 800, step: 200,
+		score: func(c Config) float64 {
+			if c == optimum {
+				return 10000
+			}
+			return 1000
+		},
+	}
+	rate := newSynthRate(1000)
+	priors := NewPriors()
+	sig := MakeSignature(0.9, 0, 512)
+	priors.Update(sig, Prior{Config: optimum, Score: 42, Source: "simkv"})
+	c := NewController(sys, ControllerConfig{
+		Rate:      rate.read,
+		Priors:    priors,
+		Signature: func() Signature { return sig },
+	})
+
+	res := c.Retune()
+	if res.Best != optimum {
+		t.Fatalf("retune chose %+v, want prior-seeded optimum %+v", res.Best, optimum)
+	}
+	probed := false
+	for _, m := range sys.measured {
+		if m == optimum {
+			probed = true
+			break
+		}
+	}
+	if !probed {
+		t.Fatal("prior config never probed")
+	}
+	pr, ok := priors.Lookup(sig)
+	if !ok || pr.Source != "online" || pr.Config != optimum {
+		t.Fatalf("prior not refined online: %+v ok=%v", pr, ok)
+	}
+}
+
+// TestControllerStartStop exercises the background loop end to end.
+func TestControllerStartStop(t *testing.T) {
+	sys := &ctlSystem{
+		cur: Config{MRThreads: 1}, threads: 2, maxCache: 0, step: 1,
+		score: func(c Config) float64 { return 100 },
+	}
+	rate := newSynthRate(1000)
+	c := NewController(sys, ControllerConfig{Rate: rate.read, Interval: 5 * time.Millisecond})
+	c.Start()
+	time.Sleep(50 * time.Millisecond)
+	c.Stop()
+	ticks, _, _, _ := c.Counters()
+	if ticks == 0 {
+		t.Fatal("background loop never ticked")
+	}
+	c.Stop() // idempotent
+}
+
+func TestPriorsRoundTrip(t *testing.T) {
+	p := NewPriors()
+	s1 := MakeSignature(0.9, 0, 512)
+	s2 := MakeSignature(0.5, 0.05, 8)
+	p.Update(s1, Prior{Config: Config{CacheItems: 4096, MRThreads: 3}, Score: 1.5e6, Source: "simkv"})
+	p.Update(s2, Prior{Config: Config{CacheItems: 1024, MRThreads: 2}, Score: 9e5, Source: "online"})
+
+	path := filepath.Join(t.TempDir(), "priors.json")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPriors(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("loaded %d priors, want 2", got.Len())
+	}
+	pr, ok := got.Lookup(s1)
+	if !ok || pr.Config.CacheItems != 4096 || pr.Source != "simkv" {
+		t.Fatalf("s1 prior = %+v ok=%v", pr, ok)
+	}
+}
+
+func TestSignatureBucketsAndParse(t *testing.T) {
+	cases := []struct {
+		read, scan, mean float64
+		want             string
+	}{
+		{0.9, 0, 512, "r90-v512-s0"},
+		{0.95, 0, 500, "r100-v512-s0"}, // 500 rounds to the 512 class
+		{0.5, 0.05, 8, "r50-v8-s10"},   // 0.05 rounds up to 10%
+		{0, 0, 0, "r0-v0-s0"},
+		{1, 0, 700, "r100-v512-s0"}, // log2(700)=9.45 → 512
+		{1, 0, 760, "r100-v1024-s0"},
+	}
+	for _, c := range cases {
+		sig := MakeSignature(c.read, c.scan, c.mean)
+		if sig.String() != c.want {
+			t.Errorf("MakeSignature(%v,%v,%v) = %s, want %s", c.read, c.scan, c.mean, sig, c.want)
+		}
+		back, err := ParseSignature(sig.String())
+		if err != nil || back != sig {
+			t.Errorf("ParseSignature(%s) = %+v, %v", sig, back, err)
+		}
+	}
+	if _, err := ParseSignature("bogus"); err == nil {
+		t.Error("ParseSignature accepted garbage")
+	}
+}

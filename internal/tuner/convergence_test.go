@@ -1,0 +1,94 @@
+package tuner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestTrisectConvergesUnimodal: property test over random strictly
+// unimodal curves — trisection must find the exact peak, and on wide
+// ranges must spend fewer probes than a linear scan would.
+func TestTrisectConvergesUnimodal(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 500; trial++ {
+		lo := 1
+		hi := lo + rng.Intn(96)
+		peak := lo + rng.Intn(hi-lo+1)
+		// Strictly unimodal: quadratic fall-off on both sides, with
+		// randomly asymmetric slopes.
+		ls := 1 + rng.Float64()*9
+		rs := 1 + rng.Float64()*9
+		f := func(x int) float64 {
+			d := float64(x - peak)
+			if d < 0 {
+				return 1e6 - ls*d*d
+			}
+			return 1e6 - rs*d*d
+		}
+		best, probes := TrisectMax(lo, hi, f)
+		if best != peak {
+			t.Fatalf("trial %d: range [%d,%d] peak %d, trisect found %d (%d probes)",
+				trial, lo, hi, peak, best, probes)
+		}
+		if span := hi - lo + 1; span > 16 && probes >= span {
+			t.Fatalf("trial %d: %d probes over span %d — no savings vs linear scan", trial, probes, span)
+		}
+	}
+}
+
+// TestTrisectOnNoisyCurve: bounded noise on top of a well-separated
+// unimodal curve must not pull the answer far from the peak — the score
+// at the found point stays within the noise band of the true optimum.
+// This models simkv/live measurement jitter between probe windows.
+func TestTrisectOnNoisyCurve(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	const noise = 40.0 // absolute noise amplitude
+	for trial := 0; trial < 200; trial++ {
+		lo, hi := 1, 64
+		peak := lo + rng.Intn(hi-lo+1)
+		clean := func(x int) float64 {
+			d := float64(x - peak)
+			return 1e5 - 50*d*d // curvature ≫ noise near the peak
+		}
+		noisy := func(x int) float64 {
+			return clean(x) + rng.Float64()*noise
+		}
+		best, _ := TrisectMax(lo, hi, noisy)
+		if got, want := clean(best), clean(peak); want-got > noise*2 {
+			t.Fatalf("trial %d: peak %d, found %d — clean score %.0f vs optimum %.0f (noise %.0f)",
+				trial, peak, best, got, want, noise)
+		}
+	}
+}
+
+// TestOptimizeConvergesOnSeparableLandscape: the hierarchical search
+// (linear probe × trisection) must land on the optimum of a landscape
+// where cache size and split interact — the cache term shifts the best
+// split, as it does in the real system where a bigger hot set wants
+// fewer MR threads.
+func TestOptimizeConvergesOnSeparableLandscape(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 50; trial++ {
+		threads := 4 + rng.Intn(12)
+		maxCache, step := 8000, 1000
+		bestCache := step * rng.Intn(maxCache/step+1)
+		sys := &ctlSystem{threads: threads, maxCache: maxCache, step: step}
+		sys.score = func(c Config) float64 {
+			// Best split depends on the cache size: more cache → fewer MR
+			// threads wanted (the coupled landscape of the real system).
+			wantMR := 1 + (threads-2)*(maxCache-c.CacheItems)/maxCache
+			dc := math.Abs(float64(c.CacheItems - bestCache))
+			dm := math.Abs(float64(c.MRThreads - wantMR))
+			return 1e6 - dc - 1000*dm*dm
+		}
+		res := Optimize(sys)
+		if res.Best.CacheItems != bestCache {
+			t.Fatalf("trial %d: cache %d, want %d (threads=%d)", trial, res.Best.CacheItems, bestCache, threads)
+		}
+		wantMR := 1 + (threads-2)*(maxCache-bestCache)/maxCache
+		if res.Best.MRThreads != wantMR {
+			t.Fatalf("trial %d: split %d, want %d", trial, res.Best.MRThreads, wantMR)
+		}
+	}
+}

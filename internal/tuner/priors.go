@@ -1,0 +1,180 @@
+package tuner
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Signature coarsely classifies a workload so configurations learned
+// under one load can seed the search when a similar load returns. The
+// paper's tuner re-optimizes from scratch on every shift; seeding with a
+// per-signature best-known config (from the simkv sweeper offline, then
+// refined online) lets the controller land near the optimum in one probe
+// and spend the search budget on refinement.
+//
+// The buckets are deliberately coarse — nearest 10% for op mix, power of
+// two for value size — because the optimum moves slowly in these
+// dimensions and a fine-grained key would never re-hit.
+type Signature struct {
+	ReadPct    int `json:"read_pct"`    // read fraction, rounded to nearest 10%
+	ValueClass int `json:"value_class"` // mean value size rounded to a power of two (bytes)
+	ScanPct    int `json:"scan_pct"`    // scan fraction, rounded to nearest 10%
+}
+
+// MakeSignature buckets raw workload observations: read and scan
+// fractions in [0,1], and the mean value size in bytes.
+func MakeSignature(readFrac, scanFrac, meanValBytes float64) Signature {
+	pct := func(f float64) int {
+		p := int(math.Round(f*10)) * 10
+		if p < 0 {
+			p = 0
+		}
+		if p > 100 {
+			p = 100
+		}
+		return p
+	}
+	vc := 0
+	if meanValBytes >= 1 {
+		vc = 1 << int(math.Round(math.Log2(meanValBytes)))
+	}
+	return Signature{ReadPct: pct(readFrac), ValueClass: vc, ScanPct: pct(scanFrac)}
+}
+
+// String renders the signature as the stable key used in the priors
+// file, e.g. "r90-v512-s0".
+func (s Signature) String() string {
+	return fmt.Sprintf("r%d-v%d-s%d", s.ReadPct, s.ValueClass, s.ScanPct)
+}
+
+// ParseSignature inverts String.
+func ParseSignature(key string) (Signature, error) {
+	var s Signature
+	if _, err := fmt.Sscanf(key, "r%d-v%d-s%d", &s.ReadPct, &s.ValueClass, &s.ScanPct); err != nil {
+		return Signature{}, fmt.Errorf("tuner: bad signature key %q: %v", key, err)
+	}
+	return s, nil
+}
+
+// Prior is the best-known configuration for one workload signature and
+// the score it achieved when measured. Scores from different sources
+// (simulated Mops vs. live ops/s) are not comparable across entries;
+// they are kept only as provenance.
+type Prior struct {
+	Config Config  `json:"config"`
+	Score  float64 `json:"score"`
+	Source string  `json:"source,omitempty"` // "simkv" | "online"
+}
+
+// Priors is a concurrency-safe signature→Prior map with JSON
+// persistence. Update overwrites: the most recent knowledge wins, which
+// is what "refined online" means — a live measurement supersedes a
+// simulated seed for the same signature.
+type Priors struct {
+	mu sync.Mutex
+	m  map[Signature]Prior
+}
+
+// NewPriors creates an empty prior table.
+func NewPriors() *Priors {
+	return &Priors{m: map[Signature]Prior{}}
+}
+
+// Lookup returns the prior for a signature, if known.
+func (p *Priors) Lookup(sig Signature) (Prior, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pr, ok := p.m[sig]
+	return pr, ok
+}
+
+// Update records (or overwrites) the prior for a signature.
+func (p *Priors) Update(sig Signature, pr Prior) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.m[sig] = pr
+}
+
+// Len returns the number of signatures known.
+func (p *Priors) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.m)
+}
+
+// MarshalJSON encodes the table as a {"r90-v512-s0": Prior, ...} object
+// with sorted keys, so prior files diff cleanly.
+func (p *Priors) MarshalJSON() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	keys := make([]string, 0, len(p.m))
+	bySig := make(map[string]Prior, len(p.m))
+	for sig, pr := range p.m {
+		k := sig.String()
+		keys = append(keys, k)
+		bySig[k] = pr
+	}
+	sort.Strings(keys)
+	out := []byte{'{'}
+	for i, k := range keys {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		kb, _ := json.Marshal(k)
+		vb, err := json.Marshal(bySig[k])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, kb...)
+		out = append(out, ':')
+		out = append(out, vb...)
+	}
+	return append(out, '}'), nil
+}
+
+// UnmarshalJSON decodes the object form produced by MarshalJSON.
+func (p *Priors) UnmarshalJSON(data []byte) error {
+	raw := map[string]Prior{}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.m == nil {
+		p.m = map[Signature]Prior{}
+	}
+	for k, pr := range raw {
+		sig, err := ParseSignature(k)
+		if err != nil {
+			return err
+		}
+		p.m[sig] = pr
+	}
+	return nil
+}
+
+// Save writes the table to path as indented JSON.
+func (p *Priors) Save(path string) error {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadPriors reads a prior table written by Save.
+func LoadPriors(path string) (*Priors, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p := NewPriors()
+	if err := json.Unmarshal(b, p); err != nil {
+		return nil, fmt.Errorf("tuner: %s: %v", path, err)
+	}
+	return p, nil
+}

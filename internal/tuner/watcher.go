@@ -12,6 +12,16 @@ type Watcher struct {
 	Monitor *Monitor
 	Sampler *obs.WindowSampler
 	Trace   *obs.DecisionTrace
+
+	// Optional second trigger channel over mean latency. The mean is the
+	// exact _sum/_count delta of a histogram feed (obs.MeanSampler), not an
+	// interpolated quantile: the paper's controller consumes a mean, and
+	// log₂-bucket interpolation can be off by the bucket width — enough to
+	// swallow or fabricate a 25% shift. Latency catches workload changes the
+	// throughput channel misses under admission-limited load (diurnal ramps,
+	// value-size shifts at a fixed offered rate).
+	LatMonitor *Monitor
+	LatSampler *obs.MeanSampler
 }
 
 // NewWatcher builds a watcher over a monotonic completed-ops reader (e.g.
@@ -24,10 +34,21 @@ func NewWatcher(read func() uint64, trace *obs.DecisionTrace) *Watcher {
 	}
 }
 
-// Tick closes the current window and returns whether the monitor flagged a
-// significant load change. The window's rate is returned either way so
-// callers can log or export it. On a trigger, a Decision with Event
-// "trigger" and the observed rate lands in the trace.
+// WatchLatency attaches the latency channel: each Tick additionally
+// observes the exact mean of the values the sampler's histograms recorded
+// during the window and triggers on a significant shift. Empty windows
+// (no requests) are skipped rather than fed as zero.
+func (w *Watcher) WatchLatency(s *obs.MeanSampler) {
+	w.LatSampler = s
+	w.LatMonitor = &Monitor{}
+}
+
+// Tick closes the current window and returns whether either monitor
+// flagged a significant load change. The window's throughput is returned
+// either way so callers can log or export it. On a trigger, a Decision
+// with Event "trigger" (throughput shift) or "lat-trigger" (mean-latency
+// shift; Score carries the observed mean in the histogram's unit) lands
+// in the trace.
 func (w *Watcher) Tick() (rate float64, triggered bool) {
 	rate = w.Sampler.Rate()
 	triggered = w.Monitor.Observe(rate)
@@ -38,6 +59,20 @@ func (w *Watcher) Tick() (rate float64, triggered bool) {
 			OldSplit: -1, NewSplit: -1,
 			OldCache: -1, NewCache: -1,
 		})
+	}
+	if w.LatSampler != nil && w.LatMonitor != nil {
+		if mean, ok := w.LatSampler.Mean(); ok && w.LatMonitor.Observe(mean) {
+			if !triggered && w.Trace != nil {
+				w.Trace.Record(obs.Decision{
+					Event:    "lat-trigger",
+					Rate:     rate,
+					Score:    mean,
+					OldSplit: -1, NewSplit: -1,
+					OldCache: -1, NewCache: -1,
+				})
+			}
+			triggered = true
+		}
 	}
 	return rate, triggered
 }
@@ -58,4 +93,10 @@ func (w *Watcher) RecordRetune(oldSplit, oldCache int, res Result) {
 	}
 	w.Monitor.Reset()
 	w.Sampler.Reset()
+	if w.LatMonitor != nil {
+		w.LatMonitor.Reset()
+	}
+	if w.LatSampler != nil {
+		w.LatSampler.Reset()
+	}
 }

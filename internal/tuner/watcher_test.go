@@ -1,41 +1,41 @@
 package tuner
 
 import (
-	"sync/atomic"
 	"testing"
 	"time"
 
 	"mutps/internal/obs"
 )
 
+// The watcher tests drive the rate channel with synthRate (see
+// controller_test.go): the counter advances proportionally to wall time,
+// so the observed rate equals the programmed rate no matter how far the
+// scheduler stretches a sleep — no jitter-induced flakes on a loaded box.
+
 // TestWatcherTriggerAndTrace drives the watcher with a synthetic counter:
 // a steady rate through warmup, then a large step. The monitor must stay
 // quiet during warmup, fire exactly once on the shift, and the trigger must
 // land in the decision trace.
 func TestWatcherTriggerAndTrace(t *testing.T) {
-	var ops atomic.Uint64
+	rate := newSynthRate(500e3)
 	trace := obs.NewDecisionTrace(16)
-	w := NewWatcher(ops.Load, trace)
-
-	advance := func(n uint64) {
-		ops.Add(n)
-		time.Sleep(2 * time.Millisecond) // non-zero window so Rate is finite
-	}
+	w := NewWatcher(rate.read, trace)
 
 	// Warmup windows at a steady rate: no triggers.
 	for i := 0; i < 5; i++ {
-		advance(1000)
+		time.Sleep(2 * time.Millisecond)
 		if _, trig := w.Tick(); trig {
 			t.Fatalf("spurious trigger during steady load (window %d)", i)
 		}
 	}
 
-	// Load collapses: one trigger.
-	advance(10)
-	rate, trig := w.Tick()
+	// Load collapses 100x: one trigger.
+	rate.set(5e3)
+	time.Sleep(2 * time.Millisecond)
+	r, trig := w.Tick()
 	if !trig {
 		t.Fatalf("no trigger after load shift (rate %.0f, baseline %.0f)",
-			rate, w.Monitor.Baseline())
+			r, w.Monitor.Baseline())
 	}
 
 	ds := trace.Snapshot()
@@ -45,8 +45,8 @@ func TestWatcherTriggerAndTrace(t *testing.T) {
 	if ds[0].Event != "trigger" {
 		t.Fatalf("decision event = %q, want trigger", ds[0].Event)
 	}
-	if ds[0].Rate != rate {
-		t.Fatalf("decision rate = %v, want %v", ds[0].Rate, rate)
+	if ds[0].Rate != r {
+		t.Fatalf("decision rate = %v, want %v", ds[0].Rate, r)
 	}
 	if ds[0].NewSplit != -1 || ds[0].NewCache != -1 {
 		t.Fatalf("trigger decision should not carry config: %+v", ds[0])
@@ -56,12 +56,11 @@ func TestWatcherTriggerAndTrace(t *testing.T) {
 // TestWatcherRecordRetune checks the retune outcome lands in the trace and
 // resets the feedback loop.
 func TestWatcherRecordRetune(t *testing.T) {
-	var ops atomic.Uint64
+	rate := newSynthRate(500e3)
 	trace := obs.NewDecisionTrace(16)
-	w := NewWatcher(ops.Load, trace)
+	w := NewWatcher(rate.read, trace)
 
 	for i := 0; i < 4; i++ {
-		ops.Add(500)
 		time.Sleep(time.Millisecond)
 		w.Tick()
 	}
@@ -94,12 +93,71 @@ func TestWatcherRecordRetune(t *testing.T) {
 
 // TestWatcherNilTrace ensures a watcher without a trace still works.
 func TestWatcherNilTrace(t *testing.T) {
-	var ops atomic.Uint64
-	w := NewWatcher(ops.Load, nil)
+	rate := newSynthRate(100e3)
+	w := NewWatcher(rate.read, nil)
 	for i := 0; i < 6; i++ {
-		ops.Add(100 * uint64(i*i+1))
+		rate.set(100e3 * float64(i*i+1))
 		time.Sleep(time.Millisecond)
 		w.Tick()
 	}
 	w.RecordRetune(1, 0, Result{Best: Config{MRThreads: 1}})
+}
+
+// TestWatcherLatencyTriggerUsesExactMean is the trigger-math regression
+// for the _sum-derived latency channel: a value shift that crosses a
+// log₂ bucket boundary but moves the true mean by only 20% (below the
+// 25% threshold) must NOT trigger — a quantile interpolated from the
+// buckets would jump ~2x there and misfire — while a genuine 40% mean
+// shift must trigger even though the throughput channel sees nothing.
+func TestWatcherLatencyTriggerUsesExactMean(t *testing.T) {
+	rate := newSynthRate(500e3) // constant: the rate channel stays quiet
+	trace := obs.NewDecisionTrace(16)
+	w := NewWatcher(rate.read, trace)
+	h := obs.NewHistogram(1)
+	w.WatchLatency(obs.NewHistogramMeanSampler(h))
+
+	window := func(latency uint64, n int) (trig bool) {
+		for i := 0; i < n; i++ {
+			h.Record(0, latency)
+		}
+		time.Sleep(2 * time.Millisecond)
+		_, trig = w.Tick()
+		return trig
+	}
+
+	// Warm both monitors at 1000ns.
+	for i := 0; i < 5; i++ {
+		if window(1000, 100) {
+			t.Fatalf("spurious trigger during warmup (window %d)", i)
+		}
+	}
+
+	// 1000ns → 1200ns: crosses the [512,1024) → [1024,2048) bucket
+	// boundary (an interpolated p50 roughly doubles) but the exact mean
+	// moves +20% < 25%. Quantile-driven trigger math would fire here.
+	if window(1200, 100) {
+		t.Fatal("latency trigger fired on a 20% mean shift (quantile-style misfire)")
+	}
+
+	// A real 40%+ shift from the settled baseline must fire.
+	fired := false
+	for i := 0; i < 3 && !fired; i++ { // baseline EMA absorbed some of the 1200s
+		fired = window(1700, 100)
+	}
+	if !fired {
+		t.Fatal("latency trigger never fired on a 40%+ mean shift")
+	}
+	ds := trace.Snapshot()
+	if len(ds) == 0 || ds[len(ds)-1].Event != "lat-trigger" {
+		t.Fatalf("trace missing lat-trigger: %+v", ds)
+	}
+
+	// Empty latency windows (no requests) are skipped, not fed as zero.
+	w.RecordRetune(1, 0, Result{Best: Config{MRThreads: 1}})
+	for i := 0; i < 6; i++ {
+		time.Sleep(time.Millisecond)
+		if _, trig := w.Tick(); trig {
+			t.Fatalf("trigger on an empty latency window (%d)", i)
+		}
+	}
 }
